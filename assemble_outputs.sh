@@ -1,0 +1,26 @@
+#!/bin/bash
+# Assembles bench_output.txt from the chunked full-scale runs.
+cd /root/repo || exit 1
+{
+  echo "govdns benchmark sweep"
+  echo "paper-scale (GOVDNS_SCALE=1.0) for all tables/figures;"
+  echo "ablation benches at GOVDNS_SCALE=0.25 (relative comparisons)."
+  echo "Assembled from per-binary runs (single-core machine; binaries run"
+  echo "sequentially, one output section per binary)."
+  echo
+  for n in bench_fig2_pdns_growth bench_fig3_ns_growth \
+           bench_fig4_domains_per_country bench_fig6_d1ns_churn \
+           bench_fig7_private_deployment bench_fig8_stale_d1ns \
+           bench_fig9_ns_cdf bench_table1_diversity \
+           bench_table2_major_providers bench_table3_top_providers \
+           bench_fig10_defective_delegations bench_fig11_available_ns \
+           bench_fig12_registration_cost bench_fig13_consistency \
+           bench_fig14_disagreement_dist bench_ablation_stability_filter \
+           bench_ablation_nsdaily_stat bench_ablation_second_round \
+           bench_ablation_provider_matching; do
+    echo "==================== $n ===================="
+    cat "results/full/$n.txt"
+    echo
+  done
+} > bench_output.txt
+wc -l bench_output.txt

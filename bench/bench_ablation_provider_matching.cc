@@ -1,0 +1,87 @@
+// Ablation: provider identification via NS hostnames alone vs NS hostnames
+// plus SOA MNAME/RNAME (§IV-B).
+//
+// Customers that front a provider with vanity nameserver names in their own
+// zone are invisible to pure NS-name matching; their SOA MNAME still points
+// at the provider. This compares the two rules over the active-measurement
+// data (which carries SOA records).
+#include <iostream>
+#include <map>
+
+#include "bench/common.h"
+#include "core/analysis.h"
+#include "core/providers.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using govdns::bench::BenchEnv;
+using govdns::core::ProviderMatcher;
+
+struct MatchCounts {
+  std::map<std::string, int64_t> ns_only;
+  std::map<std::string, int64_t> ns_plus_soa;
+};
+
+MatchCounts Count() {
+  auto& env = BenchEnv::Get();
+  static ProviderMatcher matcher(govdns::core::DefaultProviderRules());
+  MatchCounts counts;
+  for (const auto& result : env.active().results) {
+    if (!result.parent_has_records) continue;
+    int ns_match = -1;
+    for (const auto& ns : result.AllNs()) {
+      ns_match = matcher.MatchNs(ns.ToString());
+      if (ns_match >= 0) break;
+    }
+    int soa_match = ns_match;
+    if (soa_match < 0 && result.soa.has_value()) {
+      soa_match = matcher.MatchSoa(*result.soa);
+    }
+    if (ns_match >= 0) {
+      ++counts.ns_only[matcher.rules()[ns_match].group_key];
+    }
+    if (soa_match >= 0) {
+      ++counts.ns_plus_soa[matcher.rules()[soa_match].group_key];
+    }
+  }
+  return counts;
+}
+
+void BM_ProviderMatching(benchmark::State& state) {
+  BenchEnv::Get().active();
+  for (auto _ : state) {
+    auto counts = Count();
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_ProviderMatching)->Unit(benchmark::kMillisecond);
+
+void PrintArtifact() {
+  auto counts = Count();
+  govdns::util::TextTable table(
+      {"Provider", "NS-name match", "NS + SOA match", "gain"});
+  int64_t total_ns = 0, total_soa = 0;
+  for (const auto& [key, with_soa] : counts.ns_plus_soa) {
+    int64_t ns_only =
+        counts.ns_only.contains(key) ? counts.ns_only.at(key) : 0;
+    total_ns += ns_only;
+    total_soa += with_soa;
+    if (with_soa - ns_only == 0 && ns_only < 50) continue;
+    table.AddRow({key, govdns::util::WithCommas(ns_only),
+                  govdns::util::WithCommas(with_soa),
+                  "+" + govdns::util::WithCommas(with_soa - ns_only)});
+  }
+  std::printf("\nAblation — provider matching: NS names vs NS + SOA "
+              "MNAME/RNAME\n");
+  table.Print(std::cout);
+  std::printf("total matched: %s -> %s (+%s via SOA)\n",
+              govdns::util::WithCommas(total_ns).c_str(),
+              govdns::util::WithCommas(total_soa).c_str(),
+              govdns::util::WithCommas(total_soa - total_ns).c_str());
+}
+
+}  // namespace
+
+GOVDNS_BENCH_MAIN(PrintArtifact)

@@ -1,0 +1,67 @@
+// Figure 10: defective (lame) delegations — the share of domains per
+// country with a nameserver in the parent-zone NS set that does not serve
+// the domain.
+//
+// Paper anchors: 29.5% of domains have a defective delegation; 25.4%
+// partially defective; the pattern is driven by a few d_gov (Thailand,
+// Turkey, Brazil, Mexico) sharing unresolvable or dead nameservers.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/analysis.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using govdns::bench::BenchEnv;
+
+void BM_AnalyzeDelegations(benchmark::State& state) {
+  auto& env = BenchEnv::Get();
+  const auto& dataset = env.active();
+  for (auto _ : state) {
+    auto summary = govdns::core::AnalyzeDelegations(dataset);
+    benchmark::DoNotOptimize(summary);
+  }
+}
+BENCHMARK(BM_AnalyzeDelegations)->Unit(benchmark::kMillisecond);
+
+void PrintArtifact() {
+  auto& env = BenchEnv::Get();
+  auto summary = govdns::core::AnalyzeDelegations(env.active());
+  double n = double(summary.domains_considered);
+  std::printf("\nFig. 10 — defective delegations\n");
+  std::printf("domains considered: %s\n",
+              govdns::util::WithCommas(summary.domains_considered).c_str());
+  std::printf("partially defective: %s (paper: 25.4%%)\n",
+              govdns::util::Percent(summary.partially_defective / n).c_str());
+  std::printf("fully defective:     %s\n",
+              govdns::util::Percent(summary.fully_defective / n).c_str());
+  std::printf("any defect:          %s (paper: 29.5%%)\n",
+              govdns::util::Percent((summary.partially_defective +
+                                     summary.fully_defective) /
+                                    n)
+                  .c_str());
+
+  auto rows = summary.by_country;
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.partial + a.full > b.partial + b.full;
+  });
+  govdns::util::TextTable table(
+      {"Country", "Domains", "Partial", "Full", "Partial %", "Full %"});
+  for (size_t i = 0; i < rows.size() && i < 20; ++i) {
+    const auto& row = rows[i];
+    table.AddRow({row.code, govdns::util::WithCommas(row.domains),
+                  govdns::util::WithCommas(row.partial),
+                  govdns::util::WithCommas(row.full),
+                  govdns::util::Percent(double(row.partial) / row.domains),
+                  govdns::util::Percent(double(row.full) / row.domains)});
+  }
+  std::printf("\ntop-20 countries by defective delegations (Fig. 10a/b)\n");
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+GOVDNS_BENCH_MAIN(PrintArtifact)

@@ -1,0 +1,63 @@
+// Figure 12: the cost to register the available nameserver domains found
+// through defective delegations.
+//
+// Paper anchors: 0.01 to 20,000 USD, median 11.99.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/analysis.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using govdns::bench::BenchEnv;
+
+govdns::core::HijackSummary Summary() {
+  auto& env = BenchEnv::Get();
+  return govdns::core::AnalyzeHijackRisk(env.active(), env.world().psl(),
+                                         env.world().registrar_client());
+}
+
+void BM_PriceDistribution(benchmark::State& state) {
+  auto& env = BenchEnv::Get();
+  env.active();
+  for (auto _ : state) {
+    auto summary = Summary();
+    if (!summary.prices_usd.empty()) {
+      double median = govdns::util::Median(summary.prices_usd);
+      benchmark::DoNotOptimize(median);
+    }
+  }
+}
+BENCHMARK(BM_PriceDistribution)->Unit(benchmark::kMillisecond);
+
+void PrintArtifact() {
+  auto summary = Summary();
+  std::printf("\nFig. 12 — registration cost of available d_ns\n");
+  if (summary.prices_usd.empty()) {
+    std::printf("no available d_ns found (world too small?)\n");
+    return;
+  }
+  auto prices = summary.prices_usd;
+  std::sort(prices.begin(), prices.end());
+  std::printf("n=%zu  min=%.2f  median=%.2f  max=%.2f USD "
+              "(paper: 0.01 / 11.99 / 20,000)\n",
+              prices.size(), prices.front(),
+              govdns::util::Median(prices), prices.back());
+
+  govdns::util::TextTable table({"Percentile", "Price (USD)"});
+  for (double p : {0.05, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  govdns::util::Percentile(prices, p));
+    table.AddRow({govdns::util::Percent(p, 0), buf});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+GOVDNS_BENCH_MAIN(PrintArtifact)

@@ -1,0 +1,69 @@
+// Figure 14: distribution of the parent/child disagreement rate per d_gov.
+//
+// Paper anchors: countries with the largest disagreement rates tend to have
+// few responsive domains, but some large namespaces also disagree often.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/analysis.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using govdns::bench::BenchEnv;
+
+void BM_DisagreementDistribution(benchmark::State& state) {
+  auto& env = BenchEnv::Get();
+  const auto& dataset = env.active();
+  for (auto _ : state) {
+    auto summary = govdns::core::AnalyzeConsistency(dataset);
+    benchmark::DoNotOptimize(summary.by_country);
+  }
+}
+BENCHMARK(BM_DisagreementDistribution)->Unit(benchmark::kMillisecond);
+
+void PrintArtifact() {
+  auto& env = BenchEnv::Get();
+  auto summary = govdns::core::AnalyzeConsistency(env.active());
+
+  std::vector<double> rates;
+  for (const auto& row : summary.by_country) {
+    if (row.comparable >= 5) {
+      rates.push_back(double(row.disagree) / double(row.comparable));
+    }
+  }
+  std::printf("\nFig. 14 — disagreement rate per d_gov (countries with >=5 "
+              "comparable domains: %zu)\n", rates.size());
+  if (rates.empty()) return;
+  govdns::util::TextTable table({"Percentile", "Disagreement rate"});
+  for (double p : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    table.AddRow({govdns::util::Percent(p, 0),
+                  govdns::util::Percent(govdns::util::Percentile(rates, p))});
+  }
+  table.Print(std::cout);
+
+  auto rows = summary.by_country;
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    double ra = a.comparable ? double(a.disagree) / a.comparable : 0;
+    double rb = b.comparable ? double(b.disagree) / b.comparable : 0;
+    return ra > rb;
+  });
+  govdns::util::TextTable top({"Country", "Comparable", "Disagree", "Rate"});
+  int shown = 0;
+  for (const auto& row : rows) {
+    if (row.comparable < 5) continue;
+    top.AddRow({row.code, govdns::util::WithCommas(row.comparable),
+                govdns::util::WithCommas(row.disagree),
+                govdns::util::Percent(double(row.disagree) / row.comparable)});
+    if (++shown >= 15) break;
+  }
+  std::printf("\nhighest-disagreement countries\n");
+  top.Print(std::cout);
+}
+
+}  // namespace
+
+GOVDNS_BENCH_MAIN(PrintArtifact)

@@ -1,0 +1,38 @@
+// Figure 3: number of distinct nameserver hostnames in the passive-DNS
+// data, per year 2011-2020 (paper: growth pattern similar to Fig. 2).
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/mining.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using govdns::bench::BenchEnv;
+
+void BM_NameserversPerYear(benchmark::State& state) {
+  auto& env = BenchEnv::Get();
+  const auto& dataset = env.mined();
+  for (auto _ : state) {
+    auto counts = govdns::core::CountPerYear(dataset);
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_NameserversPerYear)->Unit(benchmark::kMillisecond);
+
+void PrintArtifact() {
+  auto& env = BenchEnv::Get();
+  auto counts = govdns::core::CountPerYear(env.mined());
+  govdns::util::TextTable table({"Year", "Nameserver hostnames"});
+  for (const auto& row : counts) {
+    table.AddRow({std::to_string(row.year),
+                  govdns::util::WithCommas(row.nameservers)});
+  }
+  std::printf("\nFig. 3 — distinct nameserver hostnames in PDNS per year\n");
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+GOVDNS_BENCH_MAIN(PrintArtifact)

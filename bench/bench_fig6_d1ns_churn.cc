@@ -1,0 +1,46 @@
+// Figure 6: churn of single-nameserver domains (d_1NS), 2012-2020.
+//
+// Paper anchors: the share of each year's d_1NS that were already d_1NS in
+// 2011 declines steadily (21% overlap by 2020); 14-23% of each year's d_1NS
+// are new relative to the previous year; 2011's cohort gradually disappears.
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/mining.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using govdns::bench::BenchEnv;
+
+void BM_D1nsChurn(benchmark::State& state) {
+  auto& env = BenchEnv::Get();
+  const auto& dataset = env.mined();
+  for (auto _ : state) {
+    auto churn = govdns::core::D1nsChurn(dataset);
+    benchmark::DoNotOptimize(churn);
+  }
+}
+BENCHMARK(BM_D1nsChurn)->Unit(benchmark::kMillisecond);
+
+void PrintArtifact() {
+  auto& env = BenchEnv::Get();
+  auto churn = govdns::core::D1nsChurn(env.mined());
+  govdns::util::TextTable table({"Year", "d_1NS", "overlap w/ 2011",
+                                 "new vs prev year", "2011 cohort gone"});
+  for (const auto& row : churn) {
+    table.AddRow({std::to_string(row.year),
+                  govdns::util::WithCommas(row.d1ns_total),
+                  govdns::util::Percent(row.pct_overlap_2011),
+                  govdns::util::Percent(row.pct_new_vs_prev),
+                  govdns::util::Percent(row.pct_2011_cohort_gone)});
+  }
+  std::printf("\nFig. 6 — d_1NS churn (paper: overlap falls to 21%% by 2020;"
+              " 14-23%% new per year)\n");
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+GOVDNS_BENCH_MAIN(PrintArtifact)

@@ -1,0 +1,56 @@
+// Figure 8: percentage of single-nameserver domains with no authoritative
+// response, overall and for the most affected d_gov.
+//
+// Paper anchors: 60.1% of d_1NS found in active measurements never gave an
+// authoritative answer; for several countries (Indonesia, Kyrgyzstan,
+// Mexico, ...) the share exceeds half.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/analysis.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using govdns::bench::BenchEnv;
+
+void BM_AnalyzeReplication(benchmark::State& state) {
+  auto& env = BenchEnv::Get();
+  const auto& dataset = env.active();
+  for (auto _ : state) {
+    auto summary = govdns::core::AnalyzeReplication(dataset);
+    benchmark::DoNotOptimize(summary);
+  }
+}
+BENCHMARK(BM_AnalyzeReplication)->Unit(benchmark::kMillisecond);
+
+void PrintArtifact() {
+  auto& env = BenchEnv::Get();
+  auto summary = govdns::core::AnalyzeReplication(env.active());
+  std::printf("\nFig. 8 — stale d_1NS (no authoritative response)\n");
+  std::printf("overall: %s of %lld d_1NS   (paper: 60.1%%)\n",
+              govdns::util::Percent(summary.d1ns_stale_pct).c_str(),
+              static_cast<long long>(summary.d1ns_count));
+
+  auto rows = summary.by_country;
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.d1ns_stale > b.d1ns_stale;
+  });
+  govdns::util::TextTable table({"Country", "d_1NS", "stale", "stale %"});
+  int shown = 0;
+  for (const auto& row : rows) {
+    if (row.d1ns < 3) continue;  // skip tiny denominators
+    table.AddRow({row.code, std::to_string(row.d1ns),
+                  std::to_string(row.d1ns_stale),
+                  govdns::util::Percent(double(row.d1ns_stale) /
+                                        double(row.d1ns))});
+    if (++shown >= 15) break;
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+GOVDNS_BENCH_MAIN(PrintArtifact)

@@ -1,0 +1,67 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace govdns::bench {
+
+BenchEnv& BenchEnv::Get() {
+  static BenchEnv env;
+  return env;
+}
+
+BenchEnv::BenchEnv() {
+  if (const char* s = std::getenv("GOVDNS_SCALE")) {
+    scale_ = std::atof(s);
+    if (scale_ <= 0.0) scale_ = 1.0;
+  }
+  std::fprintf(stderr, "[bench] building world at scale %.3f ...\n", scale_);
+  worldgen::WorldConfig config;
+  config.scale = scale_;
+  world_ = worldgen::BuildWorld(config);
+  bound_ = worldgen::MakeStudy(*world_);
+  std::fprintf(stderr, "[bench] world ready: %zu domains, %zu endpoints\n",
+               world_->domains().size(), world_->network().endpoint_count());
+}
+
+const std::vector<core::SeedDomain>& BenchEnv::seeds() {
+  if (!selected_) {
+    bound_.study->RunSelection();
+    selected_ = true;
+  }
+  return bound_.study->seeds();
+}
+
+const core::MinedDataset& BenchEnv::mined() {
+  seeds();
+  if (!mined_done_) {
+    std::fprintf(stderr, "[bench] mining passive DNS ...\n");
+    bound_.study->RunMining();
+    mined_done_ = true;
+  }
+  return bound_.study->mined();
+}
+
+const core::ActiveDataset& BenchEnv::active() {
+  mined();
+  if (!active_done_) {
+    std::fprintf(stderr, "[bench] running active measurement ...\n");
+    bound_.study->RunActiveMeasurement();
+    active_done_ = true;
+    std::fprintf(stderr, "[bench] measurement done (%llu queries)\n",
+                 static_cast<unsigned long long>(
+                     bound_.study->resolver().queries_sent()));
+  }
+  return bound_.study->active();
+}
+
+int BenchMain(int argc, char** argv, void (*print_artifact)()) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (print_artifact != nullptr) print_artifact();
+  return 0;
+}
+
+}  // namespace govdns::bench

@@ -1,0 +1,54 @@
+// Shared environment for the benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper. They all
+// share one lazily-built world + study pipeline so google-benchmark times
+// only the analysis under test, not world generation. Scale defaults to the
+// paper's global scale (1.0, ~190k domains in the 2020 PDNS snapshot); set
+// GOVDNS_SCALE to run smaller.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/study.h"
+#include "worldgen/adapter.h"
+#include "worldgen/world.h"
+
+namespace govdns::bench {
+
+class BenchEnv {
+ public:
+  // Singleton; first call builds the world (and prints a note to stderr).
+  static BenchEnv& Get();
+
+  worldgen::World& world() { return *world_; }
+  core::Study& study() { return *bound_.study; }
+
+  // Stage accessors; each runs its stage on first use.
+  const std::vector<core::SeedDomain>& seeds();
+  const core::MinedDataset& mined();
+  const core::ActiveDataset& active();
+
+  double scale() const { return scale_; }
+
+ private:
+  BenchEnv();
+
+  double scale_ = 1.0;
+  std::unique_ptr<worldgen::World> world_;
+  worldgen::BoundStudy bound_;
+  bool selected_ = false;
+  bool mined_done_ = false;
+  bool active_done_ = false;
+};
+
+// Standard main body: run benchmarks, then emit the artifact via `print`.
+int BenchMain(int argc, char** argv, void (*print_artifact)());
+
+#define GOVDNS_BENCH_MAIN(print_artifact)                      \
+  int main(int argc, char** argv) {                            \
+    return ::govdns::bench::BenchMain(argc, argv, print_artifact); \
+  }
+
+}  // namespace govdns::bench

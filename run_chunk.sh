@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo || exit 1
+mkdir -p results/full
+for n in "$@"; do
+  echo "=== $n ==="
+  ./build/bench/$n > results/full/$n.txt 2>&1
+  echo "done $n rc=$?"
+done

@@ -1,0 +1,236 @@
+#include "core/export.h"
+
+#include <sstream>
+
+#include "util/json.h"
+
+namespace govdns::core {
+
+namespace {
+
+void WriteProviderTable(util::JsonWriter& json, const ProviderYearTable& t) {
+  json.BeginObject();
+  json.Kv("year", t.year);
+  json.Kv("total_domains", t.total_domains);
+  json.Kv("total_groups", t.total_groups);
+  json.Key("rows").BeginArray();
+  for (const auto& row : t.rows) {
+    if (row.domains == 0) continue;
+    json.BeginObject();
+    json.Kv("provider", row.group_key);
+    json.Kv("domains", row.domains);
+    json.Kv("d1p", row.d1p);
+    json.Kv("groups", row.groups);
+    json.Kv("countries", row.countries);
+    json.Kv("major", row.major);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string ExportReportJson(const StudyReport& report) {
+  util::JsonWriter json;
+  json.BeginObject();
+
+  json.Key("selection").BeginObject();
+  json.Kv("countries", report.selection.total);
+  json.Kv("broken_links", report.selection.broken_links);
+  json.Kv("squatted_links", report.selection.squatted_links);
+  json.Kv("msq_fallbacks", report.selection.msq_fallbacks);
+  json.Kv("registered_domain_fallbacks",
+          report.selection.registered_domain_fallbacks);
+  json.EndObject();
+
+  json.Key("pdns_per_year").BeginArray();
+  for (const auto& row : report.pdns_per_year) {
+    json.BeginObject();
+    json.Kv("year", row.year);
+    json.Kv("domains", row.domains);
+    json.Kv("countries", row.countries);
+    json.Kv("nameservers", row.nameservers);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("funnel").BeginObject();
+  json.Kv("queried", report.funnel.queried);
+  json.Kv("parent_responded", report.funnel.parent_responded);
+  json.Kv("parent_has_records", report.funnel.parent_has_records);
+  json.Kv("child_authoritative", report.funnel.child_authoritative);
+  json.EndObject();
+
+  json.Key("replication").BeginObject();
+  json.Kv("domains_considered", report.replication.domains_considered);
+  json.Kv("pct_at_least_two", report.replication.pct_at_least_two);
+  json.Kv("d1ns_count", report.replication.d1ns_count);
+  json.Kv("d1ns_stale_pct", report.replication.d1ns_stale_pct);
+  json.Key("ns_count_cdf").BeginArray();
+  for (const auto& [count, cdf] : report.replication.ns_count_cdf) {
+    json.BeginObject();
+    json.Kv("ns", count);
+    json.Kv("cdf", cdf);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  json.Key("diversity").BeginArray();
+  for (const auto& row : report.diversity) {
+    json.BeginObject();
+    json.Kv("label", row.label);
+    json.Kv("domains", row.domains);
+    json.Kv("pct_multi_ip", row.pct_multi_ip);
+    json.Kv("pct_multi_24", row.pct_multi_24);
+    json.Kv("pct_multi_asn", row.pct_multi_asn);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("d1ns_churn").BeginArray();
+  for (const auto& row : report.d1ns_churn) {
+    json.BeginObject();
+    json.Kv("year", row.year);
+    json.Kv("d1ns", row.d1ns_total);
+    json.Kv("pct_overlap_2011", row.pct_overlap_2011);
+    json.Kv("pct_new_vs_prev", row.pct_new_vs_prev);
+    json.Kv("pct_2011_cohort_gone", row.pct_2011_cohort_gone);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("private_share").BeginArray();
+  for (const auto& row : report.private_share) {
+    json.BeginObject();
+    json.Kv("year", row.year);
+    json.Kv("pct_d1ns_private", row.pct_d1ns_private);
+    json.Kv("pct_all_private", row.pct_all_private);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("providers").BeginObject();
+  json.Key("first_year");
+  WriteProviderTable(json, report.providers_first_year);
+  json.Key("last_year");
+  WriteProviderTable(json, report.providers_last_year);
+  json.EndObject();
+
+  json.Key("delegations").BeginObject();
+  json.Kv("domains_considered", report.delegations.domains_considered);
+  json.Kv("partially_defective", report.delegations.partially_defective);
+  json.Kv("fully_defective", report.delegations.fully_defective);
+  json.Key("by_country").BeginArray();
+  for (const auto& row : report.delegations.by_country) {
+    json.BeginObject();
+    json.Kv("country", row.code);
+    json.Kv("domains", row.domains);
+    json.Kv("partial", row.partial);
+    json.Kv("full", row.full);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  json.Key("hijack").BeginObject();
+  json.Kv("candidate_ns_domains", report.hijack.candidate_ns_domains);
+  json.Kv("available_ns_domains", report.hijack.available_ns_domains);
+  json.Kv("affected_domains", report.hijack.affected_domains);
+  json.Kv("affected_countries", report.hijack.affected_countries);
+  json.Kv("multi_country_ns_domains", report.hijack.multi_country_ns_domains);
+  json.Kv("dangling_available_ns", report.hijack.dangling_available_ns);
+  json.Kv("dangling_domains", report.hijack.dangling_domains);
+  json.Kv("dangling_countries", report.hijack.dangling_countries);
+  json.Key("prices_usd").BeginArray();
+  for (double p : report.hijack.prices_usd) json.Double(p);
+  json.EndArray();
+  json.EndObject();
+
+  json.Key("consistency").BeginObject();
+  json.Kv("comparable", report.consistency.comparable);
+  json.Kv("pct_equal", report.consistency.pct_equal);
+  json.Kv("pct_disagree_with_partial_defect",
+          report.consistency.pct_disagree_with_partial_defect);
+  json.Key("classes").BeginObject();
+  for (const auto& [klass, count] : report.consistency.counts) {
+    switch (klass) {
+      case ConsistencyClass::kEqual:
+        json.Kv("equal", count);
+        break;
+      case ConsistencyClass::kChildSuperset:
+        json.Kv("child_superset", count);
+        break;
+      case ConsistencyClass::kParentSuperset:
+        json.Kv("parent_superset", count);
+        break;
+      case ConsistencyClass::kOverlapNeither:
+        json.Kv("overlap_neither", count);
+        break;
+      case ConsistencyClass::kDisjointSharedIp:
+        json.Kv("disjoint_shared_ip", count);
+        break;
+      case ConsistencyClass::kDisjoint:
+        json.Kv("disjoint", count);
+        break;
+      case ConsistencyClass::kNotComparable:
+        break;
+    }
+  }
+  json.EndObject();
+  json.EndObject();
+
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string ExportCsv(const StudyReport& report, const std::string& table) {
+  std::ostringstream os;
+  if (table == "pdns_per_year") {
+    os << "year,domains,countries,nameservers\n";
+    for (const auto& row : report.pdns_per_year) {
+      os << row.year << ',' << row.domains << ',' << row.countries << ','
+         << row.nameservers << '\n';
+    }
+  } else if (table == "d1ns_churn") {
+    os << "year,d1ns,pct_overlap_2011,pct_new_vs_prev,pct_2011_cohort_gone\n";
+    for (const auto& row : report.d1ns_churn) {
+      os << row.year << ',' << row.d1ns_total << ',' << row.pct_overlap_2011
+         << ',' << row.pct_new_vs_prev << ',' << row.pct_2011_cohort_gone
+         << '\n';
+    }
+  } else if (table == "private_share") {
+    os << "year,pct_d1ns_private,pct_all_private\n";
+    for (const auto& row : report.private_share) {
+      os << row.year << ',' << row.pct_d1ns_private << ','
+         << row.pct_all_private << '\n';
+    }
+  } else if (table == "diversity") {
+    os << "label,domains,pct_multi_ip,pct_multi_24,pct_multi_asn\n";
+    for (const auto& row : report.diversity) {
+      os << row.label << ',' << row.domains << ',' << row.pct_multi_ip << ','
+         << row.pct_multi_24 << ',' << row.pct_multi_asn << '\n';
+    }
+  } else if (table == "delegations_by_country") {
+    os << "country,domains,partial,full\n";
+    for (const auto& row : report.delegations.by_country) {
+      os << row.code << ',' << row.domains << ',' << row.partial << ','
+         << row.full << '\n';
+    }
+  } else if (table == "hijack_by_country") {
+    os << "country,affected_domains,available_ns_domains\n";
+    for (const auto& row : report.hijack.by_country) {
+      os << row.code << ',' << row.affected_domains << ','
+         << row.available_ns_domains << '\n';
+    }
+  } else if (table == "consistency_by_country") {
+    os << "country,comparable,disagree\n";
+    for (const auto& row : report.consistency.by_country) {
+      os << row.code << ',' << row.comparable << ',' << row.disagree << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace govdns::core

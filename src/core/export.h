@@ -1,0 +1,27 @@
+// Machine-readable export of study results.
+//
+// ExportReportJson turns a StudyReport into one JSON document carrying
+// every figure/table series the paper reports; downstream tooling (plots,
+// dashboards, regression tracking) consumes this instead of scraping the
+// text tables.
+#pragma once
+
+#include <string>
+
+#include "core/report.h"
+
+namespace govdns::core {
+
+// The complete report as a single JSON object. Stable key layout:
+//   selection{}, pdns_per_year[], funnel{}, replication{}, diversity[],
+//   d1ns_churn[], private_share[], providers{first_year,last_year}[],
+//   delegations{by_country[]}, hijack{}, consistency{}.
+std::string ExportReportJson(const StudyReport& report);
+
+// One analysis table as CSV (matching the bench tables): selector is one of
+// "pdns_per_year", "d1ns_churn", "private_share", "diversity",
+// "delegations_by_country", "hijack_by_country", "consistency_by_country".
+// Unknown selectors return an empty string.
+std::string ExportCsv(const StudyReport& report, const std::string& table);
+
+}  // namespace govdns::core

@@ -1,0 +1,218 @@
+#include "core/measure.h"
+
+#include <algorithm>
+#include <set>
+
+namespace govdns::core {
+
+std::vector<geo::IPv4> MeasurementResult::NsAddresses() const {
+  std::vector<geo::IPv4> out;
+  for (const NsHostResult& h : hosts) {
+    out.insert(out.end(), h.addresses.begin(), h.addresses.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<dns::Name> MeasurementResult::AllNs() const {
+  std::set<dns::Name> names(parent_ns.begin(), parent_ns.end());
+  names.insert(child_ns.begin(), child_ns.end());
+  return {names.begin(), names.end()};
+}
+
+ActiveMeasurer::ActiveMeasurer(IterativeResolver* resolver,
+                               MeasurerOptions options)
+    : resolver_(resolver), options_(options) {
+  GOVDNS_CHECK(resolver != nullptr);
+}
+
+MeasurementResult ActiveMeasurer::Measure(const dns::Name& domain) {
+  MeasurementResult result;
+  result.domain = domain;
+
+  // --- Step 1: find and query the parent zone's servers. ------------------
+  auto parent = resolver_->FindEnclosingZoneServers(domain);
+  if (!parent.ok()) return result;  // parent unreachable / unresolvable
+  result.parent_located = true;
+  result.parent_zone = parent->zone;
+
+  std::set<dns::Name> parent_set;
+  std::vector<dns::ResourceRecord> parent_glue;
+  for (geo::IPv4 server : parent->addresses) {
+    ServerReply reply = resolver_->QueryServer(server, domain, dns::RRType::kNS);
+    switch (reply.outcome) {
+      case QueryOutcome::kTimeout:
+      case QueryOutcome::kUnreachable:
+      case QueryOutcome::kMalformed:
+        continue;
+      default:
+        result.parent_responded = true;
+        break;
+    }
+    const dns::Message& m = *reply.message;
+    if (reply.outcome == QueryOutcome::kReferral) {
+      for (const dns::ResourceRecord& rr : m.authority) {
+        if (rr.type() == dns::RRType::kNS && rr.name == domain) {
+          parent_set.insert(std::get<dns::NsRdata>(rr.rdata).nameserver);
+        }
+      }
+      for (const dns::ResourceRecord& rr : m.additional) {
+        if (rr.type() == dns::RRType::kA) parent_glue.push_back(rr);
+      }
+    } else if (reply.outcome == QueryOutcome::kAuthAnswer) {
+      // Parent and child on the same servers: the "parent view" is already
+      // the child's authoritative data (§IV-D cannot distinguish them).
+      result.parent_answered_authoritatively = true;
+      for (const dns::ResourceRecord& rr : m.answers) {
+        if (rr.type() == dns::RRType::kNS && rr.name == domain) {
+          parent_set.insert(std::get<dns::NsRdata>(rr.rdata).nameserver);
+        }
+      }
+    }
+    // kAuthNegative / kRefused / kNonAuthAnswer contribute no records.
+  }
+  result.parent_ns.assign(parent_set.begin(), parent_set.end());
+  result.parent_has_records = !result.parent_ns.empty();
+  if (!result.parent_has_records) return result;
+
+  // Stash referral glue into the resolver-independent host map later; keep
+  // a local index for address resolution.
+  std::map<dns::Name, std::vector<geo::IPv4>> glue_index;
+  for (const dns::ResourceRecord& rr : parent_glue) {
+    glue_index[rr.name].push_back(std::get<dns::ARdata>(rr.rdata).address);
+  }
+
+  // --- Steps 3-5: query the domain's own servers. --------------------------
+  std::set<dns::Name> seen_hosts;
+  for (const dns::Name& ns : result.parent_ns) {
+    NsHostResult host;
+    host.host = ns;
+    host.in_parent_set = true;
+    if (auto it = glue_index.find(ns); it != glue_index.end()) {
+      host.addresses = it->second;
+    }
+    result.hosts.push_back(std::move(host));
+    seen_hosts.insert(ns);
+  }
+
+  QueryChildServers(result);
+
+  // Newly discovered child-side NS hostnames get queried too (step 4).
+  bool added = false;
+  for (const dns::Name& ns : result.child_ns) {
+    if (seen_hosts.insert(ns).second) {
+      NsHostResult host;
+      host.host = ns;
+      host.in_child_set = true;
+      result.hosts.push_back(std::move(host));
+      added = true;
+    }
+  }
+  for (NsHostResult& host : result.hosts) {
+    if (std::find(result.child_ns.begin(), result.child_ns.end(), host.host) !=
+        result.child_ns.end()) {
+      host.in_child_set = true;
+    }
+  }
+  if (added) QueryChildServers(result);
+
+  // --- Round 2 (§III-B): parent had records but no child ever answered. ---
+  if (options_.second_round && !result.child_any_authoritative) {
+    result.rounds = 2;
+    QueryChildServers(result);
+  }
+
+  return result;
+}
+
+void ActiveMeasurer::QueryChildServers(MeasurementResult& result) {
+  for (NsHostResult& host : result.hosts) {
+    if (host.status == NsHostStatus::kAuthoritative) continue;
+
+    if (host.addresses.empty()) {
+      auto addrs = resolver_->ResolveAddresses(host.host);
+      if (addrs.ok()) host.addresses = *addrs;
+    }
+    if (host.addresses.empty()) {
+      host.status = NsHostStatus::kUnresolvable;
+      continue;
+    }
+
+    NsHostStatus best = NsHostStatus::kNoResponse;
+    auto better = [](NsHostStatus a, NsHostStatus b) {
+      auto rank = [](NsHostStatus s) {
+        switch (s) {
+          case NsHostStatus::kAuthoritative: return 4;
+          case NsHostStatus::kNonAuthoritative: return 3;
+          case NsHostStatus::kRefused: return 2;
+          case NsHostStatus::kNoResponse: return 1;
+          case NsHostStatus::kUnresolvable: return 0;
+        }
+        return 0;
+      };
+      return rank(a) > rank(b) ? a : b;
+    };
+
+    for (geo::IPv4 addr : host.addresses) {
+      ServerReply reply =
+          resolver_->QueryServer(addr, result.domain, dns::RRType::kNS);
+      switch (reply.outcome) {
+        case QueryOutcome::kAuthAnswer: {
+          best = NsHostStatus::kAuthoritative;
+          result.child_any_authoritative = true;
+          for (const dns::ResourceRecord& rr : reply.message->answers) {
+            if (rr.type() == dns::RRType::kNS && rr.name == result.domain) {
+              const dns::Name& target =
+                  std::get<dns::NsRdata>(rr.rdata).nameserver;
+              if (std::find(result.child_ns.begin(), result.child_ns.end(),
+                            target) == result.child_ns.end()) {
+                result.child_ns.push_back(target);
+              }
+            }
+          }
+          if (options_.collect_soa && !result.soa.has_value()) {
+            ServerReply soa_reply =
+                resolver_->QueryServer(addr, result.domain, dns::RRType::kSOA);
+            if (soa_reply.outcome == QueryOutcome::kAuthAnswer) {
+              for (const dns::ResourceRecord& rr : soa_reply.message->answers) {
+                if (rr.type() == dns::RRType::kSOA) {
+                  result.soa = std::get<dns::SoaRdata>(rr.rdata);
+                  break;
+                }
+              }
+            }
+          }
+          break;
+        }
+        case QueryOutcome::kAuthNegative:
+        case QueryOutcome::kNonAuthAnswer:
+        case QueryOutcome::kReferral:
+          best = better(best, NsHostStatus::kNonAuthoritative);
+          break;
+        case QueryOutcome::kRefused:
+          best = better(best, NsHostStatus::kRefused);
+          break;
+        case QueryOutcome::kTimeout:
+        case QueryOutcome::kUnreachable:
+        case QueryOutcome::kMalformed:
+          best = better(best, NsHostStatus::kNoResponse);
+          break;
+      }
+      if (best == NsHostStatus::kAuthoritative) break;
+    }
+    host.status = best;
+  }
+}
+
+std::vector<MeasurementResult> ActiveMeasurer::MeasureAll(
+    const std::vector<dns::Name>& domains) {
+  std::vector<MeasurementResult> out;
+  out.reserve(domains.size());
+  for (const dns::Name& domain : domains) {
+    out.push_back(Measure(domain));
+  }
+  return out;
+}
+
+}  // namespace govdns::core

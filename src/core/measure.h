@@ -1,0 +1,96 @@
+// Active measurement of a domain's authoritative-DNS deployment — the
+// paper's Fig. 1 procedure:
+//
+//   (1) locate the authoritative servers of the domain's parent zone and
+//       query them for the domain's NS records;
+//   (2) on a referral (or authoritative answer), collect the parent-side
+//       NS set P;
+//   (3) query the domain's own authoritative servers for its NS records;
+//   (4) combine the child-side NS set C with P;
+//   (5) resolve every nameserver hostname in P ∪ C to IPv4 addresses and
+//       query each address for the domain's NS records, recording per-host
+//       response status.
+//
+// A second round re-queries domains whose parent returned NS records but
+// whose child servers never answered, to rule out transient loss (§III-B).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/resolver.h"
+#include "dns/rr.h"
+
+namespace govdns::core {
+
+// Condition of one nameserver hostname with respect to one domain.
+enum class NsHostStatus {
+  kAuthoritative,   // answered the domain's NS query with AA
+  kNonAuthoritative,// responded, but without authority (or empty)
+  kRefused,         // responded REFUSED/SERVFAIL
+  kNoResponse,      // resolved, but no address ever replied
+  kUnresolvable,    // hostname has no A records / cannot be resolved
+};
+
+struct NsHostResult {
+  dns::Name host;
+  std::vector<geo::IPv4> addresses;
+  NsHostStatus status = NsHostStatus::kUnresolvable;
+  bool in_parent_set = false;
+  bool in_child_set = false;
+};
+
+struct MeasurementResult {
+  dns::Name domain;
+
+  // Step 1: the parent zone.
+  bool parent_located = false;    // found + reached the parent zone servers
+  dns::Name parent_zone;
+  bool parent_responded = false;  // >=1 parent server answered the NS query
+  bool parent_has_records = false;  // the answer/referral named this domain
+  // True when the parent's servers answered authoritatively for the domain
+  // itself (parent and child hosted on the same servers).
+  bool parent_answered_authoritatively = false;
+
+  std::vector<dns::Name> parent_ns;  // P
+  std::vector<dns::Name> child_ns;   // C (union over authoritative answers)
+  bool child_any_authoritative = false;
+
+  std::vector<NsHostResult> hosts;  // per hostname in P ∪ C
+
+  std::optional<dns::SoaRdata> soa;  // from an authoritative child server
+  int rounds = 1;
+
+  // All distinct addresses of the domain's nameservers (for Table I).
+  std::vector<geo::IPv4> NsAddresses() const;
+  // Convenience: the union P ∪ C.
+  std::vector<dns::Name> AllNs() const;
+};
+
+struct MeasurerOptions {
+  bool second_round = true;  // re-query silent children (§III-B)
+  bool collect_soa = true;
+};
+
+class ActiveMeasurer {
+ public:
+  using Options = MeasurerOptions;
+
+  ActiveMeasurer(IterativeResolver* resolver,
+                 MeasurerOptions options = MeasurerOptions());
+
+  MeasurementResult Measure(const dns::Name& domain);
+
+  // Runs Measure over a list (the paper's 147k-domain query list).
+  std::vector<MeasurementResult> MeasureAll(
+      const std::vector<dns::Name>& domains);
+
+ private:
+  void QueryChildServers(MeasurementResult& result);
+
+  IterativeResolver* resolver_;
+  Options options_;
+};
+
+}  // namespace govdns::core

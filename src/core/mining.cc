@@ -1,0 +1,270 @@
+#include "core/mining.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "util/stats.h"
+
+namespace govdns::core {
+
+PdnsMiner::PdnsMiner(const pdns::PdnsDatabase* db, MiningConfig config)
+    : db_(db), config_(config) {
+  GOVDNS_CHECK(db != nullptr);
+  GOVDNS_CHECK(config.first_year <= config.last_year);
+}
+
+bool PdnsMiner::LooksDisposable(const dns::Name& name) {
+  if (name.IsRoot()) return false;
+  const std::string& label = name.Label(0);
+  // Machine-generated pattern: "...-xxxxxx" with a hex tail.
+  if (label.size() < 8) return false;
+  if (label[label.size() - 7] != '-') return false;
+  for (size_t i = label.size() - 6; i < label.size(); ++i) {
+    char c = label[i];
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+MinedDataset PdnsMiner::Mine(const std::vector<SeedDomain>& seeds) {
+  MinedDataset out;
+  out.config = config_;
+  const int years = config_.year_count();
+
+  std::unordered_map<std::string, int32_t> intern;
+  auto intern_ns = [&](const std::string& ns) -> int32_t {
+    auto [it, inserted] =
+        intern.emplace(ns, static_cast<int32_t>(out.ns_names.size()));
+    if (inserted) out.ns_names.push_back(ns);
+    return it->second;
+  };
+
+  // Precomputed year boundaries.
+  std::vector<util::CivilDay> year_start(years), year_end(years);
+  for (int y = 0; y < years; ++y) {
+    year_start[y] = util::YearStart(config_.first_year + y);
+    year_end[y] = util::YearEnd(config_.first_year + y);
+  }
+
+  for (size_t s = 0; s < seeds.size(); ++s) {
+    // All NS entries (unfiltered: the active-window check uses raw
+    // sightings, as the paper's FQDN extraction did).
+    pdns::Query query;
+    query.type = dns::RRType::kNS;
+    query.min_duration_days = 1;
+    auto entries = db_->WildcardSearch(seeds[s].d_gov, query);
+
+    // Group contiguous runs by owner (WildcardSearch returns canonical
+    // order, so equal names are adjacent).
+    size_t i = 0;
+    while (i < entries.size()) {
+      size_t j = i;
+      while (j < entries.size() && entries[j].rrname == entries[i].rrname) ++j;
+
+      MinedDomain domain;
+      domain.name = entries[i].rrname;
+      domain.country = seeds[s].country;
+      domain.seed_index = static_cast<int>(s);
+      domain.disposable = LooksDisposable(domain.name);
+      domain.years.resize(years);
+
+      for (size_t k = i; k < j; ++k) {
+        const pdns::PdnsEntry& entry = entries[k];
+        if (entry.seen.Overlaps(config_.active_window)) {
+          domain.in_active_window = true;
+        }
+        if (entry.seen.LengthDays() < config_.stability_days) continue;
+        for (int y = 0; y < years; ++y) {
+          if (entry.seen.last < year_start[y] || entry.seen.first > year_end[y])
+            continue;
+          domain.years[y].ns_ids.push_back(intern_ns(entry.rdata));
+        }
+      }
+
+      // Mode of daily counts, per year (paper Fig. 5). A sweep over the
+      // +1/-1 deltas of each stable entry's in-year interval.
+      for (int y = 0; y < years; ++y) {
+        if (domain.years[y].ns_ids.empty()) continue;
+        std::map<util::CivilDay, int> delta;
+        for (size_t k = i; k < j; ++k) {
+          const pdns::PdnsEntry& entry = entries[k];
+          if (entry.seen.LengthDays() < config_.stability_days) continue;
+          util::CivilDay from = std::max(entry.seen.first, year_start[y]);
+          util::CivilDay to = std::min(entry.seen.last, year_end[y]);
+          if (from > to) continue;
+          ++delta[from];
+          --delta[to + 1];
+        }
+        // Walk the sweep, collecting (count, days) runs; mode over days
+        // with at least one active record.
+        std::map<int, int64_t> days_at_count;
+        int current = 0;
+        util::CivilDay prev = year_start[y];
+        for (const auto& [day, d] : delta) {
+          if (current > 0) days_at_count[current] += day - prev;
+          current += d;
+          prev = day;
+        }
+        int value = 0;
+        switch (config_.statistic) {
+          case YearlyStatistic::kMode: {
+            int64_t best_days = 0;
+            for (const auto& [count, day_total] : days_at_count) {
+              if (day_total > best_days) {  // ties -> smaller (map order)
+                best_days = day_total;
+                value = count;
+              }
+            }
+            break;
+          }
+          case YearlyStatistic::kMin:
+            if (!days_at_count.empty()) value = days_at_count.begin()->first;
+            break;
+          case YearlyStatistic::kMax:
+            if (!days_at_count.empty()) value = days_at_count.rbegin()->first;
+            break;
+          case YearlyStatistic::kMean: {
+            int64_t days = 0, weighted = 0;
+            for (const auto& [count, day_total] : days_at_count) {
+              days += day_total;
+              weighted += count * day_total;
+            }
+            if (days > 0) {
+              value = static_cast<int>(
+                  std::lround(double(weighted) / double(days)));
+            }
+            break;
+          }
+        }
+        domain.years[y].mode_ns_count = value;
+        auto& ids = domain.years[y].ns_ids;
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      }
+
+      out.domains.push_back(std::move(domain));
+      i = j;
+    }
+  }
+  return out;
+}
+
+std::vector<dns::Name> PdnsMiner::ActiveQueryList(const MinedDataset& dataset) {
+  std::vector<dns::Name> out;
+  for (const MinedDomain& domain : dataset.domains) {
+    if (!domain.in_active_window) continue;
+    if (dataset.config.filter_disposable && domain.disposable) continue;
+    out.push_back(domain.name);
+  }
+  return out;
+}
+
+std::vector<YearlyCounts> CountPerYear(const MinedDataset& dataset) {
+  const int years = dataset.config.year_count();
+  std::vector<YearlyCounts> out(years);
+  std::vector<std::set<int>> countries(years);
+  std::vector<std::set<int32_t>> nameservers(years);
+  for (int y = 0; y < years; ++y) {
+    out[y].year = dataset.config.first_year + y;
+  }
+  for (const MinedDomain& domain : dataset.domains) {
+    for (int y = 0; y < years; ++y) {
+      if (!domain.HasData(y)) continue;
+      ++out[y].domains;
+      countries[y].insert(domain.country);
+      nameservers[y].insert(domain.years[y].ns_ids.begin(),
+                            domain.years[y].ns_ids.end());
+    }
+  }
+  for (int y = 0; y < years; ++y) {
+    out[y].countries = static_cast<int64_t>(countries[y].size());
+    out[y].nameservers = static_cast<int64_t>(nameservers[y].size());
+  }
+  return out;
+}
+
+std::vector<D1nsChurnRow> D1nsChurn(const MinedDataset& dataset) {
+  const int years = dataset.config.year_count();
+  // Per year: the set of d_1NS (by domain index).
+  std::vector<std::set<size_t>> d1ns(years);
+  std::vector<std::set<size_t>> has_data(years);
+  for (size_t i = 0; i < dataset.domains.size(); ++i) {
+    const MinedDomain& domain = dataset.domains[i];
+    for (int y = 0; y < years; ++y) {
+      if (!domain.HasData(y)) continue;
+      has_data[y].insert(i);
+      if (domain.years[y].mode_ns_count == 1) d1ns[y].insert(i);
+    }
+  }
+  std::vector<D1nsChurnRow> out;
+  for (int y = 0; y < years; ++y) {
+    D1nsChurnRow row;
+    row.year = dataset.config.first_year + y;
+    row.d1ns_total = static_cast<int64_t>(d1ns[y].size());
+    if (y > 0 && !d1ns[y].empty()) {
+      int64_t overlap_2011 = 0, fresh = 0;
+      for (size_t i : d1ns[y]) {
+        if (d1ns[0].contains(i)) ++overlap_2011;
+        if (!d1ns[y - 1].contains(i)) ++fresh;
+      }
+      row.pct_overlap_2011 = double(overlap_2011) / double(d1ns[y].size());
+      row.pct_new_vs_prev = double(fresh) / double(d1ns[y].size());
+    }
+    if (y > 0 && !d1ns[0].empty()) {
+      int64_t gone = 0;
+      for (size_t i : d1ns[0]) {
+        if (!has_data[y].contains(i)) ++gone;
+      }
+      row.pct_2011_cohort_gone = double(gone) / double(d1ns[0].size());
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<PrivateShareRow> PrivateShare(
+    const MinedDataset& dataset, const std::vector<SeedDomain>& seeds) {
+  const int years = dataset.config.year_count();
+  std::vector<int64_t> d1ns_total(years, 0), d1ns_private(years, 0);
+  std::vector<int64_t> all_total(years, 0), all_private(years, 0);
+
+  // Cache: interned ns id -> parsed name (for the subdomain check).
+  std::vector<std::optional<bool>> scratch;
+  for (const MinedDomain& domain : dataset.domains) {
+    const dns::Name& d_gov = seeds[domain.seed_index].d_gov;
+    for (int y = 0; y < years; ++y) {
+      if (!domain.HasData(y)) continue;
+      bool all_inside = true;
+      for (int32_t id : domain.years[y].ns_ids) {
+        auto ns = dns::Name::Parse(dataset.NsName(id));
+        if (!ns.ok() || !ns->IsSubdomainOf(d_gov)) {
+          all_inside = false;
+          break;
+        }
+      }
+      ++all_total[y];
+      if (all_inside) ++all_private[y];
+      if (domain.years[y].mode_ns_count == 1) {
+        ++d1ns_total[y];
+        if (all_inside) ++d1ns_private[y];
+      }
+    }
+  }
+  std::vector<PrivateShareRow> out;
+  for (int y = 0; y < years; ++y) {
+    PrivateShareRow row;
+    row.year = dataset.config.first_year + y;
+    if (d1ns_total[y] > 0) {
+      row.pct_d1ns_private = double(d1ns_private[y]) / double(d1ns_total[y]);
+    }
+    if (all_total[y] > 0) {
+      row.pct_all_private = double(all_private[y]) / double(all_total[y]);
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace govdns::core

@@ -1,0 +1,120 @@
+// Passive-DNS mining (§III-B/C, Figures 2, 3, 6, 7).
+//
+// From each seed d_gov, a left-hand wildcard search discovers every zone in
+// the government namespace. Records are stability-filtered (first-seen to
+// last-seen spans at least `stability_days`, default 7 — the largest
+// resolver cache TTL the paper surveys), and each domain-year is summarized
+// by the mode of its daily nameserver counts (paper Fig. 5). The miner also
+// derives the active-measurement query list: domains seen in the collection
+// window, minus disposable-looking names.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "pdns/db.h"
+#include "util/civil_time.h"
+
+namespace govdns::core {
+
+// Which statistic summarizes the daily NS-count list of a domain-year.
+// The paper uses the mode (Fig. 5); the alternatives quantify how much that
+// choice matters (see bench_ablation_nsdaily_stat).
+enum class YearlyStatistic { kMode, kMin, kMax, kMean };
+
+struct MiningConfig {
+  int first_year = 2011;
+  int last_year = 2020;
+  // Minimum record lifetime (inclusive, days) to be considered stable.
+  int stability_days = 7;
+  YearlyStatistic statistic = YearlyStatistic::kMode;
+  // The active-collection window (paper: 2020-01-01 .. 2021-02).
+  util::DayInterval active_window{util::DayFromYmd(2020, 1, 1),
+                                  util::DayFromYmd(2021, 2, 15)};
+  bool filter_disposable = true;
+
+  int year_count() const { return last_year - first_year + 1; }
+};
+
+// One domain-year summary.
+struct YearState {
+  // Mode of the daily NS-count list; 0 = no stable records that year.
+  int mode_ns_count = 0;
+  // Interned ids of the distinct NS hostnames seen (stable records only).
+  std::vector<int32_t> ns_ids;
+};
+
+struct MinedDomain {
+  dns::Name name;
+  int country = -1;    // from the owning seed
+  int seed_index = -1;
+  std::vector<YearState> years;  // indexed by year - first_year
+  bool disposable = false;
+  bool in_active_window = false;
+
+  bool HasData(int year_offset) const {
+    return years[year_offset].mode_ns_count > 0;
+  }
+};
+
+struct MinedDataset {
+  MiningConfig config;
+  std::vector<MinedDomain> domains;
+  std::vector<std::string> ns_names;  // interned hostname table
+
+  const std::string& NsName(int32_t id) const { return ns_names[id]; }
+};
+
+class PdnsMiner {
+ public:
+  PdnsMiner(const pdns::PdnsDatabase* db, MiningConfig config = MiningConfig());
+
+  MinedDataset Mine(const std::vector<SeedDomain>& seeds);
+
+  // The heuristic the pipeline uses in place of the paper's manual
+  // "disposable domains" filtering: machine-generated-looking labels.
+  static bool LooksDisposable(const dns::Name& name);
+
+  // The query list for active measurement.
+  static std::vector<dns::Name> ActiveQueryList(const MinedDataset& dataset);
+
+ private:
+  const pdns::PdnsDatabase* db_;
+  MiningConfig config_;
+};
+
+// ---- Longitudinal aggregates over a mined dataset -------------------------
+
+struct YearlyCounts {
+  int year = 0;
+  int64_t domains = 0;
+  int64_t countries = 0;
+  int64_t nameservers = 0;  // distinct hostnames
+};
+// Figures 2 and 3.
+std::vector<YearlyCounts> CountPerYear(const MinedDataset& dataset);
+
+struct D1nsChurnRow {
+  int year = 0;
+  int64_t d1ns_total = 0;
+  double pct_overlap_2011 = 0.0;   // share of this year's d_1NS also 1-NS in 2011
+  double pct_new_vs_prev = 0.0;    // share not d_1NS the year before
+  double pct_2011_cohort_gone = 0.0;  // of 2011's d_1NS, share w/o data now
+};
+// Figure 6.
+std::vector<D1nsChurnRow> D1nsChurn(const MinedDataset& dataset);
+
+struct PrivateShareRow {
+  int year = 0;
+  double pct_d1ns_private = 0.0;
+  double pct_all_private = 0.0;
+};
+// Figure 7: a domain-year counts as private when every stable NS hostname
+// that year sits inside the domain's own d_gov (a lower bound, as in the
+// paper).
+std::vector<PrivateShareRow> PrivateShare(const MinedDataset& dataset,
+                                          const std::vector<SeedDomain>& seeds);
+
+}  // namespace govdns::core

@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace govdns::core {
+
+StudyReport BuildReport(Study& study,
+                        const std::vector<std::string>& diversity_countries) {
+  GOVDNS_CHECK(study.has_mined() && study.has_active());
+  StudyReport report;
+  report.selection = study.selection_stats();
+  report.pdns_per_year = CountPerYear(study.mined());
+  report.funnel = study.active().ComputeFunnel();
+
+  report.replication = AnalyzeReplication(study.active());
+  report.diversity = AnalyzeDiversity(study.active(), *study.inputs().asn_db,
+                                      diversity_countries);
+  report.d1ns_churn = D1nsChurn(study.mined());
+  report.private_share = PrivateShare(study.mined(), study.seeds());
+
+  static const ProviderMatcher kMatcher(DefaultProviderRules());
+  ProviderAnalyzer analyzer(&kMatcher, study.inputs().countries);
+  report.providers_first_year =
+      analyzer.Analyze(study.mined(), study.mined().config.first_year);
+  report.providers_last_year =
+      analyzer.Analyze(study.mined(), study.mined().config.last_year);
+
+  report.delegations = AnalyzeDelegations(study.active());
+  report.hijack = AnalyzeHijackRisk(study.active(), *study.inputs().psl,
+                                    *study.inputs().registrar);
+  report.consistency = AnalyzeConsistency(study.active());
+  return report;
+}
+
+void PrintReport(const StudyReport& report, std::ostream& os) {
+  using util::Percent;
+  using util::WithCommas;
+
+  os << "== government DNS study report ==\n\n";
+  os << "selection: " << report.selection.total << " countries, "
+     << report.selection.broken_links << " dead portal links, "
+     << report.selection.squatted_links << " squatted, "
+     << report.selection.registered_domain_fallbacks
+     << " registered-domain fallbacks\n";
+
+  const auto& first = report.pdns_per_year.front();
+  const auto& last = report.pdns_per_year.back();
+  os << "passive DNS: " << WithCommas(first.domains) << " domains ("
+     << first.year << ") -> " << WithCommas(last.domains) << " (" << last.year
+     << ")\n";
+  os << "active: " << WithCommas(report.funnel.queried) << " queried, "
+     << WithCommas(report.funnel.parent_responded) << " parent responses, "
+     << WithCommas(report.funnel.parent_has_records) << " with records\n\n";
+
+  os << "-- replication --\n";
+  os << ">=2 nameservers: " << Percent(report.replication.pct_at_least_two)
+     << " of " << WithCommas(report.replication.domains_considered)
+     << " domains\n";
+  os << "d_1NS: " << WithCommas(report.replication.d1ns_count)
+     << ", unresponsive: " << Percent(report.replication.d1ns_stale_pct)
+     << "\n";
+  if (!report.diversity.empty()) {
+    const DiversityRow& total = report.diversity.front();
+    os << "diversity (multi-NS domains): |IP|>1 "
+       << Percent(total.pct_multi_ip) << ", |/24|>1 "
+       << Percent(total.pct_multi_24) << ", |ASN|>1 "
+       << Percent(total.pct_multi_asn) << "\n";
+  }
+
+  os << "\n-- providers --\n";
+  os << "max countries on one provider: "
+     << ProviderAnalyzer::MaxCountriesAnyProvider(report.providers_first_year)
+     << " (" << report.providers_first_year.year << ") -> "
+     << ProviderAnalyzer::MaxCountriesAnyProvider(report.providers_last_year)
+     << " (" << report.providers_last_year.year << ")\n";
+
+  double n = static_cast<double>(report.delegations.domains_considered);
+  os << "\n-- defective delegations --\n";
+  os << "partial: " << Percent(report.delegations.partially_defective / n)
+     << ", full: " << Percent(report.delegations.fully_defective / n) << "\n";
+  os << "registrable d_ns: " << report.hijack.available_ns_domains
+     << " affecting " << report.hijack.affected_domains << " domains in "
+     << report.hijack.affected_countries << " countries\n";
+
+  os << "\n-- parent/child consistency --\n";
+  os << "P = C: " << Percent(report.consistency.pct_equal) << " of "
+     << WithCommas(report.consistency.comparable) << " comparable domains\n";
+  os << "dangling-but-responsive d_ns: "
+     << report.hijack.dangling_available_ns << " ("
+     << report.hijack.dangling_domains << " domains, "
+     << report.hijack.dangling_countries << " countries)\n";
+}
+
+}  // namespace govdns::core

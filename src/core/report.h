@@ -1,0 +1,48 @@
+// Consolidated study report: every §IV analysis over one Study, gathered
+// into a single structure plus a human-readable rendering. This is the
+// highest-level convenience API — examples and downstream tooling that just
+// want "the numbers" use this instead of calling each analyzer.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/analysis.h"
+#include "core/providers.h"
+#include "core/study.h"
+
+namespace govdns::core {
+
+struct StudyReport {
+  // §III: pipeline funnel.
+  SelectionStats selection;
+  std::vector<YearlyCounts> pdns_per_year;     // Figs. 2-3
+  ActiveDataset::Funnel funnel;
+
+  // §IV-A.
+  ReplicationSummary replication;              // Figs. 8-9
+  std::vector<DiversityRow> diversity;         // Table I
+  std::vector<D1nsChurnRow> d1ns_churn;        // Fig. 6
+  std::vector<PrivateShareRow> private_share;  // Fig. 7
+
+  // §IV-B.
+  ProviderYearTable providers_first_year;      // Table II/III inputs
+  ProviderYearTable providers_last_year;
+
+  // §IV-C.
+  DelegationSummary delegations;               // Fig. 10
+  HijackSummary hijack;                        // Figs. 11-12, §IV-D
+
+  // §IV-D.
+  ConsistencySummary consistency;              // Figs. 13-14
+};
+
+// Runs every analysis over a completed study (all three stages must have
+// run). `asn_db`, `psl`, `registrar` come from the study's inputs.
+StudyReport BuildReport(Study& study,
+                        const std::vector<std::string>& diversity_countries);
+
+// Renders the report as the paper's §IV narrative with measured numbers.
+void PrintReport(const StudyReport& report, std::ostream& os);
+
+}  // namespace govdns::core

@@ -1,0 +1,250 @@
+#include "core/resolver.h"
+
+#include <algorithm>
+
+namespace govdns::core {
+
+IterativeResolver::IterativeResolver(dns::QueryTransport* transport,
+                                     std::vector<geo::IPv4> root_hints,
+                                     ResolverOptions options)
+    : transport_(transport), roots_(std::move(root_hints)), options_(options) {
+  GOVDNS_CHECK(transport != nullptr);
+  GOVDNS_CHECK(!roots_.empty());
+}
+
+ServerReply IterativeResolver::QueryServer(geo::IPv4 server,
+                                           const dns::Name& name,
+                                           dns::RRType type) {
+  ServerReply reply;
+  reply.server = server;
+  dns::Message query = dns::MakeQuery(next_id_++, name, type);
+  std::vector<uint8_t> wire = query.Encode();
+
+  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+    ++queries_sent_;
+    auto raw = transport_->Exchange(server, wire);
+    if (!raw.ok()) {
+      reply.outcome = raw.status().code() == util::ErrorCode::kUnavailable
+                          ? QueryOutcome::kUnreachable
+                          : QueryOutcome::kTimeout;
+      if (reply.outcome == QueryOutcome::kTimeout) continue;  // retry
+      return reply;
+    }
+    auto msg = dns::Message::Decode(*raw);
+    if (!msg.ok()) {
+      reply.outcome = QueryOutcome::kMalformed;
+      return reply;
+    }
+    if (msg->header.id != query.header.id) {
+      reply.outcome = QueryOutcome::kMalformed;
+      return reply;
+    }
+    reply.message = *std::move(msg);
+    const dns::Message& m = *reply.message;
+    switch (m.header.rcode) {
+      case dns::Rcode::kNoError:
+        if (!m.answers.empty()) {
+          reply.outcome = m.header.aa ? QueryOutcome::kAuthAnswer
+                                      : QueryOutcome::kNonAuthAnswer;
+        } else if (m.IsReferral()) {
+          reply.outcome = QueryOutcome::kReferral;
+        } else {
+          reply.outcome = m.header.aa ? QueryOutcome::kAuthNegative
+                                      : QueryOutcome::kNonAuthAnswer;
+        }
+        return reply;
+      case dns::Rcode::kNxDomain:
+        reply.outcome = QueryOutcome::kAuthNegative;
+        return reply;
+      default:
+        reply.outcome = QueryOutcome::kRefused;
+        return reply;
+    }
+  }
+  return reply;  // exhausted retries: kTimeout
+}
+
+std::optional<dns::Name> IterativeResolver::ReferralCut(
+    const dns::Message& msg) {
+  for (const dns::ResourceRecord& rr : msg.authority) {
+    if (rr.type() == dns::RRType::kNS) return rr.name;
+  }
+  return std::nullopt;
+}
+
+util::StatusOr<std::vector<geo::IPv4>> IterativeResolver::AddressesForNs(
+    const std::vector<dns::Name>& ns_names,
+    const std::vector<dns::ResourceRecord>& glue, int depth_budget) {
+  std::vector<geo::IPv4> out;
+  std::vector<dns::Name> need_lookup;
+  for (const dns::Name& ns : ns_names) {
+    bool found_glue = false;
+    for (const dns::ResourceRecord& rr : glue) {
+      if (rr.type() == dns::RRType::kA && rr.name == ns) {
+        out.push_back(std::get<dns::ARdata>(rr.rdata).address);
+        found_glue = true;
+      }
+    }
+    if (!found_glue) need_lookup.push_back(ns);
+  }
+  // Glueless targets: full resolution, bounded by depth.
+  if (depth_budget > 0) {
+    for (const dns::Name& ns : need_lookup) {
+      if (!out.empty() && out.size() >= 13) break;
+      auto addrs = ResolveAddressesInternal(ns, depth_budget - 1);
+      if (addrs.ok()) {
+        out.insert(out.end(), addrs->begin(), addrs->end());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.empty()) return util::NotFoundError("no addresses for NS set");
+  return out;
+}
+
+util::StatusOr<IterativeResolver::ZoneServers> IterativeResolver::WalkToZone(
+    const dns::Name& name, bool stop_above, int depth_budget) {
+  if (depth_budget <= 0) return util::InternalError("resolution depth");
+
+  ZoneServers current;
+  current.zone = dns::Name::Root();
+  current.addresses = roots_;
+
+  // Start from the deepest cached ancestor zone (proper ancestor when the
+  // caller wants to stop above the name itself).
+  const size_t max_count = name.LabelCount() - (stop_above ? 1 : 0);
+  for (size_t count = max_count; count > 0; --count) {
+    auto it = cut_cache_.find(name.Suffix(count));
+    if (it != cut_cache_.end() && it->second.reachable) {
+      current.zone = name.Suffix(count);
+      current.ns_names = it->second.ns_names;
+      current.addresses = it->second.addresses;
+      break;
+    }
+  }
+
+  for (int hop = 0; hop < options_.max_referrals; ++hop) {
+    ServerReply usable;
+    bool have_usable = false;
+    for (geo::IPv4 server : current.addresses) {
+      ServerReply r = QueryServer(server, name, dns::RRType::kNS);
+      if (r.outcome == QueryOutcome::kReferral ||
+          r.outcome == QueryOutcome::kAuthAnswer ||
+          r.outcome == QueryOutcome::kAuthNegative ||
+          r.outcome == QueryOutcome::kNonAuthAnswer) {
+        usable = std::move(r);
+        have_usable = true;
+        break;
+      }
+    }
+    if (!have_usable) {
+      return util::UnavailableError("servers of " + current.zone.ToString() +
+                                    " unresponsive");
+    }
+    if (usable.outcome != QueryOutcome::kReferral) {
+      // The current zone's servers answered directly (they host the target
+      // zone too, or the name does not exist): the walk ends here.
+      return current;
+    }
+
+    auto cut = ReferralCut(*usable.message);
+    if (!cut || !name.IsSubdomainOf(*cut) ||
+        !cut->IsProperSubdomainOf(current.zone)) {
+      return util::ParseError("lame referral from " + current.zone.ToString());
+    }
+    if (stop_above && *cut == name) {
+      // The next zone down *is* the name: current servers are its parent's.
+      return current;
+    }
+    std::vector<dns::Name> ns_names;
+    for (const dns::ResourceRecord& rr : usable.message->authority) {
+      if (rr.type() == dns::RRType::kNS && rr.name == *cut) {
+        ns_names.push_back(std::get<dns::NsRdata>(rr.rdata).nameserver);
+      }
+    }
+    auto addrs =
+        AddressesForNs(ns_names, usable.message->additional, depth_budget - 1);
+    if (!addrs.ok()) {
+      cut_cache_[*cut] = CachedCut{ns_names, {}, false};
+      return util::UnavailableError("unresolvable delegation at " +
+                                    cut->ToString());
+    }
+    current.zone = *cut;
+    current.ns_names = ns_names;
+    current.addresses = *addrs;
+    cut_cache_[*cut] = CachedCut{ns_names, *addrs, true};
+  }
+  return util::InternalError("referral chain too long for " + name.ToString());
+}
+
+util::StatusOr<std::vector<dns::ResourceRecord>> IterativeResolver::Resolve(
+    const dns::Name& name, dns::RRType type) {
+  return ResolveInternal(name, type, options_.max_referrals);
+}
+
+util::StatusOr<std::vector<dns::ResourceRecord>>
+IterativeResolver::ResolveInternal(const dns::Name& name, dns::RRType type,
+                                   int depth_budget) {
+  auto zone = WalkToZone(name, /*stop_above=*/false, depth_budget);
+  if (!zone.ok()) return zone.status();
+  for (geo::IPv4 server : zone->addresses) {
+    ServerReply r = QueryServer(server, name, type);
+    switch (r.outcome) {
+      case QueryOutcome::kAuthAnswer:
+      case QueryOutcome::kNonAuthAnswer:
+        return r.message->answers;
+      case QueryOutcome::kAuthNegative:
+        return std::vector<dns::ResourceRecord>{};
+      case QueryOutcome::kReferral: {
+        // A referral here means WalkToZone's terminal server also serves a
+        // deeper zone cut for other names; rare, treat next server.
+        continue;
+      }
+      default:
+        continue;
+    }
+  }
+  return util::UnavailableError("no server answered for " + name.ToString());
+}
+
+util::StatusOr<std::vector<geo::IPv4>> IterativeResolver::ResolveAddresses(
+    const dns::Name& host) {
+  return ResolveAddressesInternal(host, options_.max_referrals);
+}
+
+util::StatusOr<std::vector<geo::IPv4>>
+IterativeResolver::ResolveAddressesInternal(const dns::Name& host,
+                                            int depth_budget) {
+  if (depth_budget <= 0) return util::InternalError("resolution depth");
+  dns::Name current = host;
+  for (int hop = 0; hop <= options_.max_cname_chain; ++hop) {
+    auto records = ResolveInternal(current, dns::RRType::kA, depth_budget - 1);
+    if (!records.ok()) return records.status();
+    std::vector<geo::IPv4> addrs;
+    std::optional<dns::Name> cname;
+    for (const dns::ResourceRecord& rr : *records) {
+      if (rr.type() == dns::RRType::kA) {
+        addrs.push_back(std::get<dns::ARdata>(rr.rdata).address);
+      } else if (rr.type() == dns::RRType::kCNAME) {
+        cname = std::get<dns::CnameRdata>(rr.rdata).target;
+      }
+    }
+    if (!addrs.empty()) {
+      std::sort(addrs.begin(), addrs.end());
+      addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+      return addrs;
+    }
+    if (!cname) return util::NotFoundError("no A records for " + host.ToString());
+    current = *cname;
+  }
+  return util::NotFoundError("CNAME chain too long for " + host.ToString());
+}
+
+util::StatusOr<IterativeResolver::ZoneServers>
+IterativeResolver::FindEnclosingZoneServers(const dns::Name& name) {
+  if (name.IsRoot()) return util::InvalidArgumentError("root has no parent");
+  return WalkToZone(name, /*stop_above=*/true, options_.max_referrals);
+}
+
+}  // namespace govdns::core

@@ -1,0 +1,99 @@
+#include "core/selection.h"
+
+namespace govdns::core {
+
+SeedSelector::SeedSelector(IterativeResolver* resolver,
+                           const registrar::PublicSuffixList* psl,
+                           const RegistryPolicyLookup* policy,
+                           SelectorOptions options)
+    : resolver_(resolver),
+      psl_(psl),
+      policy_(policy),
+      options_(std::move(options)) {
+  GOVDNS_CHECK(resolver != nullptr && psl != nullptr && policy != nullptr);
+}
+
+bool SeedSelector::Resolves(const dns::Name& fqdn) {
+  auto addrs = resolver_->ResolveAddresses(fqdn);
+  return addrs.ok() && !addrs->empty();
+}
+
+bool SeedSelector::LooksSquatted(const dns::Name& fqdn) {
+  auto reg = psl_->RegisteredDomain(fqdn);
+  if (!reg) return false;
+  auto ns_records = resolver_->Resolve(*reg, dns::RRType::kNS);
+  if (!ns_records.ok()) return false;
+  for (const dns::ResourceRecord& rr : *ns_records) {
+    if (rr.type() != dns::RRType::kNS) continue;
+    const dns::Name& ns = std::get<dns::NsRdata>(rr.rdata).nameserver;
+    for (const dns::Name& park : options_.parking_ns_domains) {
+      if (ns.IsSubdomainOf(park)) return true;
+    }
+  }
+  return false;
+}
+
+std::optional<SeedDomain> SeedSelector::ExtractSeed(int country,
+                                                    const dns::Name& fqdn) {
+  // Deepest suffix with documented government restriction.
+  for (size_t count = fqdn.LabelCount() - 1; count >= 1; --count) {
+    dns::Name suffix = fqdn.Suffix(count);
+    auto restricted = policy_->IsRestricted(suffix);
+    if (restricted.has_value() && *restricted) {
+      SeedDomain seed;
+      seed.country = country;
+      seed.d_gov = suffix;
+      seed.verification = SeedVerification::kRegistryPolicy;
+      return seed;
+    }
+  }
+  // No documented restriction anywhere: the registered domain, verified
+  // out-of-band (MSQ / Whois), is the best anchor available.
+  auto reg = psl_->RegisteredDomain(fqdn);
+  if (!reg) return std::nullopt;
+  SeedDomain seed;
+  seed.country = country;
+  seed.d_gov = *reg;
+  seed.verification = SeedVerification::kRegisteredDomain;
+  return seed;
+}
+
+std::vector<SeedDomain> SeedSelector::Select(
+    const std::vector<KnowledgeBaseRecord>& kb, SelectionStats* stats) {
+  SelectionStats local;
+  std::vector<SeedDomain> seeds;
+  for (const KnowledgeBaseRecord& record : kb) {
+    ++local.total;
+    dns::Name fqdn = record.portal_fqdn;
+    bool fallback = false;
+
+    if (!Resolves(fqdn)) {
+      ++local.broken_links;
+      if (record.msq_fqdn && !(*record.msq_fqdn == fqdn)) {
+        fqdn = *record.msq_fqdn;
+        fallback = true;
+      }
+      // A dead link does not block suffix extraction: the FQDN string is
+      // still in the KB page.
+    } else if (LooksSquatted(fqdn)) {
+      ++local.squatted_links;
+      if (record.msq_fqdn) {
+        fqdn = *record.msq_fqdn;
+        fallback = true;
+      }
+    }
+    if (fallback) ++local.msq_fallbacks;
+
+    auto seed = ExtractSeed(record.country, fqdn);
+    if (!seed) continue;
+    seed->used_msq_fallback = fallback;
+    if (seed->verification == SeedVerification::kRegisteredDomain) {
+      ++local.registered_domain_fallbacks;
+    }
+    seeds.push_back(*std::move(seed));
+  }
+  if (stats != nullptr) *stats = local;
+  return seeds;
+}
+
+}  // namespace govdns::core

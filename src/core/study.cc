@@ -1,0 +1,43 @@
+#include "core/study.h"
+
+namespace govdns::core {
+
+Study::Study(StudyInputs inputs)
+    : inputs_(std::move(inputs)),
+      resolver_(inputs_.transport, inputs_.root_hints) {
+  GOVDNS_CHECK(inputs_.transport != nullptr);
+  GOVDNS_CHECK(inputs_.pdns != nullptr);
+  GOVDNS_CHECK(inputs_.psl != nullptr);
+  GOVDNS_CHECK(inputs_.policy != nullptr);
+}
+
+const std::vector<SeedDomain>& Study::RunSelection() {
+  SeedSelector selector(&resolver_, inputs_.psl, inputs_.policy);
+  seeds_ = selector.Select(inputs_.knowledge_base, &selection_stats_);
+  return seeds_;
+}
+
+const MinedDataset& Study::RunMining() {
+  GOVDNS_CHECK(!seeds_.empty());
+  PdnsMiner miner(inputs_.pdns, inputs_.mining);
+  mined_ = std::make_unique<MinedDataset>(miner.Mine(seeds_));
+  return *mined_;
+}
+
+const ActiveDataset& Study::RunActiveMeasurement(MeasurerOptions options) {
+  GOVDNS_CHECK(mined_ != nullptr);
+  std::vector<dns::Name> query_list = PdnsMiner::ActiveQueryList(*mined_);
+  ActiveMeasurer measurer(&resolver_, options);
+  std::vector<MeasurementResult> results = measurer.MeasureAll(query_list);
+  active_ = std::make_unique<ActiveDataset>(
+      ActiveDataset::Build(std::move(results), seeds_, inputs_.countries));
+  return *active_;
+}
+
+void Study::RunAll() {
+  RunSelection();
+  RunMining();
+  RunActiveMeasurement();
+}
+
+}  // namespace govdns::core

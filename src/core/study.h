@@ -1,0 +1,73 @@
+// End-to-end study orchestration: selection -> PDNS mining -> active
+// measurement -> analyses. This is the top-level public API a user of the
+// library drives (see examples/quickstart.cc); each stage can also be run
+// independently for partial studies.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/measure.h"
+#include "core/mining.h"
+#include "core/providers.h"
+#include "core/resolver.h"
+#include "core/selection.h"
+#include "core/types.h"
+
+namespace govdns::core {
+
+struct StudyInputs {
+  // Substrates (a simulated world, or the real Internet via sockets).
+  dns::QueryTransport* transport = nullptr;
+  std::vector<geo::IPv4> root_hints;
+  const pdns::PdnsDatabase* pdns = nullptr;
+  const geo::AsnDatabase* asn_db = nullptr;
+  const registrar::RegistrarClient* registrar = nullptr;
+  const registrar::PublicSuffixList* psl = nullptr;
+  const RegistryPolicyLookup* policy = nullptr;
+
+  // Research inputs.
+  std::vector<KnowledgeBaseRecord> knowledge_base;
+  std::vector<CountryMeta> countries;
+
+  MiningConfig mining;
+};
+
+class Study {
+ public:
+  explicit Study(StudyInputs inputs);
+
+  // §III-A. Must run first.
+  const std::vector<SeedDomain>& RunSelection();
+  // §III-B/C (requires selection).
+  const MinedDataset& RunMining();
+  // Fig. 1 measurements over the mined query list (requires mining).
+  const ActiveDataset& RunActiveMeasurement(
+      MeasurerOptions options = MeasurerOptions());
+
+  // Runs all three stages.
+  void RunAll();
+
+  // --- Results ------------------------------------------------------------
+  const std::vector<SeedDomain>& seeds() const { return seeds_; }
+  const SelectionStats& selection_stats() const { return selection_stats_; }
+  const MinedDataset& mined() const { return *mined_; }
+  const ActiveDataset& active() const { return *active_; }
+  bool has_mined() const { return mined_ != nullptr; }
+  bool has_active() const { return active_ != nullptr; }
+
+  IterativeResolver& resolver() { return resolver_; }
+  const StudyInputs& inputs() const { return inputs_; }
+
+ private:
+  StudyInputs inputs_;
+  IterativeResolver resolver_;
+  std::vector<SeedDomain> seeds_;
+  SelectionStats selection_stats_;
+  std::unique_ptr<MinedDataset> mined_;
+  std::unique_ptr<ActiveDataset> active_;
+};
+
+}  // namespace govdns::core

@@ -1,0 +1,44 @@
+// Shared input types for the analysis pipeline.
+//
+// CountryMeta carries the public UN metadata the paper groups by (sub-
+// region, plus the top-10-by-volume countries split out as their own
+// groups). SeedDomain is the output of §III-A domain selection: one
+// government namespace anchor (d_gov) per country.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+
+namespace govdns::core {
+
+struct CountryMeta {
+  std::string code;       // ccTLD label
+  std::string name;
+  std::string subregion;  // UN M49 sub-region
+  bool top10 = false;     // one of the 10 countries with the most PDNS data
+};
+
+// How a d_gov candidate was validated (§III-A).
+enum class SeedVerification {
+  kRegistryPolicy,      // ccTLD registry documents the suffix as restricted
+  kRegisteredDomain,    // no documentation: fell back to registered domain
+  kMsqCrossCheck,       // validated against the member-state questionnaire
+};
+
+struct SeedDomain {
+  int country = -1;  // index into the CountryMeta list
+  dns::Name d_gov;
+  SeedVerification verification = SeedVerification::kRegistryPolicy;
+  bool used_msq_fallback = false;  // KB link was broken or squatted
+};
+
+// The paper's grouping for Tables II/III: every country in a sub-region
+// forms one group, except top-10 countries, which are their own groups.
+// Returns a group key.
+inline std::string ProviderGroupKey(const CountryMeta& meta) {
+  return meta.top10 ? "country:" + meta.code : "subregion:" + meta.subregion;
+}
+
+}  // namespace govdns::core

@@ -1,0 +1,78 @@
+// DNS messages (RFC 1035 §4): header, question, and the four sections.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "util/status.h"
+
+namespace govdns::dns {
+
+enum class Opcode : uint8_t {
+  kQuery = 0,
+};
+
+enum class Rcode : uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+std::string_view RcodeName(Rcode rcode);
+
+struct Header {
+  uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  Rcode rcode = Rcode::kNoError;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+struct Question {
+  Name name;
+  RRType type = RRType::kA;
+  RRClass klass = RRClass::kIN;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  // Serializes to RFC 1035 wire format with name compression.
+  std::vector<uint8_t> Encode() const;
+
+  static util::StatusOr<Message> Decode(const std::vector<uint8_t>& wire);
+  static util::StatusOr<Message> Decode(const uint8_t* data, size_t len);
+
+  // True when the response is a referral: not authoritative for the
+  // question, no answers, but NS records in the authority section.
+  bool IsReferral() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+// Builds a standard query for (name, type).
+Message MakeQuery(uint16_t id, const Name& name, RRType type);
+
+// Builds a response skeleton echoing the query's id and question.
+Message MakeResponse(const Message& query, Rcode rcode);
+
+}  // namespace govdns::dns

@@ -1,0 +1,130 @@
+#include "dns/name.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace govdns::dns {
+
+bool IsValidLabel(std::string_view label) {
+  if (label.empty() || label.size() > 63) return false;
+  for (char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+util::StatusOr<Name> Name::Parse(std::string_view text) {
+  if (text.empty()) return util::ParseError("empty name");
+  if (text == ".") return Name();
+  if (text.back() == '.') text.remove_suffix(1);
+  std::vector<std::string> labels;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '.') {
+      std::string_view label = text.substr(start, i - start);
+      if (!IsValidLabel(label)) {
+        return util::ParseError("bad label in name: " + std::string(text));
+      }
+      labels.push_back(util::ToLower(label));
+      start = i + 1;
+    }
+  }
+  return FromLabels(std::move(labels));
+}
+
+Name Name::FromString(std::string_view text) {
+  auto parsed = Parse(text);
+  GOVDNS_CHECK(parsed.ok());
+  return *std::move(parsed);
+}
+
+util::StatusOr<Name> Name::FromLabels(std::vector<std::string> labels) {
+  size_t wire_len = 1;
+  for (auto& label : labels) {
+    if (!IsValidLabel(label)) {
+      return util::ParseError("invalid label: " + label);
+    }
+    label = util::ToLower(label);
+    wire_len += 1 + label.size();
+  }
+  if (wire_len > 255) return util::ParseError("name exceeds 255 octets");
+  return Name(std::move(labels));
+}
+
+std::string Name::ToString() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += labels_[i];
+  }
+  return out;
+}
+
+bool Name::IsSubdomainOf(const Name& other) const {
+  if (other.labels_.size() > labels_.size()) return false;
+  // Compare the rightmost labels.
+  return std::equal(other.labels_.rbegin(), other.labels_.rend(),
+                    labels_.rbegin());
+}
+
+bool Name::IsProperSubdomainOf(const Name& other) const {
+  return labels_.size() > other.labels_.size() && IsSubdomainOf(other);
+}
+
+Name Name::Parent() const {
+  GOVDNS_CHECK(!labels_.empty());
+  return Name(std::vector<std::string>(labels_.begin() + 1, labels_.end()));
+}
+
+Name Name::Child(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  auto name = FromLabels(std::move(labels));
+  GOVDNS_CHECK(name.ok());
+  return *std::move(name);
+}
+
+Name Name::Suffix(size_t count) const {
+  GOVDNS_CHECK(count <= labels_.size());
+  return Name(
+      std::vector<std::string>(labels_.end() - count, labels_.end()));
+}
+
+size_t Name::WireLength() const {
+  size_t len = 1;
+  for (const auto& label : labels_) len += 1 + label.size();
+  return len;
+}
+
+std::strong_ordering Name::operator<=>(const Name& other) const {
+  // Canonical ordering: compare labels right to left.
+  size_t n = std::min(labels_.size(), other.labels_.size());
+  for (size_t i = 1; i <= n; ++i) {
+    const std::string& a = labels_[labels_.size() - i];
+    const std::string& b = other.labels_[other.labels_.size() - i];
+    if (auto cmp = a <=> b; cmp != 0) return cmp;
+  }
+  return labels_.size() <=> other.labels_.size();
+}
+
+size_t Name::Hash::operator()(const Name& n) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& label : n.labels_) {
+    h = util::HashString(label, h);
+  }
+  return static_cast<size_t>(h);
+}
+
+std::ostream& operator<<(std::ostream& os, const Name& name) {
+  return os << name.ToString();
+}
+
+}  // namespace govdns::dns

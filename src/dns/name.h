@@ -1,0 +1,86 @@
+// DNS domain names.
+//
+// A Name is an ordered list of labels, least-significant first in
+// presentation order ("www.gov.au" = labels {www, gov, au}). Names are
+// stored lowercased: DNS comparison is ASCII case-insensitive (RFC 1035
+// §2.3.3) and nothing in this codebase needs to preserve the original case.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace govdns::dns {
+
+class Name {
+ public:
+  // The root name (zero labels).
+  Name() = default;
+
+  // Parses presentation format. Accepts an optional trailing dot; "." is the
+  // root. Rejects empty labels, labels > 63 octets, and names > 255 octets.
+  static util::StatusOr<Name> Parse(std::string_view text);
+
+  // Parses or aborts; for literals known to be valid at compile time.
+  static Name FromString(std::string_view text);
+
+  static Name Root() { return Name(); }
+
+  // Builds from labels ordered leftmost-first (e.g. {"www", "gov", "au"}).
+  static util::StatusOr<Name> FromLabels(std::vector<std::string> labels);
+
+  bool IsRoot() const { return labels_.empty(); }
+  size_t LabelCount() const { return labels_.size(); }
+  std::span<const std::string> labels() const { return labels_; }
+  const std::string& Label(size_t i) const { return labels_[i]; }
+
+  // Presentation format without trailing dot; "." for the root.
+  std::string ToString() const;
+
+  // True if *this is `other` or a descendant of it. Every name is a
+  // subdomain of the root.
+  bool IsSubdomainOf(const Name& other) const;
+  // Strict descendant (excludes equality).
+  bool IsProperSubdomainOf(const Name& other) const;
+
+  // Name with the leftmost label removed. Aborts on the root.
+  Name Parent() const;
+
+  // New name with `label` prepended ("mail" + "gov.au" -> "mail.gov.au").
+  // Aborts if the label is invalid or the result exceeds length limits.
+  Name Child(std::string_view label) const;
+
+  // Keeps only the `count` rightmost labels ("a.b.gov.au".Suffix(2) ->
+  // "gov.au"). count must be <= LabelCount().
+  Name Suffix(size_t count) const;
+
+  // Total wire length in octets: sum of (1 + label size) + 1 root byte.
+  size_t WireLength() const;
+
+  // Lexicographic by label from the right (canonical DNS ordering); equal
+  // names compare equal. Usable as std::map key.
+  std::strong_ordering operator<=>(const Name& other) const;
+  bool operator==(const Name& other) const { return labels_ == other.labels_; }
+
+  struct Hash {
+    size_t operator()(const Name& n) const;
+  };
+
+ private:
+  explicit Name(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+
+  std::vector<std::string> labels_;
+};
+
+// True if `label` is a legal DNS label for our purposes: 1-63 octets of
+// letters, digits, hyphen, or underscore (seen in real NS hostnames).
+bool IsValidLabel(std::string_view label);
+
+std::ostream& operator<<(std::ostream& os, const Name& name);
+
+}  // namespace govdns::dns

@@ -1,0 +1,132 @@
+#include "dns/rr.h"
+
+#include <cstdio>
+
+namespace govdns::dns {
+
+std::string_view RRTypeName(RRType type) {
+  switch (type) {
+    case RRType::kA:
+      return "A";
+    case RRType::kNS:
+      return "NS";
+    case RRType::kCNAME:
+      return "CNAME";
+    case RRType::kSOA:
+      return "SOA";
+    case RRType::kPTR:
+      return "PTR";
+    case RRType::kMX:
+      return "MX";
+    case RRType::kTXT:
+      return "TXT";
+    case RRType::kAAAA:
+      return "AAAA";
+  }
+  return "TYPE?";
+}
+
+util::StatusOr<RRType> RRTypeFromName(std::string_view name) {
+  if (name == "A") return RRType::kA;
+  if (name == "NS") return RRType::kNS;
+  if (name == "CNAME") return RRType::kCNAME;
+  if (name == "SOA") return RRType::kSOA;
+  if (name == "PTR") return RRType::kPTR;
+  if (name == "MX") return RRType::kMX;
+  if (name == "TXT") return RRType::kTXT;
+  if (name == "AAAA") return RRType::kAAAA;
+  return util::ParseError("unknown RR type: " + std::string(name));
+}
+
+RRType RdataType(const Rdata& rdata) {
+  struct Visitor {
+    RRType operator()(const ARdata&) const { return RRType::kA; }
+    RRType operator()(const AaaaRdata&) const { return RRType::kAAAA; }
+    RRType operator()(const NsRdata&) const { return RRType::kNS; }
+    RRType operator()(const CnameRdata&) const { return RRType::kCNAME; }
+    RRType operator()(const PtrRdata&) const { return RRType::kPTR; }
+    RRType operator()(const MxRdata&) const { return RRType::kMX; }
+    RRType operator()(const SoaRdata&) const { return RRType::kSOA; }
+    RRType operator()(const TxtRdata&) const { return RRType::kTXT; }
+  };
+  return std::visit(Visitor{}, rdata);
+}
+
+std::string RdataToString(const Rdata& rdata) {
+  struct Visitor {
+    std::string operator()(const ARdata& r) const {
+      return r.address.ToString();
+    }
+    std::string operator()(const AaaaRdata& r) const {
+      char buf[64];
+      std::string out;
+      for (int i = 0; i < 16; i += 2) {
+        std::snprintf(buf, sizeof(buf), "%s%x", i ? ":" : "",
+                      (r.address[i] << 8) | r.address[i + 1]);
+        out += buf;
+      }
+      return out;
+    }
+    std::string operator()(const NsRdata& r) const {
+      return r.nameserver.ToString();
+    }
+    std::string operator()(const CnameRdata& r) const {
+      return r.target.ToString();
+    }
+    std::string operator()(const PtrRdata& r) const {
+      return r.target.ToString();
+    }
+    std::string operator()(const MxRdata& r) const {
+      return std::to_string(r.preference) + " " + r.exchange.ToString();
+    }
+    std::string operator()(const SoaRdata& r) const {
+      return r.mname.ToString() + " " + r.rname.ToString() + " " +
+             std::to_string(r.serial);
+    }
+    std::string operator()(const TxtRdata& r) const {
+      std::string out;
+      for (const auto& s : r.strings) {
+        if (!out.empty()) out += ' ';
+        out += '"' + s + '"';
+      }
+      return out;
+    }
+  };
+  return std::visit(Visitor{}, rdata);
+}
+
+std::string ResourceRecord::ToString() const {
+  return name.ToString() + " " + std::to_string(ttl) + " IN " +
+         std::string(RRTypeName(type())) + " " + RdataToString(rdata);
+}
+
+ResourceRecord MakeA(const Name& name, geo::IPv4 address, uint32_t ttl) {
+  return {name, RRClass::kIN, ttl, ARdata{address}};
+}
+
+ResourceRecord MakeNs(const Name& name, const Name& nameserver, uint32_t ttl) {
+  return {name, RRClass::kIN, ttl, NsRdata{nameserver}};
+}
+
+ResourceRecord MakeCname(const Name& name, const Name& target, uint32_t ttl) {
+  return {name, RRClass::kIN, ttl, CnameRdata{target}};
+}
+
+ResourceRecord MakeSoa(const Name& name, const Name& mname, const Name& rname,
+                       uint32_t serial, uint32_t ttl) {
+  SoaRdata soa;
+  soa.mname = mname;
+  soa.rname = rname;
+  soa.serial = serial;
+  soa.refresh = 7200;
+  soa.retry = 900;
+  soa.expire = 1209600;
+  soa.minimum = 300;
+  return {name, RRClass::kIN, ttl, std::move(soa)};
+}
+
+ResourceRecord MakeTxt(const Name& name, std::string text, uint32_t ttl) {
+  return {name, RRClass::kIN, ttl, TxtRdata{{std::move(text)}}};
+}
+
+}  // namespace govdns::dns

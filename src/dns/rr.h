@@ -1,0 +1,113 @@
+// Resource records: types, rdata, RRsets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.h"
+#include "geo/ipv4.h"
+#include "util/status.h"
+
+namespace govdns::dns {
+
+enum class RRType : uint16_t {
+  kA = 1,
+  kNS = 2,
+  kCNAME = 5,
+  kSOA = 6,
+  kPTR = 12,
+  kMX = 15,
+  kTXT = 16,
+  kAAAA = 28,
+};
+
+std::string_view RRTypeName(RRType type);
+util::StatusOr<RRType> RRTypeFromName(std::string_view name);
+
+enum class RRClass : uint16_t {
+  kIN = 1,
+};
+
+struct ARdata {
+  geo::IPv4 address;
+  friend bool operator==(const ARdata&, const ARdata&) = default;
+};
+
+struct AaaaRdata {
+  std::array<uint8_t, 16> address{};
+  friend bool operator==(const AaaaRdata&, const AaaaRdata&) = default;
+};
+
+struct NsRdata {
+  Name nameserver;
+  friend bool operator==(const NsRdata&, const NsRdata&) = default;
+};
+
+struct CnameRdata {
+  Name target;
+  friend bool operator==(const CnameRdata&, const CnameRdata&) = default;
+};
+
+struct PtrRdata {
+  Name target;
+  friend bool operator==(const PtrRdata&, const PtrRdata&) = default;
+};
+
+struct MxRdata {
+  uint16_t preference = 0;
+  Name exchange;
+  friend bool operator==(const MxRdata&, const MxRdata&) = default;
+};
+
+struct SoaRdata {
+  Name mname;  // primary nameserver; a provider fingerprint in §IV-B
+  Name rname;  // responsible mailbox, dot-encoded
+  uint32_t serial = 0;
+  uint32_t refresh = 0;
+  uint32_t retry = 0;
+  uint32_t expire = 0;
+  uint32_t minimum = 0;
+  friend bool operator==(const SoaRdata&, const SoaRdata&) = default;
+};
+
+struct TxtRdata {
+  std::vector<std::string> strings;  // each <= 255 octets
+  friend bool operator==(const TxtRdata&, const TxtRdata&) = default;
+};
+
+using Rdata = std::variant<ARdata, AaaaRdata, NsRdata, CnameRdata, PtrRdata,
+                           MxRdata, SoaRdata, TxtRdata>;
+
+// The RRType implied by an Rdata alternative.
+RRType RdataType(const Rdata& rdata);
+
+// Presentation form of the rdata ("ns1.example.com", "192.0.2.1", ...).
+std::string RdataToString(const Rdata& rdata);
+
+struct ResourceRecord {
+  Name name;
+  RRClass klass = RRClass::kIN;
+  uint32_t ttl = 3600;
+  Rdata rdata;
+
+  RRType type() const { return RdataType(rdata); }
+  std::string ToString() const;
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) =
+      default;
+};
+
+// Convenience constructors.
+ResourceRecord MakeA(const Name& name, geo::IPv4 address, uint32_t ttl = 3600);
+ResourceRecord MakeNs(const Name& name, const Name& nameserver,
+                      uint32_t ttl = 3600);
+ResourceRecord MakeCname(const Name& name, const Name& target,
+                         uint32_t ttl = 3600);
+ResourceRecord MakeSoa(const Name& name, const Name& mname, const Name& rname,
+                       uint32_t serial, uint32_t ttl = 3600);
+ResourceRecord MakeTxt(const Name& name, std::string text, uint32_t ttl = 3600);
+
+}  // namespace govdns::dns

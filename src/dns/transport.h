@@ -1,0 +1,28 @@
+// Transport abstraction between the measurement client and the network.
+//
+// The core library is written against this interface; the simulator
+// (simnet::SimNetwork) is one implementation, and a socket-based transport
+// could be another without touching any analysis code.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/ipv4.h"
+#include "util/status.h"
+
+namespace govdns::dns {
+
+class QueryTransport {
+ public:
+  virtual ~QueryTransport() = default;
+
+  // Sends `wire_query` to the server at `server`, returning the raw response
+  // bytes. Failure statuses follow the taxonomy in util::Status:
+  //   kTimeout     - no response within the timeout (silent or lossy server)
+  //   kUnavailable - no endpoint at that address (e.g. ICMP unreachable)
+  virtual util::StatusOr<std::vector<uint8_t>> Exchange(
+      geo::IPv4 server, const std::vector<uint8_t>& wire_query) = 0;
+};
+
+}  // namespace govdns::dns

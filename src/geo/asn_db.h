@@ -1,0 +1,68 @@
+// ASN database with longest-prefix-match lookup.
+//
+// Plays the role of MaxMind's GeoIP2 ASN database in the paper's diversity
+// analysis (Table I): given a nameserver's IPv4 address, report the
+// autonomous system it belongs to. Also hands out address space to the world
+// generator via AddressAllocator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/ipv4.h"
+#include "util/status.h"
+
+namespace govdns::geo {
+
+struct AsnInfo {
+  uint32_t asn = 0;
+  std::string organization;
+
+  friend bool operator==(const AsnInfo&, const AsnInfo&) = default;
+};
+
+// Immutable-after-build prefix database. Lookups return the most specific
+// (longest) registered prefix containing the address.
+class AsnDatabase {
+ public:
+  void Add(const Cidr& block, uint32_t asn, std::string organization);
+
+  // Longest-prefix match; nullopt if no registered block covers `ip`.
+  std::optional<AsnInfo> Lookup(IPv4 ip) const;
+
+  size_t prefix_count() const;
+
+ private:
+  // One ordered map per prefix length; lookup scans from /32 down to /0,
+  // which is at most 33 O(log n) probes — plenty fast at our scale.
+  std::map<uint32_t, AsnInfo> by_len_[33];
+};
+
+// Sequentially carves address space out of a pool of /16 super-blocks and
+// registers each carved block in the AsnDatabase. The world generator asks
+// for one block per operator (government network, hosting provider, ...).
+class AddressAllocator {
+ public:
+  explicit AddressAllocator(AsnDatabase* db);
+
+  // Allocates a fresh /`prefix_len` block (prefix_len in [16, 24]) for the
+  // given organization, assigning it a new ASN unless `reuse_asn` is set.
+  Cidr AllocateBlock(int prefix_len, const std::string& organization,
+                     std::optional<uint32_t> reuse_asn = std::nullopt);
+
+  // Returns the i-th host address inside a previously allocated block.
+  // Skips .0; aborts if the index exceeds the block size.
+  static IPv4 HostInBlock(const Cidr& block, uint32_t index);
+
+  uint32_t last_asn() const { return next_asn_ - 1; }
+
+ private:
+  AsnDatabase* db_;
+  uint64_t next_network_;  // next unallocated address (host order)
+  uint32_t next_asn_ = 64512;
+};
+
+}  // namespace govdns::geo

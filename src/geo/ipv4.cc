@@ -1,0 +1,61 @@
+#include "geo/ipv4.h"
+
+#include <cstdio>
+
+namespace govdns::geo {
+
+std::string IPv4::ToString() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (bits_ >> 24) & 0xFF,
+                (bits_ >> 16) & 0xFF, (bits_ >> 8) & 0xFF, bits_ & 0xFF);
+  return buf;
+}
+
+util::StatusOr<IPv4> IPv4::Parse(const std::string& text) {
+  unsigned a, b, c, d;
+  char tail;
+  if (std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4) {
+    return util::ParseError("bad IPv4: " + text);
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255) {
+    return util::ParseError("IPv4 octet out of range: " + text);
+  }
+  return IPv4(static_cast<uint8_t>(a), static_cast<uint8_t>(b),
+              static_cast<uint8_t>(c), static_cast<uint8_t>(d));
+}
+
+uint32_t Cidr::MaskFor(int prefix_len) {
+  if (prefix_len == 0) return 0;
+  return ~uint32_t{0} << (32 - prefix_len);
+}
+
+Cidr::Cidr(IPv4 network, int prefix_len)
+    : network_(IPv4(network.bits() & MaskFor(prefix_len))),
+      prefix_len_(prefix_len) {
+  GOVDNS_CHECK(prefix_len >= 0 && prefix_len <= 32);
+}
+
+bool Cidr::Contains(IPv4 ip) const {
+  return (ip.bits() & MaskFor(prefix_len_)) == network_.bits();
+}
+
+std::string Cidr::ToString() const {
+  return network_.ToString() + "/" + std::to_string(prefix_len_);
+}
+
+util::StatusOr<Cidr> Cidr::Parse(const std::string& text) {
+  auto slash = text.find('/');
+  if (slash == std::string::npos) return util::ParseError("no '/': " + text);
+  auto ip = IPv4::Parse(text.substr(0, slash));
+  if (!ip.ok()) return ip.status();
+  int len = 0;
+  try {
+    len = std::stoi(text.substr(slash + 1));
+  } catch (...) {
+    return util::ParseError("bad prefix length: " + text);
+  }
+  if (len < 0 || len > 32) return util::ParseError("prefix length out of range");
+  return Cidr(*ip, len);
+}
+
+}  // namespace govdns::geo

@@ -1,0 +1,71 @@
+// IPv4 addresses, prefixes, and CIDR blocks.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace govdns::geo {
+
+// An IPv4 address stored in host byte order.
+class IPv4 {
+ public:
+  constexpr IPv4() = default;
+  constexpr explicit IPv4(uint32_t bits) : bits_(bits) {}
+  constexpr IPv4(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : bits_((uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) |
+              d) {}
+
+  constexpr uint32_t bits() const { return bits_; }
+
+  std::string ToString() const;
+  static util::StatusOr<IPv4> Parse(const std::string& text);
+
+  // The containing /24 prefix (address with the low octet zeroed).
+  constexpr IPv4 Slash24() const { return IPv4(bits_ & 0xFFFFFF00u); }
+
+  friend constexpr auto operator<=>(IPv4 a, IPv4 b) = default;
+
+  struct Hash {
+    size_t operator()(IPv4 ip) const {
+      uint64_t x = ip.bits_;
+      x ^= x >> 16;
+      x *= 0x45d9f3b3335b369ULL;
+      x ^= x >> 32;
+      return static_cast<size_t>(x);
+    }
+  };
+
+ private:
+  uint32_t bits_ = 0;
+};
+
+// A CIDR block: network address + prefix length.
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+  // Aborts if prefix_len > 32; host bits below the mask are zeroed.
+  Cidr(IPv4 network, int prefix_len);
+
+  IPv4 network() const { return network_; }
+  int prefix_len() const { return prefix_len_; }
+
+  bool Contains(IPv4 ip) const;
+  // Number of addresses covered (2^(32-len)); 0 means 2^32 for len 0.
+  uint64_t size() const { return uint64_t{1} << (32 - prefix_len_); }
+
+  std::string ToString() const;
+  static util::StatusOr<Cidr> Parse(const std::string& text);
+
+  friend bool operator==(const Cidr&, const Cidr&) = default;
+
+ private:
+  static uint32_t MaskFor(int prefix_len);
+
+  IPv4 network_;
+  int prefix_len_ = 0;
+};
+
+}  // namespace govdns::geo

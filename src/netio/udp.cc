@@ -1,0 +1,128 @@
+#include "netio/udp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace govdns::netio {
+
+namespace {
+
+sockaddr_in MakeSockaddr(geo::IPv4 address, uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = htonl(address.bits());
+  return sa;
+}
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(Options options) : options_(options) {}
+
+util::StatusOr<std::vector<uint8_t>> UdpTransport::Exchange(
+    geo::IPv4 server, const std::vector<uint8_t>& wire_query) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return util::InternalError(Errno("socket"));
+  // RAII for the descriptor.
+  struct Closer {
+    int fd;
+    ~Closer() { ::close(fd); }
+  } closer{fd};
+
+  sockaddr_in dest = MakeSockaddr(server, options_.port);
+  ssize_t sent =
+      ::sendto(fd, wire_query.data(), wire_query.size(), 0,
+               reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
+  if (sent < 0) return util::UnavailableError(Errno("sendto"));
+
+  pollfd pfd{fd, POLLIN, 0};
+  int ready = ::poll(&pfd, 1, options_.timeout_ms);
+  if (ready < 0) return util::InternalError(Errno("poll"));
+  if (ready == 0) {
+    return util::TimeoutError("no reply from " + server.ToString());
+  }
+
+  std::vector<uint8_t> buffer(
+      static_cast<size_t>(options_.max_response_bytes));
+  sockaddr_in from{};
+  socklen_t from_len = sizeof(from);
+  ssize_t got = ::recvfrom(fd, buffer.data(), buffer.size(), 0,
+                           reinterpret_cast<sockaddr*>(&from), &from_len);
+  if (got < 0) return util::UnavailableError(Errno("recvfrom"));
+  buffer.resize(static_cast<size_t>(got));
+  return buffer;
+}
+
+UdpServer::~UdpServer() { Stop(); }
+
+util::Status UdpServer::Start(geo::IPv4 bind_address, uint16_t port,
+                              Handler handler) {
+  GOVDNS_CHECK(handler != nullptr);
+  if (running_.load()) return util::FailedPreconditionError("already running");
+
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return util::InternalError(Errno("socket"));
+
+  sockaddr_in addr = MakeSockaddr(bind_address, port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    return util::UnavailableError(Errno("bind"));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    return util::InternalError(Errno("getsockname"));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  handler_ = std::move(handler);
+  running_.store(true);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return util::Status::Ok();
+}
+
+void UdpServer::ServeLoop() {
+  std::vector<uint8_t> buffer(65536);
+  while (running_.load()) {
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout: re-check running_
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    ssize_t got = ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
+                             reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (got <= 0) continue;
+    ++requests_;
+    std::vector<uint8_t> request(buffer.begin(), buffer.begin() + got);
+    std::vector<uint8_t> reply = handler_(request);
+    if (reply.empty()) continue;  // a handler may choose silence
+    (void)::sendto(fd_, reply.data(), reply.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&from), from_len);
+  }
+}
+
+void UdpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace govdns::netio

@@ -1,0 +1,79 @@
+// Real-socket DNS transport.
+//
+// The measurement pipeline is written against dns::QueryTransport; this
+// module provides the implementation that speaks actual UDP, plus a small
+// UDP server that exposes a zone::AuthServer (or any handler) on a real
+// socket. Together they let the same core::Study run against live
+// infrastructure — and let the test suite exercise genuine packet I/O over
+// loopback.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "dns/transport.h"
+#include "geo/ipv4.h"
+#include "util/status.h"
+
+namespace govdns::netio {
+
+// QueryTransport over UDP datagrams. One socket per Exchange call keeps the
+// implementation trivially correct for sequential measurement (the paper's
+// client is rate-limited anyway); no retries here — the resolver owns retry
+// policy.
+class UdpTransport : public dns::QueryTransport {
+ public:
+  struct Options {
+    uint16_t port = 53;        // destination port for every exchange
+    int timeout_ms = 2000;     // receive timeout
+    int max_response_bytes = 4096;
+  };
+
+  explicit UdpTransport(Options options);
+  UdpTransport() : UdpTransport(Options()) {}
+
+  util::StatusOr<std::vector<uint8_t>> Exchange(
+      geo::IPv4 server, const std::vector<uint8_t>& wire_query) override;
+
+ private:
+  Options options_;
+};
+
+// A UDP server bound to a local address, answering each datagram through a
+// handler on a background thread. Intended for tests and for serving
+// simulated zones to external resolvers.
+class UdpServer {
+ public:
+  using Handler =
+      std::function<std::vector<uint8_t>(const std::vector<uint8_t>&)>;
+
+  UdpServer() = default;
+  ~UdpServer();
+
+  UdpServer(const UdpServer&) = delete;
+  UdpServer& operator=(const UdpServer&) = delete;
+
+  // Binds `bind_address:port` (port 0 = ephemeral) and starts serving.
+  util::Status Start(geo::IPv4 bind_address, uint16_t port, Handler handler);
+  void Stop();
+
+  bool running() const { return running_.load(); }
+  // The bound port (resolved if 0 was requested). 0 before Start.
+  uint16_t port() const { return port_; }
+
+  uint64_t requests_served() const { return requests_.load(); }
+
+ private:
+  void ServeLoop();
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace govdns::netio

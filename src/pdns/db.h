@@ -1,0 +1,82 @@
+// Passive-DNS database.
+//
+// Models the interface the paper uses from Farsight's DNSDB: record sets
+// keyed by (rrname, rrtype, rdata) carrying first-seen/last-seen timestamps
+// and an observation count, with left-hand wildcard search
+// ("*.gov.au" -> every record whose owner ends in gov.au) and time-window
+// filtering. The world generator populates it by replaying ten years of
+// synthetic zone history through Observe().
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "util/civil_time.h"
+#include "util/status.h"
+
+namespace govdns::pdns {
+
+struct PdnsEntry {
+  dns::Name rrname;
+  dns::RRType type = dns::RRType::kNS;
+  std::string rdata;  // presentation form, e.g. "ns1.example.com"
+  util::DayInterval seen;
+  uint64_t count = 0;
+
+  friend bool operator==(const PdnsEntry&, const PdnsEntry&) = default;
+};
+
+// Filter for database searches.
+struct Query {
+  std::optional<dns::RRType> type;          // filter by type
+  std::optional<util::DayInterval> window;  // keep entries overlapping it
+  // Minimum inclusive length of the seen interval, in days. This is the
+  // paper's stability filter (§III-C, 7 days).
+  int min_duration_days = 1;
+};
+
+class PdnsDatabase {
+ public:
+  // Sightings within `merge_gap_days` of an existing entry's interval extend
+  // that entry; a longer silence starts a new entry (mirrors how sensor
+  // databases fence quiet periods). 0 means only adjacent/overlapping days
+  // merge.
+  explicit PdnsDatabase(int merge_gap_days = 30);
+
+  // Records that (rrname, type, rdata) was observed on `day`.
+  void Observe(const dns::Name& rrname, dns::RRType type,
+               const std::string& rdata, util::CivilDay day,
+               uint64_t count = 1);
+
+  // Records continuous observation across an inclusive day interval.
+  void ObserveInterval(const dns::Name& rrname, dns::RRType type,
+                       const std::string& rdata, util::DayInterval interval,
+                       uint64_t count_per_day = 1);
+
+  // Left-hand wildcard search: every entry whose rrname equals `suffix` or
+  // is a subdomain of it, matching `query`. Deterministic (canonical) order.
+  std::vector<PdnsEntry> WildcardSearch(const dns::Name& suffix,
+                                        const Query& query = Query()) const;
+
+  // Exact-owner lookup.
+  std::vector<PdnsEntry> Lookup(const dns::Name& rrname,
+                                const Query& query = Query()) const;
+
+  size_t entry_count() const { return entry_count_; }
+  size_t name_count() const { return by_name_.size(); }
+
+ private:
+  bool Matches(const PdnsEntry& entry, const Query& query) const;
+
+  int merge_gap_days_;
+  size_t entry_count_ = 0;
+  // Canonical name order clusters subdomains behind their ancestor, which
+  // makes wildcard search a contiguous range scan.
+  std::map<dns::Name, std::vector<PdnsEntry>> by_name_;
+};
+
+}  // namespace govdns::pdns

@@ -1,0 +1,60 @@
+#include "registrar/registrar.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace govdns::registrar {
+
+SimRegistrar::SimRegistrar(uint64_t seed) : seed_(seed) {}
+
+void SimRegistrar::Register(const dns::Name& registered_domain) {
+  registered_.insert(registered_domain);
+}
+
+void SimRegistrar::Release(const dns::Name& registered_domain) {
+  registered_.erase(registered_domain);
+}
+
+bool SimRegistrar::IsRegistered(const dns::Name& registered_domain) const {
+  return registered_.contains(registered_domain);
+}
+
+bool SimRegistrar::IsAvailable(const dns::Name& registered_domain) const {
+  return !registered_.contains(registered_domain);
+}
+
+void SimRegistrar::SetPremiumPrice(const dns::Name& registered_domain,
+                                   double usd) {
+  GOVDNS_CHECK(usd >= 0.01);
+  premium_prices_[registered_domain] = usd;
+}
+
+std::optional<double> SimRegistrar::PriceUsd(
+    const dns::Name& registered_domain) const {
+  if (!IsAvailable(registered_domain)) return std::nullopt;
+  auto it = premium_prices_.find(registered_domain);
+  if (it != premium_prices_.end()) return it->second;
+  return RegistrationPriceUsd(seed_, registered_domain);
+}
+
+double RegistrationPriceUsd(uint64_t seed, const dns::Name& name) {
+  util::Rng rng(util::HashString(name.ToString(), seed ^ 0x70726963ULL));
+  const double bucket = rng.UniformDouble();
+  double price;
+  if (bucket < 0.08) {
+    // Promotional first-year prices.
+    price = 0.01 + rng.UniformDouble() * 4.99;
+  } else if (bucket < 0.62) {
+    // The standard .com-style price; the distribution's median sits here.
+    price = 11.99;
+  } else if (bucket < 0.90) {
+    // Ordinary but pricier TLD/levels.
+    price = 13.0 + rng.UniformDouble() * 47.0;
+  } else {
+    // Premium names: log-normal tail reaching the paper's 20k maximum.
+    price = std::exp(4.5 + 1.7 * rng.Gaussian());
+  }
+  return std::clamp(std::round(price * 100.0) / 100.0, 0.01, 20000.0);
+}
+
+}  // namespace govdns::registrar

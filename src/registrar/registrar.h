@@ -1,0 +1,61 @@
+// Registrar client: availability checks and registration pricing.
+//
+// Stands in for the paper's GoDaddy availability/price lookups (§IV-C/D).
+// SimRegistrar keeps the set of currently registered domains (worldgen
+// registers everything live and deliberately leaves expired provider
+// domains unregistered) and prices available names with the long-tailed
+// distribution the paper reports: 0.01-20,000 USD, median 11.99.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "dns/name.h"
+#include "util/rng.h"
+
+namespace govdns::registrar {
+
+class RegistrarClient {
+ public:
+  virtual ~RegistrarClient() = default;
+
+  // True if `registered_domain` can be registered right now.
+  virtual bool IsAvailable(const dns::Name& registered_domain) const = 0;
+
+  // Price in USD to register an available domain; nullopt if unavailable.
+  virtual std::optional<double> PriceUsd(
+      const dns::Name& registered_domain) const = 0;
+};
+
+class SimRegistrar : public RegistrarClient {
+ public:
+  explicit SimRegistrar(uint64_t seed);
+
+  void Register(const dns::Name& registered_domain);
+  void Release(const dns::Name& registered_domain);
+  bool IsRegistered(const dns::Name& registered_domain) const;
+
+  // Marks an *available* domain as premium/aftermarket: PriceUsd returns
+  // this amount instead of the modelled price (expired-but-auctioned
+  // provider domains in the paper cost at least 300 USD).
+  void SetPremiumPrice(const dns::Name& registered_domain, double usd);
+
+  bool IsAvailable(const dns::Name& registered_domain) const override;
+  std::optional<double> PriceUsd(
+      const dns::Name& registered_domain) const override;
+
+  size_t registered_count() const { return registered_.size(); }
+
+ private:
+  uint64_t seed_;
+  std::set<dns::Name> registered_;
+  std::map<dns::Name, double> premium_prices_;
+};
+
+// The price model, exposed for direct testing: deterministic in
+// (seed, name), in [0.01, 20000], with a large mass at the 11.99 standard
+// price so the median matches the paper's.
+double RegistrationPriceUsd(uint64_t seed, const dns::Name& name);
+
+}  // namespace govdns::registrar

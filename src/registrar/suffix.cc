@@ -1,0 +1,32 @@
+#include "registrar/suffix.h"
+
+namespace govdns::registrar {
+
+void PublicSuffixList::AddSuffix(const dns::Name& suffix) {
+  GOVDNS_CHECK(!suffix.IsRoot());
+  suffixes_.insert(suffix);
+}
+
+bool PublicSuffixList::IsPublicSuffix(const dns::Name& name) const {
+  return suffixes_.contains(name);
+}
+
+std::optional<dns::Name> PublicSuffixList::MatchingSuffix(
+    const dns::Name& name) const {
+  // Longest match wins: try the deepest suffix of `name` first.
+  for (size_t count = name.LabelCount(); count >= 1; --count) {
+    dns::Name candidate = name.Suffix(count);
+    if (suffixes_.contains(candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+std::optional<dns::Name> PublicSuffixList::RegisteredDomain(
+    const dns::Name& name) const {
+  auto suffix = MatchingSuffix(name);
+  if (!suffix) return std::nullopt;
+  if (suffix->LabelCount() == name.LabelCount()) return std::nullopt;
+  return name.Suffix(suffix->LabelCount() + 1);
+}
+
+}  // namespace govdns::registrar

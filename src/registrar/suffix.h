@@ -1,0 +1,37 @@
+// Public-suffix handling.
+//
+// The hijack-risk analyses need the *registered domain* of a nameserver
+// hostname (pns11.cloudns.net -> cloudns.net) to ask a registrar whether it
+// can be bought. A PublicSuffixList holds the suffixes under which
+// registrations happen; worldgen populates it with the synthetic TLDs and
+// second-level government/commercial suffixes it creates.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "dns/name.h"
+
+namespace govdns::registrar {
+
+class PublicSuffixList {
+ public:
+  void AddSuffix(const dns::Name& suffix);
+
+  bool IsPublicSuffix(const dns::Name& name) const;
+
+  // The longest registered public suffix that `name` falls under, if any.
+  std::optional<dns::Name> MatchingSuffix(const dns::Name& name) const;
+
+  // The registrable domain: longest matching public suffix plus one label.
+  // nullopt when the name *is* a public suffix, is above all suffixes, or
+  // matches none (an unknown TLD).
+  std::optional<dns::Name> RegisteredDomain(const dns::Name& name) const;
+
+  size_t size() const { return suffixes_.size(); }
+
+ private:
+  std::set<dns::Name> suffixes_;
+};
+
+}  // namespace govdns::registrar

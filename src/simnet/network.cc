@@ -1,0 +1,73 @@
+#include "simnet/network.h"
+
+namespace govdns::simnet {
+
+SimNetwork::SimNetwork(uint64_t seed) : seed_(seed) {}
+
+void SimNetwork::AttachHandler(geo::IPv4 address, Handler handler) {
+  GOVDNS_CHECK(handler != nullptr);
+  handlers_[address] = std::move(handler);
+}
+
+void SimNetwork::DetachHandler(geo::IPv4 address) { handlers_.erase(address); }
+
+bool SimNetwork::HasHandler(geo::IPv4 address) const {
+  return handlers_.contains(address);
+}
+
+void SimNetwork::SetBehavior(geo::IPv4 address, EndpointBehavior behavior) {
+  behaviors_[address] = behavior;
+}
+
+EndpointBehavior SimNetwork::GetBehavior(geo::IPv4 address) const {
+  auto it = behaviors_.find(address);
+  return it == behaviors_.end() ? EndpointBehavior{} : it->second;
+}
+
+util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
+    geo::IPv4 server, const std::vector<uint8_t>& wire_query) {
+  ++stats_.exchanges;
+  const uint64_t exchange_id = exchange_counter_++;
+
+  // Silence wins over everything else, including handler presence: a
+  // firewalled host looks the same whether or not a server runs behind it.
+  EndpointBehavior behavior = GetBehavior(server);
+  if (behavior.silent) {
+    clock_.Advance(timeout_ms_);
+    ++stats_.timeouts;
+    return util::TimeoutError("silent endpoint " + server.ToString());
+  }
+
+  auto it = handlers_.find(server);
+  if (it == handlers_.end()) {
+    // Nothing listens at this address. A real resolver sees either an ICMP
+    // unreachable or silence; we model it as promptly unreachable.
+    clock_.Advance(5);
+    ++stats_.unreachable;
+    return util::UnavailableError("no endpoint at " + server.ToString());
+  }
+  double loss = behavior.loss_rate + extra_loss_rate_;
+  if (loss > 0.0) {
+    // Loss is a pure function of (seed, server, exchange ordinal) so a rerun
+    // of the same world reproduces the same drops, while retries of the same
+    // query get fresh draws.
+    uint64_t stream = seed_ ^ (uint64_t{server.bits()} << 24) ^ exchange_id;
+    util::Rng rng(util::SplitMix64(stream));
+    if (rng.Bernoulli(loss)) {
+      clock_.Advance(timeout_ms_);
+      ++stats_.timeouts;
+      return util::TimeoutError("packet lost to " + server.ToString());
+    }
+  }
+  if (behavior.rtt_ms >= timeout_ms_) {
+    clock_.Advance(timeout_ms_);
+    ++stats_.timeouts;
+    return util::TimeoutError("endpoint too slow: " + server.ToString());
+  }
+
+  clock_.Advance(behavior.rtt_ms);
+  ++stats_.delivered;
+  return it->second(wire_query);
+}
+
+}  // namespace govdns::simnet

@@ -1,0 +1,100 @@
+// Simulated IP network.
+//
+// SimNetwork implements dns::QueryTransport over an in-memory address space:
+// every IPv4 endpoint has an optional packet handler (typically an
+// AuthServer wrapped by worldgen) and a behaviour profile. This stands in
+// for the real Internet between the paper's vantage point and the world's
+// nameservers; silence, loss, and latency are deterministic functions of the
+// world seed, so the whole measurement is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/transport.h"
+#include "geo/ipv4.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace govdns::simnet {
+
+// A virtual clock advanced by simulated network delays. Purely logical time;
+// nothing sleeps.
+class SimClock {
+ public:
+  uint64_t now_ms() const { return now_ms_; }
+  void Advance(uint64_t ms) { now_ms_ += ms; }
+
+ private:
+  uint64_t now_ms_ = 0;
+};
+
+// How an endpoint behaves at the packet level, independent of what the
+// attached handler would answer.
+struct EndpointBehavior {
+  // Never answers (host firewalled/gone). The transport reports kTimeout.
+  bool silent = false;
+  // Probability in [0, 1] that any single exchange is dropped.
+  double loss_rate = 0.0;
+  // Round-trip time added to the clock per exchange.
+  uint32_t rtt_ms = 30;
+  // If the RTT exceeds the client timeout, the exchange times out.
+};
+
+// Statistics the harness can report on.
+struct NetworkStats {
+  uint64_t exchanges = 0;
+  uint64_t timeouts = 0;
+  uint64_t unreachable = 0;
+  uint64_t delivered = 0;
+};
+
+class SimNetwork : public dns::QueryTransport {
+ public:
+  using Handler =
+      std::function<std::vector<uint8_t>(const std::vector<uint8_t>&)>;
+
+  // `seed` drives deterministic loss decisions.
+  explicit SimNetwork(uint64_t seed);
+
+  // Registers (or replaces) the handler for an address.
+  void AttachHandler(geo::IPv4 address, Handler handler);
+  void DetachHandler(geo::IPv4 address);
+  bool HasHandler(geo::IPv4 address) const;
+
+  void SetBehavior(geo::IPv4 address, EndpointBehavior behavior);
+  EndpointBehavior GetBehavior(geo::IPv4 address) const;
+
+  // Client-side timeout used by Exchange; exchanges whose endpoint RTT
+  // exceeds it report kTimeout.
+  void set_timeout_ms(uint32_t ms) { timeout_ms_ = ms; }
+  uint32_t timeout_ms() const { return timeout_ms_; }
+
+  // Additional loss applied to every exchange on top of per-endpoint loss
+  // (weather for the whole network; the second-round ablation uses it).
+  void set_extra_loss_rate(double rate) { extra_loss_rate_ = rate; }
+  double extra_loss_rate() const { return extra_loss_rate_; }
+
+  // dns::QueryTransport:
+  util::StatusOr<std::vector<uint8_t>> Exchange(
+      geo::IPv4 server, const std::vector<uint8_t>& wire_query) override;
+
+  SimClock& clock() { return clock_; }
+  const NetworkStats& stats() const { return stats_; }
+  size_t endpoint_count() const { return handlers_.size(); }
+
+ private:
+  uint64_t seed_;
+  uint64_t exchange_counter_ = 0;
+  uint32_t timeout_ms_ = 2000;
+  double extra_loss_rate_ = 0.0;
+  SimClock clock_;
+  NetworkStats stats_;
+  std::unordered_map<geo::IPv4, Handler, geo::IPv4::Hash> handlers_;
+  std::unordered_map<geo::IPv4, EndpointBehavior, geo::IPv4::Hash> behaviors_;
+};
+
+}  // namespace govdns::simnet

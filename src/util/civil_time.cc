@@ -1,0 +1,71 @@
+#include "util/civil_time.h"
+
+#include <cstdio>
+
+namespace govdns::util {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  GOVDNS_CHECK(month >= 1 && month <= 12);
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+CivilDay DayFromDate(const CivilDate& date) {
+  GOVDNS_CHECK(date.month >= 1 && date.month <= 12);
+  GOVDNS_CHECK(date.day >= 1 && date.day <= DaysInMonth(date.year, date.month));
+  // Howard Hinnant's days_from_civil.
+  int y = date.year;
+  const int m = date.month;
+  const int d = date.day;
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return static_cast<CivilDay>(era * 146097 + static_cast<int>(doe) - 719468);
+}
+
+CivilDate DateFromDay(CivilDay day) {
+  // Howard Hinnant's civil_from_days.
+  int z = day + 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);       // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);       // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                            // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                    // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                         // [1, 12]
+  return CivilDate{y + (m <= 2), static_cast<int>(m), static_cast<int>(d)};
+}
+
+CivilDay YearStart(int year) { return DayFromYmd(year, 1, 1); }
+CivilDay YearEnd(int year) { return DayFromYmd(year, 12, 31); }
+int DaysInYear(int year) { return IsLeapYear(year) ? 366 : 365; }
+
+std::string FormatDay(CivilDay day) {
+  CivilDate d = DateFromDay(day);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+StatusOr<CivilDay> ParseDay(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  char tail = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d%c", &y, &m, &d, &tail) != 3) {
+    return ParseError("bad date: " + text);
+  }
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) {
+    return ParseError("date out of range: " + text);
+  }
+  return DayFromYmd(y, m, d);
+}
+
+}  // namespace govdns::util

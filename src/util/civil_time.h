@@ -1,0 +1,61 @@
+// Proleptic-Gregorian civil-date arithmetic.
+//
+// The passive-DNS store and the longitudinal analyses work in whole days.
+// A CivilDay is a count of days since 1970-01-01 (negative before), using
+// Howard Hinnant's days_from_civil algorithm. No time zones, no wall clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace govdns::util {
+
+using CivilDay = int32_t;  // days since 1970-01-01
+
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  // [1, 12]
+  int day = 1;    // [1, 31]
+
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+bool IsLeapYear(int year);
+int DaysInMonth(int year, int month);
+
+// Converts {y, m, d} to days-since-epoch. Aborts on out-of-range month/day.
+CivilDay DayFromDate(const CivilDate& date);
+inline CivilDay DayFromYmd(int y, int m, int d) {
+  return DayFromDate({y, m, d});
+}
+
+CivilDate DateFromDay(CivilDay day);
+
+// First and last day of a calendar year.
+CivilDay YearStart(int year);
+CivilDay YearEnd(int year);
+// Number of days in a year (365 or 366).
+int DaysInYear(int year);
+
+// "YYYY-MM-DD".
+std::string FormatDay(CivilDay day);
+StatusOr<CivilDay> ParseDay(const std::string& text);
+
+// A half-open-free inclusive interval of days, [first, last].
+struct DayInterval {
+  CivilDay first = 0;
+  CivilDay last = 0;
+
+  bool Contains(CivilDay d) const { return first <= d && d <= last; }
+  bool Overlaps(const DayInterval& o) const {
+    return first <= o.last && o.first <= last;
+  }
+  // Inclusive length in days; 1 for a single-day interval.
+  int32_t LengthDays() const { return last - first + 1; }
+
+  friend bool operator==(const DayInterval&, const DayInterval&) = default;
+};
+
+}  // namespace govdns::util

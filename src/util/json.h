@@ -1,0 +1,72 @@
+// Minimal streaming JSON writer.
+//
+// Emits syntactically valid JSON with correct string escaping and
+// locale-independent number formatting. Used by the export layer to produce
+// machine-readable study results; deliberately writer-only (this codebase
+// never needs to parse JSON).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace govdns::util {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  // Containers. Every Begin* must be matched by the corresponding End*.
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Within an object: writes the key and leaves the writer expecting a
+  // value (a scalar call or a Begin*).
+  JsonWriter& Key(std::string_view key);
+
+  // Scalars (as values inside arrays, or after Key inside objects).
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Convenience: Key + scalar.
+  JsonWriter& Kv(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& Kv(std::string_view key, const char* value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& Kv(std::string_view key, int64_t value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& Kv(std::string_view key, int value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& Kv(std::string_view key, double value) {
+    return Key(key).Double(value);
+  }
+  JsonWriter& Kv(std::string_view key, bool value) {
+    return Key(key).Bool(value);
+  }
+
+  // The finished document. Aborts if containers are unbalanced.
+  std::string TakeString();
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // Per-open-container: whether a value has been emitted yet.
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace govdns::util

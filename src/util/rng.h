@@ -1,0 +1,83 @@
+// Deterministic random number generation.
+//
+// Every stochastic decision in the simulator flows through Rng, seeded from
+// the world configuration, so a given seed reproduces a byte-identical world.
+// The generator is xoshiro256** (public domain, Blackman & Vigna), seeded via
+// SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace govdns::util {
+
+// SplitMix64 step; also useful as a cheap stateless hash/mixer.
+uint64_t SplitMix64(uint64_t& state);
+
+// Mixes a string into a 64-bit value (FNV-1a followed by a SplitMix64 round).
+// Used to derive independent sub-streams from stable names.
+uint64_t HashString(std::string_view s, uint64_t seed = 0);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Derives an independent generator for a named sub-stream. Deriving by a
+  // stable name (e.g. a country code) keeps unrelated parts of world
+  // generation independent of each other's draw counts.
+  Rng Fork(std::string_view stream_name) const;
+
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling, so
+  // the result is exactly uniform.
+  uint64_t UniformU64(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double UniformDouble();
+
+  bool Bernoulli(double p);
+
+  // Zipf-distributed rank in [1, n] with exponent s > 0. Heavy-tailed sizes
+  // (country zone counts, provider popularity) come from this.
+  uint64_t Zipf(uint64_t n, double s);
+
+  // Approximately log-normally distributed positive double.
+  double LogNormal(double mu, double sigma);
+
+  // Standard normal via Box-Muller (no cached spare: deterministic stream).
+  double Gaussian();
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  // Total weight must be positive.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    GOVDNS_CHECK(!v.empty());
+    return v[UniformU64(v.size())];
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = UniformU64(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  uint64_t s_[4];
+};
+
+}  // namespace govdns::util

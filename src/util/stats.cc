@@ -1,0 +1,75 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace govdns::util {
+
+int ModeOf(const std::vector<int>& values) {
+  GOVDNS_CHECK(!values.empty());
+  std::map<int, int> counts;
+  for (int v : values) ++counts[v];
+  int best_value = counts.begin()->first;
+  int best_count = 0;
+  for (const auto& [value, count] : counts) {
+    if (count > best_count) {  // map order makes ties favor smaller values
+      best_count = count;
+      best_value = value;
+    }
+  }
+  return best_value;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  GOVDNS_CHECK(!values.empty());
+  GOVDNS_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = p * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Median(std::vector<double> values) {
+  return Percentile(std::move(values), 0.5);
+}
+
+double Mean(const std::vector<double>& values) {
+  GOVDNS_CHECK(!values.empty());
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values) {
+  GOVDNS_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  std::vector<CdfPoint> out;
+  const double n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    out.push_back({values[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+std::vector<int64_t> Histogram(const std::vector<double>& values,
+                               const std::vector<double>& edges) {
+  GOVDNS_CHECK(edges.size() >= 2);
+  std::vector<int64_t> counts(edges.size() - 1, 0);
+  for (double v : values) {
+    if (v < edges.front() || v > edges.back()) continue;
+    // Last bucket is inclusive of the final edge.
+    auto it = std::upper_bound(edges.begin(), edges.end(), v);
+    size_t idx = static_cast<size_t>(it - edges.begin());
+    if (idx == 0) continue;
+    if (idx >= edges.size()) idx = edges.size() - 1;
+    ++counts[idx - 1];
+  }
+  return counts;
+}
+
+}  // namespace govdns::util

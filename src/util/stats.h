@@ -1,0 +1,35 @@
+// Descriptive statistics used by the analyses and report generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace govdns::util {
+
+// Mode of a non-empty list; ties broken toward the smaller value. This is
+// the statistic the paper applies to NS_daily (Fig. 5).
+int ModeOf(const std::vector<int>& values);
+
+// p in [0, 1]; linear interpolation between order statistics.
+double Percentile(std::vector<double> values, double p);
+
+double Median(std::vector<double> values);
+double Mean(const std::vector<double>& values);
+
+// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative_fraction = 0.0;  // P(X <= value)
+};
+
+// Empirical CDF over distinct values, ascending.
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> values);
+
+// Fixed-boundary histogram: counts[i] covers [edges[i], edges[i+1]), with
+// the final bucket inclusive of the last edge.
+std::vector<int64_t> Histogram(const std::vector<double>& values,
+                               const std::vector<double>& edges);
+
+}  // namespace govdns::util

@@ -1,0 +1,47 @@
+#include "util/status.h"
+
+namespace govdns::util {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kParseError:
+      return "PARSE_ERROR";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kRefused:
+      return "REFUSED";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+void CheckFailed(const char* file, int line, const char* expr) {
+  std::cerr << "GOVDNS_CHECK failed at " << file << ":" << line << ": " << expr
+            << std::endl;
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace govdns::util

@@ -1,0 +1,156 @@
+// Lightweight Status / StatusOr error-handling primitives.
+//
+// Expected, recoverable failures (a malformed DNS message, an unresponsive
+// server) are reported through Status / StatusOr<T> return values.
+// Programming errors (violated preconditions) abort via GOVDNS_CHECK.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace govdns::util {
+
+// Coarse error taxonomy; enough to let callers branch on failure kind.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // wire/text data could not be decoded
+  kNotFound,          // lookup had no result
+  kTimeout,           // simulated network timeout (silent server, loss)
+  kRefused,           // server actively refused
+  kUnavailable,       // endpoint unreachable / not registered
+  kFailedPrecondition,
+  kInternal,
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A success-or-error value. Cheap to copy on success (no message allocated).
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status ParseError(std::string msg) {
+  return {ErrorCode::kParseError, std::move(msg)};
+}
+inline Status NotFoundError(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status TimeoutError(std::string msg) {
+  return {ErrorCode::kTimeout, std::move(msg)};
+}
+inline Status RefusedError(std::string msg) {
+  return {ErrorCode::kRefused, std::move(msg)};
+}
+inline Status UnavailableError(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status InternalError(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+// Holds either a T or a non-OK Status. Accessing value() on error aborts,
+// so callers must test ok() (or use value_or) first.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed from OK status");
+    }
+  }
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const {
+    CheckOk();
+    return &*value_;
+  }
+  T* operator->() {
+    CheckOk();
+    return &*value_;
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "StatusOr::value() on error: " << status_.ToString()
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+// Precondition/invariant check: aborts with location on failure. Used for
+// programming errors only, never for data-dependent failures.
+#define GOVDNS_CHECK(expr)                                            \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::govdns::util::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                 \
+  } while (0)
+
+// Propagates a non-OK Status from an expression returning Status.
+#define GOVDNS_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::govdns::util::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace govdns::util

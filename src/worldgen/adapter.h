@@ -1,0 +1,43 @@
+// Bridges a generated World to the core library's StudyInputs.
+//
+// The analysis pipeline (core) only sees the substrate interfaces; this
+// adapter is the single place where the simulated world is plugged into
+// them, exactly as socket transports and real databases would be.
+#pragma once
+
+#include "core/study.h"
+#include "worldgen/world.h"
+
+namespace govdns::worldgen {
+
+// Country metadata in the shape core expects (code/name/sub-region/top-10).
+std::vector<core::CountryMeta> MakeCountryMetas();
+
+// The UN-knowledge-base records of a world.
+std::vector<core::KnowledgeBaseRecord> MakeKnowledgeBase(const World& world);
+
+// A core policy lookup view over the world's registry documentation.
+class PolicyLookupAdapter : public core::RegistryPolicyLookup {
+ public:
+  explicit PolicyLookupAdapter(const RegistryPolicyDb* db) : db_(db) {}
+  std::optional<bool> IsRestricted(const dns::Name& suffix) const override {
+    return db_->IsRestricted(suffix);
+  }
+
+ private:
+  const RegistryPolicyDb* db_;
+};
+
+// Complete StudyInputs wired to a world. The PolicyLookupAdapter must
+// outlive the returned inputs; callers keep it alongside (see MakeStudy).
+core::StudyInputs MakeStudyInputs(World& world,
+                                  const core::RegistryPolicyLookup* policy);
+
+// Convenience: a ready-to-run Study bound to a world (owns the adapter).
+struct BoundStudy {
+  std::unique_ptr<PolicyLookupAdapter> policy;
+  std::unique_ptr<core::Study> study;
+};
+BoundStudy MakeStudy(World& world);
+
+}  // namespace govdns::worldgen

@@ -1,0 +1,453 @@
+#include "worldgen/countries.h"
+
+#include <map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace govdns::worldgen {
+
+namespace {
+
+// Relative-weight classes for countries without explicit paper targets.
+constexpr double kBig = 2400;    // large, developed e-government
+constexpr double kUpper = 1200;  // substantial deployments
+constexpr double kMid = 450;     // moderate
+constexpr double kSmall = 120;   // small
+constexpr double kTiny = 12;     // a handful of zones
+
+const char* const kSubRegions[] = {
+    "Northern Africa",    "Eastern Africa",   "Middle Africa",
+    "Southern Africa",    "Western Africa",   "Caribbean",
+    "Central America",    "South America",    "Northern America",
+    "Central Asia",       "Eastern Asia",     "South-eastern Asia",
+    "Southern Asia",      "Western Asia",     "Eastern Europe",
+    "Northern Europe",    "Southern Europe",  "Western Europe",
+    "Australia and New Zealand", "Melanesia", "Micronesia",
+    "Polynesia",
+};
+
+const char* const kTop10[] = {"cn", "th", "br", "mx", "uk",
+                              "tr", "in", "au", "ua", "ar"};
+
+CountrySpec Make(const char* code, const char* name, const char* subregion,
+                 double weight) {
+  CountrySpec c{};
+  c.code = code;
+  c.name = name;
+  c.subregion = subregion;
+  c.pdns_2020_weight = weight;
+  c.explicit_target = false;
+  c.suffix_style = SuffixStyle::kReservedSuffix;
+  c.suffix = "";  // default gov.<code>
+  c.private_share = 0.32;
+  c.national_share = 0.52;
+  c.diversity = DiversityProfile{};
+  c.deep_hierarchy_share = 0.03;  // small legacy subtrees everywhere
+  c.dead_intermediate_share = 0.5;
+  c.extra_stale_rate = 0.0;
+  c.shared_dead_ns_rate = 0.17;
+  return c;
+}
+
+std::vector<CountrySpec> BuildCountries() {
+  std::vector<CountrySpec> v;
+  auto add = [&](const char* code, const char* name, const char* subregion,
+                 double weight) -> CountrySpec& {
+    v.push_back(Make(code, name, subregion, weight));
+    return v.back();
+  };
+
+  // ---- Northern Africa ----
+  add("dz", "Algeria", "Northern Africa", kMid);
+  add("eg", "Egypt", "Northern Africa", 900);
+  add("ly", "Libya", "Northern Africa", kSmall);
+  add("ma", "Morocco", "Northern Africa", 700);
+  add("sd", "Sudan", "Northern Africa", kSmall);
+  add("tn", "Tunisia", "Northern Africa", kMid);
+
+  // ---- Eastern Africa ----
+  add("bi", "Burundi", "Eastern Africa", kTiny);
+  add("km", "Comoros", "Eastern Africa", kTiny);
+  add("dj", "Djibouti", "Eastern Africa", kTiny);
+  add("er", "Eritrea", "Eastern Africa", kTiny);
+  add("et", "Ethiopia", "Eastern Africa", kSmall);
+  add("ke", "Kenya", "Eastern Africa", 1100).suffix = "go.ke";
+  add("mg", "Madagascar", "Eastern Africa", kSmall);
+  add("mw", "Malawi", "Eastern Africa", kSmall);
+  add("mu", "Mauritius", "Eastern Africa", kSmall);
+  add("mz", "Mozambique", "Eastern Africa", kSmall);
+  add("rw", "Rwanda", "Eastern Africa", kSmall);
+  add("sc", "Seychelles", "Eastern Africa", kTiny);
+  add("so", "Somalia", "Eastern Africa", kTiny);
+  add("ss", "South Sudan", "Eastern Africa", kTiny);
+  add("ug", "Uganda", "Eastern Africa", kMid).suffix = "go.ug";
+  add("tz", "Tanzania", "Eastern Africa", kMid).suffix = "go.tz";
+  add("zm", "Zambia", "Eastern Africa", kSmall);
+  add("zw", "Zimbabwe", "Eastern Africa", kSmall);
+
+  // ---- Middle Africa ----
+  add("ao", "Angola", "Middle Africa", kSmall);
+  add("cm", "Cameroon", "Middle Africa", kSmall);
+  add("cf", "Central African Republic", "Middle Africa", kTiny);
+  add("td", "Chad", "Middle Africa", kTiny);
+  add("cg", "Congo", "Middle Africa", kTiny);
+  add("cd", "DR Congo", "Middle Africa", kSmall);
+  add("gq", "Equatorial Guinea", "Middle Africa", kTiny);
+  add("ga", "Gabon", "Middle Africa", kTiny);
+  add("st", "Sao Tome and Principe", "Middle Africa", kTiny);
+
+  // ---- Southern Africa ----
+  add("bw", "Botswana", "Southern Africa", kSmall);
+  add("sz", "Eswatini", "Southern Africa", kTiny);
+  add("ls", "Lesotho", "Southern Africa", kTiny);
+  add("na", "Namibia", "Southern Africa", kSmall);
+  add("za", "South Africa", "Southern Africa", 1500);
+
+  // ---- Western Africa ----
+  add("bj", "Benin", "Western Africa", kSmall).suffix = "gouv.bj";
+  {
+    auto& bf = add("bf", "Burkina Faso", "Western Africa", 9);
+    bf.shared_dead_ns_rate = 0.30;  // few domains, weak upkeep (Fig 9 note)
+  }
+  add("cv", "Cabo Verde", "Western Africa", kTiny);
+  add("ci", "Cote d'Ivoire", "Western Africa", kSmall).suffix = "gouv.ci";
+  add("gm", "Gambia", "Western Africa", kTiny);
+  add("gh", "Ghana", "Western Africa", kMid);
+  add("gn", "Guinea", "Western Africa", kTiny);
+  add("gw", "Guinea-Bissau", "Western Africa", kTiny);
+  add("lr", "Liberia", "Western Africa", kTiny);
+  add("ml", "Mali", "Western Africa", kSmall);
+  add("mr", "Mauritania", "Western Africa", kTiny);
+  add("ne", "Niger", "Western Africa", kTiny);
+  add("ng", "Nigeria", "Western Africa", 1000);
+  add("sn", "Senegal", "Western Africa", kSmall).suffix = "gouv.sn";
+  add("sl", "Sierra Leone", "Western Africa", kTiny);
+  add("tg", "Togo", "Western Africa", kTiny).suffix = "gouv.tg";
+
+  // ---- Caribbean ----
+  add("ag", "Antigua and Barbuda", "Caribbean", kTiny);
+  add("bs", "Bahamas", "Caribbean", kSmall);
+  add("bb", "Barbados", "Caribbean", kSmall);
+  add("cu", "Cuba", "Caribbean", kSmall);
+  add("dm", "Dominica", "Caribbean", kTiny);
+  add("do", "Dominican Republic", "Caribbean", kMid).suffix = "gob.do";
+  add("gd", "Grenada", "Caribbean", kTiny);
+  add("ht", "Haiti", "Caribbean", kTiny).suffix = "gouv.ht";
+  {
+    // Paper: could not verify jis.gov.jm's suffix restriction; registered
+    // domain used instead of the suffix.
+    auto& jm = add("jm", "Jamaica", "Caribbean", kSmall);
+    jm.suffix_style = SuffixStyle::kRegisteredDomain;
+    jm.suffix = "jis.gov.jm";
+  }
+  add("kn", "Saint Kitts and Nevis", "Caribbean", kTiny);
+  add("lc", "Saint Lucia", "Caribbean", kTiny);
+  add("vc", "Saint Vincent and the Grenadines", "Caribbean", kTiny);
+  add("tt", "Trinidad and Tobago", "Caribbean", kSmall);
+
+  // ---- Central America ----
+  add("bz", "Belize", "Central America", kTiny);
+  add("cr", "Costa Rica", "Central America", kMid).suffix = "go.cr";
+  add("sv", "El Salvador", "Central America", kMid).suffix = "gob.sv";
+  add("gt", "Guatemala", "Central America", kMid).suffix = "gob.gt";
+  add("hn", "Honduras", "Central America", kSmall).suffix = "gob.hn";
+  {
+    auto& mx = add("mx", "Mexico", "Central America", 7800);
+    mx.explicit_target = true;
+    mx.suffix = "gob.mx";
+    mx.diversity = {0.100, 0.251, 0.619};
+    mx.extra_stale_rate = 0.22;      // paper: many stale d_1NS, stale records
+    mx.shared_dead_ns_rate = 0.26;
+    mx.deep_hierarchy_share = 0.15;
+    mx.dead_intermediate_share = 0.70;
+  }
+  add("ni", "Nicaragua", "Central America", kSmall).suffix = "gob.ni";
+  add("pa", "Panama", "Central America", kSmall).suffix = "gob.pa";
+
+  // ---- South America ----
+  {
+    auto& ar = add("ar", "Argentina", "South America", 4200);
+    ar.explicit_target = true;
+    ar.suffix = "gob.ar";
+    ar.diversity = {0.024, 0.264, 0.575};
+    ar.shared_dead_ns_rate = 0.18;
+  }
+  {
+    auto& bo = add("bo", "Bolivia", "South America", 9);
+    bo.suffix = "gob.bo";
+    bo.shared_dead_ns_rate = 0.30;
+  }
+  {
+    auto& br = add("br", "Brazil", "South America", 11000);
+    br.explicit_target = true;
+    br.diversity = {0.043, 0.432, 0.748};
+    br.deep_hierarchy_share = 0.80;  // state zones: 53% of 4th-level domains
+    br.dead_intermediate_share = 0.08;
+    br.extra_stale_rate = 0.20;
+    br.shared_dead_ns_rate = 0.30;
+  }
+  add("cl", "Chile", "South America", 1400).suffix = "gob.cl";
+  add("co", "Colombia", "South America", 1800);
+  add("ec", "Ecuador", "South America", 1200).suffix = "gob.ec";
+  add("gy", "Guyana", "South America", kTiny);
+  add("py", "Paraguay", "South America", kSmall);
+  add("pe", "Peru", "South America", 1500).suffix = "gob.pe";
+  add("sr", "Suriname", "South America", kTiny);
+  add("uy", "Uruguay", "South America", kMid).suffix = "gub.uy";
+  add("ve", "Venezuela", "South America", kMid).suffix = "gob.ve";
+
+  // ---- Northern America ----
+  {
+    auto& ca = add("ca", "Canada", "Northern America", 1700);
+    ca.suffix = "gc.ca";
+  }
+  {
+    auto& us = add("us", "United States", "Northern America", 3000);
+    us.suffix = "gov";  // the .gov TLD itself
+  }
+
+  // ---- Central Asia ----
+  add("kz", "Kazakhstan", "Central Asia", 700);
+  {
+    auto& kg = add("kg", "Kyrgyzstan", "Central Asia", 400);
+    kg.extra_stale_rate = 0.30;  // paper: >half of d_1NS unresponsive
+    kg.private_share = 0.55;
+  }
+  add("tj", "Tajikistan", "Central Asia", kSmall);
+  add("tm", "Turkmenistan", "Central Asia", kTiny);
+  add("uz", "Uzbekistan", "Central Asia", kMid);
+
+  // ---- Eastern Asia ----
+  {
+    auto& cn = add("cn", "China", "Eastern Asia", 30000);
+    cn.explicit_target = true;
+    cn.diversity = {0.027, 0.016, 0.452};
+    cn.deep_hierarchy_share = 0.45;  // provincial/prefecture zones
+    cn.dead_intermediate_share = 0.75;  // the 2020/21 consolidation
+    cn.private_share = 0.18;
+    cn.national_share = 0.72;  // hichina/xincache/dns-diy dominate
+    cn.shared_dead_ns_rate = 0.10;
+  }
+  add("jp", "Japan", "Eastern Asia", 2000).suffix = "go.jp";
+  add("mn", "Mongolia", "Eastern Asia", 300);
+  add("kp", "North Korea", "Eastern Asia", kTiny);
+  add("kr", "South Korea", "Eastern Asia", 2000).suffix = "go.kr";
+
+  // ---- South-eastern Asia ----
+  add("bn", "Brunei", "South-eastern Asia", kSmall);
+  add("kh", "Cambodia", "South-eastern Asia", kSmall);
+  {
+    auto& id = add("id", "Indonesia", "South-eastern Asia", 2600);
+    id.suffix = "go.id";
+    id.extra_stale_rate = 0.30;  // paper: >half of d_1NS unresponsive
+    id.private_share = 0.45;
+    id.deep_hierarchy_share = 0.15;
+    id.dead_intermediate_share = 0.70;
+  }
+  {
+    // Paper: could not verify restriction; used registered domain.
+    auto& la = add("la", "Laos", "South-eastern Asia", kSmall);
+    la.suffix_style = SuffixStyle::kRegisteredDomain;
+    la.suffix = "laogov.gov.la";
+  }
+  add("my", "Malaysia", "South-eastern Asia", 1500);
+  add("mm", "Myanmar", "South-eastern Asia", kMid);
+  add("ph", "Philippines", "South-eastern Asia", 1500);
+  add("sg", "Singapore", "South-eastern Asia", kMid);
+  {
+    auto& th = add("th", "Thailand", "South-eastern Asia", 11500);
+    th.explicit_target = true;
+    th.suffix = "go.th";
+    th.diversity = {0.639, 0.122, 0.571};  // NS pairs sharing one address
+    th.private_share = 0.50;
+    th.shared_dead_ns_rate = 0.38;
+    th.deep_hierarchy_share = 0.18;
+    th.dead_intermediate_share = 0.70;
+  }
+  {
+    auto& tl = add("tl", "Timor-Leste", "South-eastern Asia", kTiny);
+    tl.suffix_style = SuffixStyle::kRegisteredDomain;
+    tl.suffix = "timor-leste.gov.tl";
+  }
+  add("vn", "Vietnam", "South-eastern Asia", 1600);
+
+  // ---- Southern Asia ----
+  add("af", "Afghanistan", "Southern Asia", kSmall);
+  add("bd", "Bangladesh", "Southern Asia", 800);
+  add("bt", "Bhutan", "Southern Asia", kTiny);
+  {
+    auto& in = add("in", "India", "Southern Asia", 6600);
+    in.explicit_target = true;
+    in.diversity = {0.066, 0.100, 0.874};  // NIC: one AS hosts nearly all
+    in.private_share = 0.55;               // NIC-run infrastructure
+    in.national_share = 0.35;
+    in.shared_dead_ns_rate = 0.22;
+  }
+  add("ir", "Iran", "Southern Asia", kMid);
+  add("mv", "Maldives", "Southern Asia", kTiny);
+  add("np", "Nepal", "Southern Asia", kMid);
+  add("pk", "Pakistan", "Southern Asia", 700);
+  add("lk", "Sri Lanka", "Southern Asia", kMid);
+
+  // ---- Western Asia ----
+  add("am", "Armenia", "Western Asia", kSmall);
+  add("az", "Azerbaijan", "Western Asia", kMid);
+  add("bh", "Bahrain", "Western Asia", kSmall);
+  add("cy", "Cyprus", "Western Asia", kSmall);
+  add("ge", "Georgia", "Western Asia", kMid);
+  add("iq", "Iraq", "Western Asia", kSmall);
+  add("il", "Israel", "Western Asia", 1000);
+  add("jo", "Jordan", "Western Asia", kMid);
+  add("kw", "Kuwait", "Western Asia", kSmall);
+  add("lb", "Lebanon", "Western Asia", kSmall);
+  add("om", "Oman", "Western Asia", kSmall);
+  add("qa", "Qatar", "Western Asia", kSmall);
+  add("sa", "Saudi Arabia", "Western Asia", 800);
+  add("sy", "Syria", "Western Asia", kTiny);
+  {
+    auto& tr = add("tr", "Turkey", "Western Asia", 6800);
+    tr.explicit_target = true;
+    tr.diversity = {0.089, 0.203, 0.420};
+    tr.extra_stale_rate = 0.25;  // paper: hundreds of stale records
+    tr.shared_dead_ns_rate = 0.40;
+    tr.deep_hierarchy_share = 0.15;
+    tr.dead_intermediate_share = 0.70;
+  }
+  {
+    auto& ae = add("ae", "United Arab Emirates", "Western Asia", 8);
+    ae.shared_dead_ns_rate = 0.25;  // centralized e-gov, few zones
+  }
+  add("ye", "Yemen", "Western Asia", kTiny);
+
+  // ---- Eastern Europe ----
+  add("by", "Belarus", "Eastern Europe", kMid);
+  {
+    auto& bg = add("bg", "Bulgaria", "Eastern Europe", 9);
+    bg.shared_dead_ns_rate = 0.30;
+  }
+  add("cz", "Czechia", "Eastern Europe", kUpper);
+  add("hu", "Hungary", "Eastern Europe", kUpper);
+  add("md", "Moldova", "Eastern Europe", kMid);
+  add("pl", "Poland", "Eastern Europe", 1800);
+  add("ro", "Romania", "Eastern Europe", kUpper);
+  add("ru", "Russia", "Eastern Europe", kBig);
+  add("sk", "Slovakia", "Eastern Europe", kMid);
+  {
+    auto& ua = add("ua", "Ukraine", "Eastern Europe", 5100);
+    ua.explicit_target = true;
+    ua.diversity = {0.010, 0.371, 0.276};
+    ua.shared_dead_ns_rate = 0.16;
+  }
+
+  // ---- Northern Europe ----
+  add("dk", "Denmark", "Northern Europe", kUpper);
+  add("ee", "Estonia", "Northern Europe", kMid);
+  add("fi", "Finland", "Northern Europe", kUpper);
+  add("is", "Iceland", "Northern Europe", kSmall);
+  add("ie", "Ireland", "Northern Europe", kUpper);
+  add("lv", "Latvia", "Northern Europe", kMid);
+  add("lt", "Lithuania", "Northern Europe", kMid);
+  {
+    // Paper: the one portal FQDN with NS records not covered by a suffix
+    // check; the registered domain is government-run.
+    auto& no = add("no", "Norway", "Northern Europe", kUpper);
+    no.suffix_style = SuffixStyle::kRegisteredDomain;
+    no.suffix = "regjeringen.no";
+  }
+  add("se", "Sweden", "Northern Europe", kUpper);
+  {
+    auto& uk = add("uk", "United Kingdom", "Northern Europe", 7000);
+    uk.explicit_target = true;
+    uk.diversity = {0.003, 0.036, 0.735};
+    uk.shared_dead_ns_rate = 0.06;
+  }
+
+  // ---- Southern Europe ----
+  add("al", "Albania", "Southern Europe", kSmall);
+  add("ad", "Andorra", "Southern Europe", kTiny);
+  add("ba", "Bosnia and Herzegovina", "Southern Europe", kSmall);
+  add("hr", "Croatia", "Southern Europe", kMid);
+  add("gr", "Greece", "Southern Europe", kUpper);
+  add("it", "Italy", "Southern Europe", 2200);
+  add("mt", "Malta", "Southern Europe", kSmall);
+  add("me", "Montenegro", "Southern Europe", kSmall);
+  add("mk", "North Macedonia", "Southern Europe", kSmall);
+  add("pt", "Portugal", "Southern Europe", kUpper);
+  add("sm", "San Marino", "Southern Europe", kTiny);
+  add("rs", "Serbia", "Southern Europe", kMid);
+  add("si", "Slovenia", "Southern Europe", kMid);
+  add("es", "Spain", "Southern Europe", 2200).suffix = "gob.es";
+
+  // ---- Western Europe ----
+  add("at", "Austria", "Western Europe", kUpper).suffix = "gv.at";
+  add("be", "Belgium", "Western Europe", kUpper);
+  add("fr", "France", "Western Europe", 2500).suffix = "gouv.fr";
+  add("de", "Germany", "Western Europe", 2500).suffix = "bund.de";
+  add("li", "Liechtenstein", "Western Europe", kTiny);
+  add("lu", "Luxembourg", "Western Europe", kSmall);
+  add("mc", "Monaco", "Western Europe", kTiny).suffix = "gouv.mc";
+  add("nl", "Netherlands", "Western Europe", 1300).suffix = "overheid.nl";
+  add("ch", "Switzerland", "Western Europe", kUpper).suffix = "admin.ch";
+
+  // ---- Australia and New Zealand ----
+  {
+    auto& au = add("au", "Australia", "Australia and New Zealand", 5400);
+    au.explicit_target = true;
+    au.diversity = {0.008, 0.076, 0.902};  // provider-heavy, single-AS
+    au.private_share = 0.20;
+    au.national_share = 0.40;
+    au.shared_dead_ns_rate = 0.08;
+  }
+  add("nz", "New Zealand", "Australia and New Zealand", kUpper).suffix =
+      "govt.nz";
+
+  // ---- Melanesia ----
+  add("fj", "Fiji", "Melanesia", kSmall);
+  add("pg", "Papua New Guinea", "Melanesia", kTiny);
+  add("sb", "Solomon Islands", "Melanesia", kTiny);
+  add("vu", "Vanuatu", "Melanesia", kTiny);
+
+  // ---- Micronesia ----
+  add("ki", "Kiribati", "Micronesia", kTiny);
+  add("mh", "Marshall Islands", "Micronesia", kTiny);
+  add("fm", "Micronesia", "Micronesia", kTiny);
+  add("nr", "Nauru", "Micronesia", kTiny);
+  add("pw", "Palau", "Micronesia", kTiny);
+
+  // ---- Polynesia ----
+  add("ws", "Samoa", "Polynesia", kTiny);
+  add("to", "Tonga", "Polynesia", kTiny);
+  add("tv", "Tuvalu", "Polynesia", kTiny);
+
+  return v;
+}
+
+const std::vector<CountrySpec>& CountryVector() {
+  static const std::vector<CountrySpec> kCountries = BuildCountries();
+  GOVDNS_CHECK(kCountries.size() == 193);
+  return kCountries;
+}
+
+}  // namespace
+
+std::span<const CountrySpec> Countries() { return CountryVector(); }
+
+int CountryIndexByCode(const std::string& code) {
+  static const std::map<std::string, int> kIndex = [] {
+    std::map<std::string, int> m;
+    const auto& countries = CountryVector();
+    for (int i = 0; i < static_cast<int>(countries.size()); ++i) {
+      m[countries[i].code] = i;
+    }
+    return m;
+  }();
+  auto it = kIndex.find(code);
+  return it == kIndex.end() ? -1 : it->second;
+}
+
+std::span<const char* const> SubRegionNames() { return kSubRegions; }
+
+std::span<const char* const> Top10CountryCodes() { return kTop10; }
+
+}  // namespace govdns::worldgen

@@ -1,0 +1,86 @@
+// Static data for the 193 UN member states.
+//
+// This plays the role of the UN E-Government Knowledge Base in the paper:
+// each country has a national portal whose domain seeds discovery, a
+// government suffix (or registered domain) under which its e-government
+// zones live, and a UN M49 sub-region used for the provider-coverage
+// analyses (Tables II/III group by sub-region, with the 10 countries
+// holding the most PDNS records split out as their own groups).
+//
+// Per-country calibration knobs (relative zone counts, deployment-style
+// mix, diversity profile) are also declared here so that the generated
+// world's marginals track the paper's reported per-country statistics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace govdns::worldgen {
+
+// How a country anchors its e-government namespace.
+enum class SuffixStyle : uint8_t {
+  kReservedSuffix,    // a registration-restricted suffix, e.g. gov.cn
+  kRegisteredDomain,  // an ordinary registered domain, e.g. regjeringen.no
+};
+
+// Per-country placement profile for nameserver IPs, calibrated against the
+// per-country rows of Table I.
+struct DiversityProfile {
+  // Among multi-NS domains: probability that all NS resolve to one address.
+  double p_single_ip = 0.10;
+  // Given >1 address: probability all addresses share a /24.
+  double p_single_24_given_multi_ip = 0.36;
+  // Given >1 /24: probability all prefixes share an ASN.
+  double p_single_asn_given_multi_24 = 0.52;
+};
+
+struct CountrySpec {
+  const char* code;       // ccTLD label, e.g. "cn"
+  const char* name;       // display name
+  const char* subregion;  // UN M49 sub-region name
+  // Target number of domains with NS data in the 2020 PDNS snapshot.
+  // Explicit for the paper's top-10 countries; for the rest this is a
+  // relative weight that the generator normalizes to the global total.
+  double pdns_2020_weight;
+  bool explicit_target;  // true: weight IS the target count
+
+  SuffixStyle suffix_style;
+  // The government suffix ("gov.cn") or registered domain
+  // ("regjeringen.no"). Empty means derive "gov." + code.
+  const char* suffix;
+
+  // Deployment-style mix (fractions; remainder = global third-party
+  // providers): private infrastructure and national hosting companies.
+  double private_share;
+  double national_share;
+
+  DiversityProfile diversity;
+
+  // Fraction of this country's domains delegated below an intermediate
+  // zone (states/provinces), giving fourth-level domains as in gov.br.
+  double deep_hierarchy_share;
+  // Fraction of those intermediate zones (and the domains under them) that
+  // are dead by measurement time — the paper's "parent zone nameservers do
+  // not respond" population (China's consolidation dominates it).
+  double dead_intermediate_share;
+
+  // Elevated misconfiguration rates (see WorldConfig for global baselines).
+  double extra_stale_rate;         // extra fully-stale delegations
+  double shared_dead_ns_rate;      // domains pointing at a shared dead NS
+};
+
+// The full 193-member table, canonical order by country code.
+std::span<const CountrySpec> Countries();
+
+// Index into Countries() by ccTLD code; -1 if absent.
+int CountryIndexByCode(const std::string& code);
+
+// The 22 UN M49 sub-region names used in the table.
+std::span<const char* const> SubRegionNames();
+
+// The paper's top-10 countries by PDNS record volume (Table I order).
+// These are split out as their own "sub-region" groups in Tables II/III.
+std::span<const char* const> Top10CountryCodes();
+
+}  // namespace govdns::worldgen

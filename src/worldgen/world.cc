@@ -1,0 +1,26 @@
+#include "worldgen/world.h"
+
+namespace govdns::worldgen {
+
+const NsEpoch* DomainTruth::EpochAt(util::CivilDay day) const {
+  for (const NsEpoch& epoch : epochs) {
+    if (epoch.days.Contains(day)) return &epoch;
+  }
+  return nullptr;
+}
+
+World::World(WorldConfig config)
+    : config_(config),
+      network_(std::make_unique<simnet::SimNetwork>(config.seed ^ 0x6e6574ULL)),
+      pdns_(/*merge_gap_days=*/30),
+      registrar_(config.seed ^ 0x726567ULL) {}
+
+World::~World() = default;
+
+const DomainTruth* World::FindDomain(const dns::Name& name) const {
+  auto it = domain_index_.find(name);
+  if (it == domain_index_.end()) return nullptr;
+  return &domains_[it->second];
+}
+
+}  // namespace govdns::worldgen

@@ -1,0 +1,221 @@
+#include "zone/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace govdns::zone {
+
+std::string_view LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kError:
+      return "ERROR";
+    case LintSeverity::kWarning:
+      return "WARNING";
+    case LintSeverity::kNotice:
+      return "NOTICE";
+  }
+  return "?";
+}
+
+std::string_view LintRuleName(LintRule rule) {
+  switch (rule) {
+    case LintRule::kMissingSoa:
+      return "missing-soa";
+    case LintRule::kMultipleSoa:
+      return "multiple-soa";
+    case LintRule::kMissingApexNs:
+      return "missing-apex-ns";
+    case LintRule::kSingleApexNs:
+      return "single-apex-ns";
+    case LintRule::kCnameAtApex:
+      return "cname-at-apex";
+    case LintRule::kCnameAndOtherData:
+      return "cname-and-other-data";
+    case LintRule::kNsPointsToCname:
+      return "ns-points-to-cname";
+    case LintRule::kRelativeNsTarget:
+      return "relative-ns-target";
+    case LintRule::kMissingGlue:
+      return "missing-glue";
+    case LintRule::kOrphanGlue:
+      return "orphan-glue";
+    case LintRule::kUnresolvableNsTarget:
+      return "unresolvable-ns-target";
+    case LintRule::kTtlZero:
+      return "ttl-zero";
+    case LintRule::kSoaSerialZero:
+      return "soa-serial-zero";
+    case LintRule::kDelegationMismatch:
+      return "delegation-mismatch";
+  }
+  return "?";
+}
+
+std::string LintFinding::ToString() const {
+  std::string out(LintSeverityName(severity));
+  out += " [";
+  out += LintRuleName(rule);
+  out += "] ";
+  out += name.ToString();
+  out += ": ";
+  out += message;
+  return out;
+}
+
+namespace {
+
+void Add(std::vector<LintFinding>& findings, LintRule rule,
+         LintSeverity severity, const dns::Name& name, std::string message) {
+  findings.push_back(LintFinding{rule, severity, name, std::move(message)});
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintZone(const Zone& zone, LintOptions options) {
+  std::vector<LintFinding> findings;
+  const dns::Name& origin = zone.origin();
+
+  // ---- Apex checks --------------------------------------------------------
+  auto soas = zone.Find(origin, dns::RRType::kSOA);
+  if (soas.empty()) {
+    Add(findings, LintRule::kMissingSoa, LintSeverity::kError, origin,
+        "zone has no SOA record at the apex");
+  } else {
+    if (soas.size() > 1) {
+      Add(findings, LintRule::kMultipleSoa, LintSeverity::kError, origin,
+          "zone has " + std::to_string(soas.size()) + " SOA records");
+    }
+    const auto& soa = std::get<dns::SoaRdata>(soas.front().rdata);
+    if (soa.serial == 0) {
+      Add(findings, LintRule::kSoaSerialZero, LintSeverity::kNotice, origin,
+          "SOA serial is 0");
+    }
+  }
+
+  auto apex_ns = zone.NsTargets(origin);
+  if (apex_ns.empty()) {
+    Add(findings, LintRule::kMissingApexNs, LintSeverity::kError, origin,
+        "zone has no NS records at the apex");
+  } else if (apex_ns.size() == 1) {
+    Add(findings, LintRule::kSingleApexNs,
+        options.strict_replication ? LintSeverity::kError
+                                   : LintSeverity::kWarning,
+        origin,
+        "only one apex nameserver (RFC 2182 requires replication; this "
+        "study found 60% of such government domains dead)");
+  }
+  if (!zone.Find(origin, dns::RRType::kCNAME).empty()) {
+    Add(findings, LintRule::kCnameAtApex, LintSeverity::kError, origin,
+        "CNAME at the zone apex is illegal (RFC 1034)");
+  }
+
+  // ---- Per-name scans -----------------------------------------------------
+  // Collect every (owner, type) and all NS records for later checks.
+  std::map<dns::Name, std::set<dns::RRType>> types_at;
+  std::vector<dns::ResourceRecord> ns_records;
+  zone.ForEachRecord([&](const dns::ResourceRecord& rr) {
+    types_at[rr.name].insert(rr.type());
+    if (rr.type() == dns::RRType::kNS) ns_records.push_back(rr);
+    if (rr.ttl == 0) {
+      Add(findings, LintRule::kTtlZero, LintSeverity::kNotice, rr.name,
+          "record has TTL 0");
+    }
+  });
+
+  for (const auto& [name, types] : types_at) {
+    if (types.contains(dns::RRType::kCNAME) && types.size() > 1) {
+      // A delegation NS alongside CNAME is doubly wrong but reported once.
+      if (!(name == origin)) {  // apex case already reported
+        Add(findings, LintRule::kCnameAndOtherData, LintSeverity::kError,
+            name, "CNAME coexists with other record types");
+      }
+    }
+  }
+
+  // ---- NS target checks ---------------------------------------------------
+  for (const dns::ResourceRecord& rr : ns_records) {
+    const dns::Name& target = std::get<dns::NsRdata>(rr.rdata).nameserver;
+    if (target.LabelCount() <= 1) {
+      Add(findings, LintRule::kRelativeNsTarget, LintSeverity::kError,
+          rr.name,
+          "NS target '" + target.ToString() +
+              "' looks like a relative name that lost its origin (the "
+              "paper's 'ns' vs 'ns.example.com' typo)");
+      continue;
+    }
+    if (!target.IsSubdomainOf(origin)) continue;  // out of bailiwick: fine
+    const bool has_address =
+        !zone.Find(target, dns::RRType::kA).empty() ||
+        !zone.Find(target, dns::RRType::kAAAA).empty();
+    if (has_address) continue;
+    if (!zone.Find(target, dns::RRType::kCNAME).empty()) {
+      Add(findings, LintRule::kNsPointsToCname, LintSeverity::kError, rr.name,
+          "NS target " + target.ToString() + " is a CNAME (RFC 1912 2.4)");
+    } else if (zone.NameExists(target)) {
+      Add(findings, LintRule::kMissingGlue, LintSeverity::kWarning, rr.name,
+          "in-bailiwick NS target " + target.ToString() +
+              " has no address record (glue)");
+    } else {
+      Add(findings, LintRule::kUnresolvableNsTarget, LintSeverity::kError,
+          rr.name,
+          "in-zone NS target " + target.ToString() + " does not exist");
+    }
+  }
+
+  // ---- Glue hygiene: address records below a cut must belong to the cut's
+  // NS set (anything else is occluded data that silently stops resolving).
+  std::set<dns::Name> glue_targets;
+  for (const dns::ResourceRecord& rr : ns_records) {
+    if (!(rr.name == origin)) {
+      glue_targets.insert(std::get<dns::NsRdata>(rr.rdata).nameserver);
+    }
+  }
+  zone.ForEachRecord([&](const dns::ResourceRecord& rr) {
+    if (rr.type() != dns::RRType::kA && rr.type() != dns::RRType::kAAAA) {
+      return;
+    }
+    auto cut = zone.FindDelegation(rr.name);
+    if (!cut || rr.name == *cut) return;
+    if (!glue_targets.contains(rr.name)) {
+      Add(findings, LintRule::kOrphanGlue, LintSeverity::kWarning, rr.name,
+          "address record below the " + cut->ToString() +
+              " delegation is not glue for any of its nameservers");
+    }
+  });
+
+  return findings;
+}
+
+std::vector<LintFinding> LintDelegation(
+    const Zone& zone, const std::vector<dns::Name>& parent_ns) {
+  std::vector<LintFinding> findings;
+  std::set<dns::Name> parent(parent_ns.begin(), parent_ns.end());
+  auto child_vec = zone.NsTargets(zone.origin());
+  std::set<dns::Name> child(child_vec.begin(), child_vec.end());
+  if (parent == child) return findings;
+
+  auto describe = [](const std::set<dns::Name>& names) {
+    std::string out;
+    for (const auto& name : names) {
+      if (!out.empty()) out += ", ";
+      out += name.ToString();
+    }
+    return out.empty() ? std::string("(none)") : out;
+  };
+  std::set<dns::Name> parent_only, child_only;
+  std::set_difference(parent.begin(), parent.end(), child.begin(),
+                      child.end(),
+                      std::inserter(parent_only, parent_only.begin()));
+  std::set_difference(child.begin(), child.end(), parent.begin(),
+                      parent.end(),
+                      std::inserter(child_only, child_only.begin()));
+  Add(findings, LintRule::kDelegationMismatch, LintSeverity::kWarning,
+      zone.origin(),
+      "parent and child NS sets disagree; parent-only: {" +
+          describe(parent_only) + "}, child-only: {" + describe(child_only) +
+          "} (stale parent records risk lame delegation or hijacking)");
+  return findings;
+}
+
+}  // namespace govdns::zone

@@ -1,0 +1,69 @@
+// Zone hygiene linting — the "tools for DNS debugging" the paper's §V-B
+// recommends as a remedy (RFC 1912, Zonemaster, registry pre-delegation
+// checks). Runs RFC 1034/1912-style structural checks over a Zone and, when
+// given the delegations a parent publishes, parent/child consistency checks
+// — the same defect classes the measurement study finds in the wild,
+// detectable *before* they ship.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "zone/zone.h"
+
+namespace govdns::zone {
+
+enum class LintSeverity {
+  kError,    // will break resolution or violates a MUST
+  kWarning,  // resilience/consistency risk (a SHOULD)
+  kNotice,   // stylistic / informational
+};
+
+std::string_view LintSeverityName(LintSeverity severity);
+
+// Which rule fired; stable identifiers for tooling.
+enum class LintRule {
+  kMissingSoa,           // no SOA at the apex (RFC 1035 MUST)
+  kMultipleSoa,          // more than one SOA record
+  kMissingApexNs,        // no NS RRset at the apex
+  kSingleApexNs,         // only one apex NS (RFC 2182: use >= 2)
+  kCnameAtApex,          // CNAME alongside apex records (RFC 1034 illegal)
+  kCnameAndOtherData,    // CNAME coexists with other types at a name
+  kNsPointsToCname,      // NS target is a CNAME (RFC 1912 §2.4)
+  kRelativeNsTarget,     // single-label NS target (lost-origin typo)
+  kMissingGlue,          // in-bailiwick NS target without an address record
+  kOrphanGlue,           // address records below a cut that are not glue
+  kUnresolvableNsTarget, // in-zone NS target name does not exist at all
+  kTtlZero,              // zero TTL on a record
+  kSoaSerialZero,        // serial 0 (suspicious default)
+  kDelegationMismatch,   // parent NS set differs from child apex NS set
+};
+
+std::string_view LintRuleName(LintRule rule);
+
+struct LintFinding {
+  LintRule rule;
+  LintSeverity severity;
+  dns::Name name;       // the owner the finding is about
+  std::string message;  // human-readable explanation
+
+  std::string ToString() const;
+};
+
+struct LintOptions {
+  // Treat a single apex NS as an error instead of a warning (government
+  // operators per this paper's findings arguably should).
+  bool strict_replication = false;
+};
+
+// Structural checks over one zone.
+std::vector<LintFinding> LintZone(const Zone& zone,
+                                  LintOptions options = LintOptions());
+
+// Parent/child consistency: compares the NS RRset the parent publishes for
+// `zone.origin()` against the child's apex NS RRset (the §IV-D check).
+std::vector<LintFinding> LintDelegation(
+    const Zone& zone, const std::vector<dns::Name>& parent_ns);
+
+}  // namespace govdns::zone

@@ -1,0 +1,81 @@
+#include "zone/zone.h"
+
+#include <functional>
+
+namespace govdns::zone {
+
+Zone::Zone(dns::Name origin) : origin_(std::move(origin)) {}
+
+void Zone::Add(dns::ResourceRecord rr) {
+  GOVDNS_CHECK(rr.name.IsSubdomainOf(origin_));
+  records_[rr.name][rr.type()].push_back(std::move(rr));
+}
+
+std::vector<dns::ResourceRecord> Zone::Find(const dns::Name& name,
+                                            dns::RRType type) const {
+  auto it = records_.find(name);
+  if (it == records_.end()) return {};
+  auto jt = it->second.find(type);
+  if (jt == it->second.end()) return {};
+  return jt->second;
+}
+
+bool Zone::NameExists(const dns::Name& name) const {
+  if (records_.contains(name)) return true;
+  // Empty non-terminal: some existing owner is a proper subdomain of name.
+  // Owners ordered canonically cluster under their ancestors, so scan the
+  // range starting at `name`.
+  for (auto it = records_.lower_bound(name); it != records_.end(); ++it) {
+    if (!it->first.IsSubdomainOf(name)) break;
+    return true;
+  }
+  return false;
+}
+
+std::optional<dns::Name> Zone::FindDelegation(const dns::Name& name) const {
+  if (!name.IsSubdomainOf(origin_)) return std::nullopt;
+  // Walk cuts from the origin downward: check each ancestor of `name` that
+  // is strictly below the origin, shortest first, so the topmost cut wins.
+  const size_t origin_labels = origin_.LabelCount();
+  for (size_t count = origin_labels + 1; count <= name.LabelCount(); ++count) {
+    dns::Name candidate = name.Suffix(count);
+    auto it = records_.find(candidate);
+    if (it != records_.end() && it->second.contains(dns::RRType::kNS)) {
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<dns::ResourceRecord> Zone::Soa() const {
+  auto soas = Find(origin_, dns::RRType::kSOA);
+  if (soas.empty()) return std::nullopt;
+  return soas.front();
+}
+
+std::vector<dns::Name> Zone::NsTargets(const dns::Name& owner) const {
+  std::vector<dns::Name> out;
+  for (const auto& rr : Find(owner, dns::RRType::kNS)) {
+    out.push_back(std::get<dns::NsRdata>(rr.rdata).nameserver);
+  }
+  return out;
+}
+
+void Zone::ForEachRecord(
+    const std::function<void(const dns::ResourceRecord&)>& fn) const {
+  for (const auto& [name, by_type] : records_) {
+    for (const auto& [type, rrs] : by_type) {
+      for (const auto& rr : rrs) fn(rr);
+    }
+  }
+}
+
+size_t Zone::record_count() const {
+  size_t total = 0;
+  for (const auto& [name, by_type] : records_) {
+    for (const auto& [type, rrs] : by_type) total += rrs.size();
+  }
+  return total;
+}
+
+}  // namespace govdns::zone

@@ -1,0 +1,62 @@
+// DNS zone data: the authoritative record sets for one zone, plus lookup
+// helpers used by the authoritative-server logic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "util/status.h"
+
+namespace govdns::zone {
+
+// A zone is the set of records from its origin (apex) down to — but not
+// including — the apexes of delegated child zones. NS records at a name
+// other than the origin mark a delegation cut.
+class Zone {
+ public:
+  explicit Zone(dns::Name origin);
+
+  const dns::Name& origin() const { return origin_; }
+
+  // Adds a record. The owner name must be at or below the origin.
+  void Add(dns::ResourceRecord rr);
+
+  // All records of `type` at `name`; empty if none.
+  std::vector<dns::ResourceRecord> Find(const dns::Name& name,
+                                        dns::RRType type) const;
+
+  // True if any record exists at `name` (of any type), or if `name` is an
+  // empty non-terminal (an existing name's ancestor).
+  bool NameExists(const dns::Name& name) const;
+
+  // The closest delegation cut at or above `name`, strictly below the
+  // origin: the NS RRset whose owner is the longest suffix of `name` that
+  // is a proper subdomain of the origin and carries NS records.
+  // Returns nullopt when `name` is inside this zone's authoritative data.
+  std::optional<dns::Name> FindDelegation(const dns::Name& name) const;
+
+  // The SOA record at the apex, if present.
+  std::optional<dns::ResourceRecord> Soa() const;
+
+  // All NS names at a given owner (convenience over Find).
+  std::vector<dns::Name> NsTargets(const dns::Name& owner) const;
+
+  // Iterates every record in the zone (tests and the PDNS replayer use it).
+  void ForEachRecord(
+      const std::function<void(const dns::ResourceRecord&)>& fn) const;
+
+  size_t record_count() const;
+
+ private:
+  dns::Name origin_;
+  // Owner name -> type -> records. std::map keeps canonical order, which
+  // makes iteration (and thus everything built on it) deterministic.
+  std::map<dns::Name, std::map<dns::RRType, std::vector<dns::ResourceRecord>>>
+      records_;
+};
+
+}  // namespace govdns::zone

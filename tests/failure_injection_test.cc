@@ -1,0 +1,151 @@
+// Failure injection: adversarial and degenerate server behaviour must never
+// hang, crash, or mislead the measurement pipeline — only degrade it.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/measure.h"
+#include "core/resolver.h"
+#include "tests/test_world.h"
+
+namespace govdns::core {
+namespace {
+
+using dns::MakeA;
+using dns::MakeNs;
+using dns::Name;
+using govdns::testing::TinyInternet;
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest() : world_(), resolver_(&world_.net, world_.roots()) {}
+
+  TinyInternet world_;
+  IterativeResolver resolver_;
+};
+
+TEST_F(FailureInjectionTest, CyclicGluelessDelegationTerminates) {
+  // a.gov.xx delegates to ns.b.gov.xx; b.gov.xx delegates to ns.a.gov.xx —
+  // neither resolvable without the other. The resolver's depth budget must
+  // cut the mutual recursion.
+  auto gov = std::make_shared<zone::Zone>(Name::FromString("gov.xx"));
+  gov->Add(MakeNs(Name::FromString("a.gov.xx"), Name::FromString("ns.b.gov.xx")));
+  gov->Add(MakeNs(Name::FromString("b.gov.xx"), Name::FromString("ns.a.gov.xx")));
+  world_.gov_server->RemoveZone(Name::FromString("gov.xx"));
+  // Rebuild the gov zone with the cycle plus its own apex data.
+  gov->Add(MakeNs(Name::FromString("gov.xx"), Name::FromString("ns1.nic.gov.xx")));
+  gov->Add(MakeA(Name::FromString("ns1.nic.gov.xx"), TinyInternet::Ip(10, 0, 2, 1)));
+  world_.gov_server->AddZone(gov);
+
+  auto result = resolver_.Resolve(Name::FromString("www.a.gov.xx"),
+                                  dns::RRType::kA);
+  EXPECT_FALSE(result.ok());  // fails, but returns
+}
+
+TEST_F(FailureInjectionTest, SelfReferentialGluelessDelegationTerminates) {
+  auto gov = std::make_shared<zone::Zone>(Name::FromString("gov.xx"));
+  gov->Add(MakeNs(Name::FromString("loop.gov.xx"),
+                  Name::FromString("ns.loop.gov.xx")));  // glueless, in-zone
+  gov->Add(MakeNs(Name::FromString("gov.xx"), Name::FromString("ns1.nic.gov.xx")));
+  gov->Add(MakeA(Name::FromString("ns1.nic.gov.xx"), TinyInternet::Ip(10, 0, 2, 1)));
+  world_.gov_server->RemoveZone(Name::FromString("gov.xx"));
+  world_.gov_server->AddZone(gov);
+  auto result =
+      resolver_.Resolve(Name::FromString("www.loop.gov.xx"), dns::RRType::kA);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(FailureInjectionTest, MalformedResponderIsDefectiveNotFatal) {
+  // An endpoint that answers with garbage bytes.
+  geo::IPv4 addr = TinyInternet::Ip(10, 0, 9, 9);
+  world_.net.AttachHandler(addr, [](const std::vector<uint8_t>&) {
+    return std::vector<uint8_t>{0xde, 0xad, 0xbe, 0xef};
+  });
+  ServerReply reply = resolver_.QueryServer(
+      addr, Name::FromString("moe.gov.xx"), dns::RRType::kNS);
+  EXPECT_EQ(reply.outcome, QueryOutcome::kMalformed);
+}
+
+TEST_F(FailureInjectionTest, MismatchedTransactionIdRejected) {
+  geo::IPv4 addr = TinyInternet::Ip(10, 0, 9, 10);
+  world_.net.AttachHandler(addr, [](const std::vector<uint8_t>& wire) {
+    auto query = dns::Message::Decode(wire);
+    dns::Message reply = dns::MakeResponse(*query, dns::Rcode::kNoError);
+    reply.header.id ^= 0xFFFF;  // off-path spoof with the wrong id
+    return reply.Encode();
+  });
+  ServerReply reply = resolver_.QueryServer(
+      addr, Name::FromString("moe.gov.xx"), dns::RRType::kNS);
+  EXPECT_EQ(reply.outcome, QueryOutcome::kMalformed);
+}
+
+TEST_F(FailureInjectionTest, TotalRootLossFailsEverything) {
+  world_.net.SetBehavior(TinyInternet::Ip(10, 0, 0, 1),
+                         simnet::EndpointBehavior{.silent = true});
+  IterativeResolver fresh(&world_.net, world_.roots());
+  EXPECT_FALSE(
+      fresh.Resolve(Name::FromString("www.moe.gov.xx"), dns::RRType::kA).ok());
+  ActiveMeasurer measurer(&fresh);
+  auto r = measurer.Measure(Name::FromString("moe.gov.xx"));
+  EXPECT_FALSE(r.parent_located);
+}
+
+TEST_F(FailureInjectionTest, TldRefusingEverythingIsDeadParent) {
+  world_.tld_server->set_mode(zone::ServerMode::kRefuseAll);
+  IterativeResolver fresh(&world_.net, world_.roots());
+  ActiveMeasurer measurer(&fresh);
+  auto r = measurer.Measure(Name::FromString("moe.gov.xx"));
+  EXPECT_FALSE(r.parent_located);
+  EXPECT_FALSE(r.parent_has_records);
+}
+
+TEST_F(FailureInjectionTest, HeavyLossStillTerminates) {
+  // 90% loss everywhere: many timeouts, bounded work, no hang.
+  for (uint8_t d : {1, 1, 1}) (void)d;
+  for (auto ip : {TinyInternet::Ip(10, 0, 0, 1), TinyInternet::Ip(10, 0, 1, 1),
+                  TinyInternet::Ip(10, 0, 2, 1), TinyInternet::Ip(10, 0, 3, 1),
+                  TinyInternet::Ip(10, 0, 3, 2)}) {
+    world_.net.SetBehavior(ip, simnet::EndpointBehavior{.loss_rate = 0.9});
+  }
+  IterativeResolver fresh(&world_.net, world_.roots());
+  ActiveMeasurer measurer(&fresh);
+  uint64_t before = fresh.queries_sent();
+  auto r = measurer.Measure(Name::FromString("moe.gov.xx"));
+  (void)r;  // any outcome is acceptable
+  EXPECT_LT(fresh.queries_sent() - before, 500u);  // bounded effort
+}
+
+TEST_F(FailureInjectionTest, ParkingWildcardDoesNotLookLame) {
+  // Delegate park.gov.xx to the parking-style server: the measurement sees
+  // responsive-but-inconsistent, not defective (the §IV-D scenario).
+  auto gov = std::make_shared<zone::Zone>(Name::FromString("gov.xx"));
+  gov->Add(MakeNs(Name::FromString("gov.xx"), Name::FromString("ns1.nic.gov.xx")));
+  gov->Add(MakeA(Name::FromString("ns1.nic.gov.xx"), TinyInternet::Ip(10, 0, 2, 1)));
+  // The delegation still names the long-gone operator; its address is now
+  // held by the parking service, which answers under its own NS name.
+  gov->Add(MakeNs(Name::FromString("park.gov.xx"),
+                  Name::FromString("ns1.oldco.gov.xx")));
+  gov->Add(MakeA(Name::FromString("ns1.oldco.gov.xx"), TinyInternet::Ip(10, 0, 8, 1)));
+  world_.gov_server->RemoveZone(Name::FromString("gov.xx"));
+  world_.gov_server->AddZone(gov);
+
+  static zone::AuthServer parking("ns1.parkit.gov.xx",
+                                  zone::ServerMode::kParking);
+  parking.SetParkingAddresses({TinyInternet::Ip(10, 0, 8, 1)});
+  world_.net.AttachHandler(
+      TinyInternet::Ip(10, 0, 8, 1), [](const std::vector<uint8_t>& wire) {
+        auto query = dns::Message::Decode(wire);
+        return parking.Answer(*query).Encode();
+      });
+
+  IterativeResolver fresh(&world_.net, world_.roots());
+  ActiveMeasurer measurer(&fresh);
+  auto r = measurer.Measure(Name::FromString("park.gov.xx"));
+  EXPECT_TRUE(r.child_any_authoritative);
+  EXPECT_EQ(ClassifyDelegation(r), DelegationHealth::kHealthy);
+  auto klass = ClassifyConsistency(r);
+  EXPECT_NE(klass, ConsistencyClass::kEqual);
+  EXPECT_NE(klass, ConsistencyClass::kNotComparable);
+}
+
+}  // namespace
+}  // namespace govdns::core

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/measure.h"
+#include "tests/test_world.h"
+
+namespace govdns::core {
+namespace {
+
+using dns::Name;
+using govdns::testing::TinyInternet;
+
+class MeasureTest : public ::testing::Test {
+ protected:
+  MeasureTest()
+      : world_(),
+        resolver_(&world_.net, world_.roots()),
+        measurer_(&resolver_) {}
+
+  MeasurementResult Measure(const char* domain) {
+    return measurer_.Measure(Name::FromString(domain));
+  }
+
+  static const NsHostResult* HostNamed(const MeasurementResult& r,
+                                       const char* name) {
+    for (const auto& host : r.hosts) {
+      if (host.host == Name::FromString(name)) return &host;
+    }
+    return nullptr;
+  }
+
+  TinyInternet world_;
+  IterativeResolver resolver_;
+  ActiveMeasurer measurer_;
+};
+
+TEST_F(MeasureTest, HealthyDomain) {
+  auto r = Measure("moe.gov.xx");
+  EXPECT_TRUE(r.parent_located);
+  EXPECT_EQ(r.parent_zone.ToString(), "gov.xx");
+  EXPECT_TRUE(r.parent_responded);
+  EXPECT_TRUE(r.parent_has_records);
+  EXPECT_EQ(r.parent_ns.size(), 2u);
+  EXPECT_EQ(r.child_ns.size(), 2u);
+  EXPECT_TRUE(r.child_any_authoritative);
+  EXPECT_EQ(r.rounds, 1);
+  for (const auto& host : r.hosts) {
+    EXPECT_EQ(host.status, NsHostStatus::kAuthoritative)
+        << host.host.ToString();
+    EXPECT_TRUE(host.in_parent_set);
+    EXPECT_TRUE(host.in_child_set);
+  }
+  ASSERT_TRUE(r.soa.has_value());
+  EXPECT_EQ(r.soa->mname.ToString(), "ns1.moe.gov.xx");
+  EXPECT_EQ(ClassifyDelegation(r), DelegationHealth::kHealthy);
+  EXPECT_EQ(ClassifyConsistency(r), ConsistencyClass::kEqual);
+}
+
+TEST_F(MeasureTest, FullyLameDomain) {
+  auto r = Measure("lame.gov.xx");
+  EXPECT_TRUE(r.parent_has_records);
+  EXPECT_FALSE(r.child_any_authoritative);
+  EXPECT_EQ(r.rounds, 2);  // second round tried and failed too
+  ASSERT_EQ(r.hosts.size(), 1u);
+  EXPECT_EQ(r.hosts[0].status, NsHostStatus::kNoResponse);
+  EXPECT_EQ(ClassifyDelegation(r), DelegationHealth::kFullyDefective);
+  EXPECT_EQ(ClassifyConsistency(r), ConsistencyClass::kNotComparable);
+}
+
+TEST_F(MeasureTest, PartiallyLameDomain) {
+  auto r = Measure("half.gov.xx");
+  EXPECT_TRUE(r.child_any_authoritative);
+  const auto* good = HostNamed(r, "ns1.half.gov.xx");
+  const auto* dead = HostNamed(r, "ns2.half.gov.xx");
+  ASSERT_NE(good, nullptr);
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(good->status, NsHostStatus::kAuthoritative);
+  EXPECT_EQ(dead->status, NsHostStatus::kNoResponse);
+  EXPECT_EQ(ClassifyDelegation(r), DelegationHealth::kPartiallyDefective);
+  // Both parent and child list both hosts: still consistent.
+  EXPECT_EQ(ClassifyConsistency(r), ConsistencyClass::kEqual);
+}
+
+TEST_F(MeasureTest, TypoNsIsUnresolvable) {
+  auto r = Measure("typo.gov.xx");
+  ASSERT_EQ(r.hosts.size(), 1u);
+  EXPECT_EQ(r.hosts[0].status, NsHostStatus::kUnresolvable);
+  EXPECT_EQ(ClassifyDelegation(r), DelegationHealth::kFullyDefective);
+}
+
+TEST_F(MeasureTest, RefusingServerIsDefective) {
+  auto r = Measure("refused.gov.xx");
+  ASSERT_EQ(r.hosts.size(), 1u);
+  EXPECT_EQ(r.hosts[0].status, NsHostStatus::kRefused);
+  EXPECT_EQ(ClassifyDelegation(r), DelegationHealth::kFullyDefective);
+}
+
+TEST_F(MeasureTest, DriftedDomainShowsInconsistency) {
+  auto r = Measure("drift.gov.xx");
+  EXPECT_TRUE(r.child_any_authoritative);
+  // P = {ns1, nsold}; C = {ns1, nsnew}.
+  EXPECT_EQ(r.parent_ns.size(), 2u);
+  EXPECT_EQ(r.child_ns.size(), 2u);
+  EXPECT_EQ(ClassifyConsistency(r), ConsistencyClass::kOverlapNeither);
+  // The dead old host makes it partially defective as well (§IV-D: 40.9%
+  // of inconsistent domains also had a partial defect).
+  EXPECT_EQ(ClassifyDelegation(r), DelegationHealth::kPartiallyDefective);
+  // The child-only host was still queried (step 4 of Fig. 1).
+  const auto* fresh = HostNamed(r, "nsnew.drift.gov.xx");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_FALSE(fresh->in_parent_set);
+  EXPECT_TRUE(fresh->in_child_set);
+  EXPECT_EQ(fresh->status, NsHostStatus::kAuthoritative);
+}
+
+TEST_F(MeasureTest, RemovedDelegationHasNoRecords) {
+  auto r = Measure("gone.gov.xx");
+  EXPECT_TRUE(r.parent_located);
+  EXPECT_TRUE(r.parent_responded);
+  EXPECT_FALSE(r.parent_has_records);
+  EXPECT_TRUE(r.hosts.empty());
+}
+
+TEST_F(MeasureTest, DeadParentZone) {
+  // Silence the gov.xx server: the parent zone becomes unreachable.
+  world_.net.SetBehavior(TinyInternet::Ip(10, 0, 2, 1),
+                         simnet::EndpointBehavior{.silent = true});
+  IterativeResolver fresh(&world_.net, world_.roots());
+  ActiveMeasurer measurer(&fresh);
+  auto r = measurer.Measure(Name::FromString("moe.gov.xx"));
+  EXPECT_FALSE(r.parent_located);
+  EXPECT_FALSE(r.parent_responded);
+}
+
+TEST_F(MeasureTest, SecondRoundRecoversFromTransientLoss) {
+  // Heavy loss toward the healthy moe servers: round 1 may fail entirely,
+  // round 2 retries.
+  world_.net.SetBehavior(TinyInternet::Ip(10, 0, 3, 1),
+                         simnet::EndpointBehavior{.loss_rate = 0.7});
+  world_.net.SetBehavior(TinyInternet::Ip(10, 0, 3, 2),
+                         simnet::EndpointBehavior{.loss_rate = 0.7});
+  int with_round2 = 0, without = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    {
+      IterativeResolver resolver(&world_.net, world_.roots());
+      MeasurerOptions opts;
+      opts.second_round = true;
+      ActiveMeasurer m(&resolver, opts);
+      with_round2 += m.Measure(Name::FromString("moe.gov.xx"))
+                         .child_any_authoritative;
+    }
+    {
+      IterativeResolver resolver(&world_.net, world_.roots());
+      MeasurerOptions opts;
+      opts.second_round = false;
+      ActiveMeasurer m(&resolver, opts);
+      without += m.Measure(Name::FromString("moe.gov.xx"))
+                     .child_any_authoritative;
+    }
+  }
+  EXPECT_GE(with_round2, without);
+  EXPECT_GT(with_round2, 20);  // retries make success the norm
+}
+
+TEST_F(MeasureTest, MeasureAllPreservesOrder) {
+  auto results = measurer_.MeasureAll(
+      {Name::FromString("moe.gov.xx"), Name::FromString("lame.gov.xx")});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].domain.ToString(), "moe.gov.xx");
+  EXPECT_EQ(results[1].domain.ToString(), "lame.gov.xx");
+}
+
+TEST_F(MeasureTest, NsAddressesDeduplicates) {
+  auto r = Measure("moe.gov.xx");
+  auto addrs = r.NsAddresses();
+  EXPECT_EQ(addrs.size(), 2u);
+  auto all_ns = r.AllNs();
+  EXPECT_EQ(all_ns.size(), 2u);
+}
+
+}  // namespace
+}  // namespace govdns::core

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "dns/message.h"
+
+namespace govdns::dns {
+namespace {
+
+TEST(MessageTest, MakeQuerySetsQuestion) {
+  Message q = MakeQuery(7, Name::FromString("moe.gov.cn"), RRType::kNS);
+  EXPECT_EQ(q.header.id, 7);
+  EXPECT_FALSE(q.header.qr);
+  EXPECT_FALSE(q.header.rd);  // iterative client
+  ASSERT_EQ(q.questions.size(), 1u);
+  EXPECT_EQ(q.questions[0].name.ToString(), "moe.gov.cn");
+  EXPECT_EQ(q.questions[0].type, RRType::kNS);
+}
+
+TEST(MessageTest, MakeResponseEchoesIdAndQuestion) {
+  Message q = MakeQuery(99, Name::FromString("x.gov.br"), RRType::kA);
+  Message r = MakeResponse(q, Rcode::kNxDomain);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_EQ(r.header.id, 99);
+  EXPECT_EQ(r.header.rcode, Rcode::kNxDomain);
+  EXPECT_EQ(r.questions, q.questions);
+}
+
+TEST(MessageTest, IsReferralRequiresNsAuthorityWithoutAnswers) {
+  Message q = MakeQuery(1, Name::FromString("moe.gov.cn"), RRType::kNS);
+  Message r = MakeResponse(q, Rcode::kNoError);
+  EXPECT_FALSE(r.IsReferral());  // no authority records
+
+  r.authority.push_back(
+      MakeNs(Name::FromString("moe.gov.cn"), Name::FromString("ns1.moe.gov.cn")));
+  EXPECT_TRUE(r.IsReferral());
+
+  Message with_answer = r;
+  with_answer.answers.push_back(
+      MakeNs(Name::FromString("moe.gov.cn"), Name::FromString("ns1.moe.gov.cn")));
+  EXPECT_FALSE(with_answer.IsReferral());
+
+  Message authoritative = r;
+  authoritative.header.aa = true;
+  EXPECT_FALSE(authoritative.IsReferral());
+
+  Message error = r;
+  error.header.rcode = Rcode::kServFail;
+  EXPECT_FALSE(error.IsReferral());
+
+  Message not_response = r;
+  not_response.header.qr = false;
+  EXPECT_FALSE(not_response.IsReferral());
+}
+
+TEST(MessageTest, HeaderFlagsSurviveWire) {
+  Message m = MakeQuery(0x1234, Name::FromString("a.b"), RRType::kSOA);
+  m.header.qr = true;
+  m.header.aa = true;
+  m.header.tc = true;
+  m.header.ra = true;
+  m.header.rcode = Rcode::kRefused;
+  auto decoded = Message::Decode(m.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header, m.header);
+}
+
+TEST(MessageTest, RcodeNames) {
+  EXPECT_EQ(RcodeName(Rcode::kNoError), "NOERROR");
+  EXPECT_EQ(RcodeName(Rcode::kNxDomain), "NXDOMAIN");
+  EXPECT_EQ(RcodeName(Rcode::kRefused), "REFUSED");
+  EXPECT_EQ(RcodeName(Rcode::kServFail), "SERVFAIL");
+}
+
+TEST(MessageTest, ToStringMentionsSections) {
+  Message q = MakeQuery(5, Name::FromString("x.gov.in"), RRType::kNS);
+  Message r = MakeResponse(q, Rcode::kNoError);
+  r.answers.push_back(
+      MakeNs(Name::FromString("x.gov.in"), Name::FromString("ns1.x.gov.in")));
+  std::string text = r.ToString();
+  EXPECT_NE(text.find("question: x.gov.in NS"), std::string::npos);
+  EXPECT_NE(text.find("answer:"), std::string::npos);
+}
+
+TEST(RdataTest, TypeNamesAndAccessors) {
+  EXPECT_EQ(RRTypeName(RRType::kNS), "NS");
+  EXPECT_EQ(RRTypeName(RRType::kAAAA), "AAAA");
+  ASSERT_TRUE(RRTypeFromName("SOA").ok());
+  EXPECT_EQ(*RRTypeFromName("SOA"), RRType::kSOA);
+  EXPECT_FALSE(RRTypeFromName("BOGUS").ok());
+
+  ResourceRecord a = MakeA(Name::FromString("x.y"), geo::IPv4(10, 0, 0, 1));
+  EXPECT_EQ(a.type(), RRType::kA);
+  EXPECT_EQ(RdataToString(a.rdata), "10.0.0.1");
+  EXPECT_NE(a.ToString().find("x.y"), std::string::npos);
+
+  ResourceRecord ns = MakeNs(Name::FromString("x.y"), Name::FromString("n.s"));
+  EXPECT_EQ(RdataToString(ns.rdata), "n.s");
+}
+
+}  // namespace
+}  // namespace govdns::dns

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/mining.h"
+
+namespace govdns::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using util::DayFromYmd;
+
+std::vector<SeedDomain> OneSeed() {
+  return {{0, Name::FromString("gov.xx"), SeedVerification::kRegistryPolicy,
+           false}};
+}
+
+TEST(DisposableHeuristicTest, MatchesHexTails) {
+  EXPECT_TRUE(
+      PdnsMiner::LooksDisposable(Name::FromString("portal-4f3a9c.gov.xx")));
+  EXPECT_FALSE(PdnsMiner::LooksDisposable(Name::FromString("portal.gov.xx")));
+  EXPECT_FALSE(
+      PdnsMiner::LooksDisposable(Name::FromString("health-xyzwvu.gov.xx")));
+  EXPECT_FALSE(PdnsMiner::LooksDisposable(Name::FromString("a-1.gov.xx")));
+}
+
+TEST(MinerTest, StabilityFilterDropsTransients) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  Name domain = Name::FromString("moe.gov.xx");
+  db.ObserveInterval(domain, RRType::kNS, "ns1.moe.gov.xx",
+                     {DayFromYmd(2015, 1, 1), DayFromYmd(2015, 12, 31)});
+  db.ObserveInterval(domain, RRType::kNS, "ns1.ddos.net",
+                     {DayFromYmd(2015, 6, 1), DayFromYmd(2015, 6, 3)});
+  MiningConfig config;
+  PdnsMiner miner(&db, config);
+  auto dataset = miner.Mine(OneSeed());
+  ASSERT_EQ(dataset.domains.size(), 1u);
+  const auto& year = dataset.domains[0].years[2015 - 2011];
+  EXPECT_EQ(year.mode_ns_count, 1);
+  ASSERT_EQ(year.ns_ids.size(), 1u);
+  EXPECT_EQ(dataset.NsName(year.ns_ids[0]), "ns1.moe.gov.xx");
+}
+
+TEST(MinerTest, ModeReflectsMajorityOfDays) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  Name domain = Name::FromString("moe.gov.xx");
+  // ns1 active all year; ns2 only 100 days: mode is 1 (265 days at count 1).
+  db.ObserveInterval(domain, RRType::kNS, "ns1.x",
+                     {DayFromYmd(2015, 1, 1), DayFromYmd(2015, 12, 31)});
+  db.ObserveInterval(domain, RRType::kNS, "ns2.x",
+                     {DayFromYmd(2015, 1, 1), DayFromYmd(2015, 4, 10)});
+  PdnsMiner miner(&db, MiningConfig());
+  auto dataset = miner.Mine(OneSeed());
+  EXPECT_EQ(dataset.domains[0].years[4].mode_ns_count, 1);
+}
+
+TEST(MinerTest, ModeTwoWhenPairDominates) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  Name domain = Name::FromString("moe.gov.xx");
+  db.ObserveInterval(domain, RRType::kNS, "ns1.x",
+                     {DayFromYmd(2015, 1, 1), DayFromYmd(2015, 12, 31)});
+  db.ObserveInterval(domain, RRType::kNS, "ns2.x",
+                     {DayFromYmd(2015, 1, 1), DayFromYmd(2015, 9, 30)});
+  PdnsMiner miner(&db, MiningConfig());
+  auto dataset = miner.Mine(OneSeed());
+  EXPECT_EQ(dataset.domains[0].years[4].mode_ns_count, 2);
+}
+
+TEST(MinerTest, StatisticVariants) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  Name domain = Name::FromString("moe.gov.xx");
+  db.ObserveInterval(domain, RRType::kNS, "ns1.x",
+                     {DayFromYmd(2015, 1, 1), DayFromYmd(2015, 12, 31)});
+  db.ObserveInterval(domain, RRType::kNS, "ns2.x",
+                     {DayFromYmd(2015, 7, 1), DayFromYmd(2015, 12, 31)});
+  auto mine = [&](YearlyStatistic stat) {
+    MiningConfig config;
+    config.statistic = stat;
+    PdnsMiner miner(&db, config);
+    return miner.Mine(OneSeed()).domains[0].years[4].mode_ns_count;
+  };
+  EXPECT_EQ(mine(YearlyStatistic::kMin), 1);
+  EXPECT_EQ(mine(YearlyStatistic::kMax), 2);
+  // 181 days at 1, 184 days at 2 -> mode 2, mean rounds to 2.
+  EXPECT_EQ(mine(YearlyStatistic::kMode), 2);
+  EXPECT_EQ(mine(YearlyStatistic::kMean), 2);
+}
+
+TEST(MinerTest, YearBoundariesRespected) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  Name domain = Name::FromString("moe.gov.xx");
+  db.ObserveInterval(domain, RRType::kNS, "ns1.x",
+                     {DayFromYmd(2014, 12, 1), DayFromYmd(2015, 1, 20)});
+  PdnsMiner miner(&db, MiningConfig());
+  auto dataset = miner.Mine(OneSeed());
+  const auto& d = dataset.domains[0];
+  EXPECT_TRUE(d.HasData(2014 - 2011));
+  EXPECT_TRUE(d.HasData(2015 - 2011));
+  EXPECT_FALSE(d.HasData(2016 - 2011));
+  EXPECT_FALSE(d.HasData(2013 - 2011));
+}
+
+TEST(MinerTest, ActiveWindowUsesUnfilteredSightings) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  // Only a 2-day sighting inside the collection window: dropped from the
+  // yearly trend data, still in the query list (the paper extracted raw
+  // FQDNs for querying).
+  Name domain = Name::FromString("brief.gov.xx");
+  db.ObserveInterval(domain, RRType::kNS, "ns1.x",
+                     {DayFromYmd(2020, 5, 1), DayFromYmd(2020, 5, 2)});
+  PdnsMiner miner(&db, MiningConfig());
+  auto dataset = miner.Mine(OneSeed());
+  ASSERT_EQ(dataset.domains.size(), 1u);
+  EXPECT_FALSE(dataset.domains[0].HasData(2020 - 2011));
+  EXPECT_TRUE(dataset.domains[0].in_active_window);
+  EXPECT_EQ(PdnsMiner::ActiveQueryList(dataset).size(), 1u);
+}
+
+TEST(MinerTest, QueryListExcludesDisposablesAndStale) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  db.ObserveInterval(Name::FromString("real.gov.xx"), RRType::kNS, "a",
+                     {DayFromYmd(2020, 1, 1), DayFromYmd(2020, 8, 1)});
+  db.ObserveInterval(Name::FromString("junk-0a1b2c.gov.xx"), RRType::kNS, "b",
+                     {DayFromYmd(2020, 1, 1), DayFromYmd(2020, 8, 1)});
+  db.ObserveInterval(Name::FromString("old.gov.xx"), RRType::kNS, "c",
+                     {DayFromYmd(2015, 1, 1), DayFromYmd(2016, 8, 1)});
+  PdnsMiner miner(&db, MiningConfig());
+  auto dataset = miner.Mine(OneSeed());
+  auto list = PdnsMiner::ActiveQueryList(dataset);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].ToString(), "real.gov.xx");
+}
+
+TEST(AggregatesTest, CountPerYearAndChurn) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  // One domain 2011-2020 with a single NS; a second domain appears in 2015
+  // as d_1NS; a third is always dual-NS.
+  db.ObserveInterval(Name::FromString("a.gov.xx"), RRType::kNS, "ns1.a.gov.xx",
+                     {DayFromYmd(2011, 1, 1), DayFromYmd(2020, 12, 31)});
+  db.ObserveInterval(Name::FromString("b.gov.xx"), RRType::kNS, "ns1.b.gov.xx",
+                     {DayFromYmd(2015, 2, 1), DayFromYmd(2020, 12, 31)});
+  db.ObserveInterval(Name::FromString("c.gov.xx"), RRType::kNS, "x1.host.zz",
+                     {DayFromYmd(2011, 1, 1), DayFromYmd(2020, 12, 31)});
+  db.ObserveInterval(Name::FromString("c.gov.xx"), RRType::kNS, "x2.host.zz",
+                     {DayFromYmd(2011, 1, 1), DayFromYmd(2020, 12, 31)});
+  PdnsMiner miner(&db, MiningConfig());
+  auto dataset = miner.Mine(OneSeed());
+
+  auto counts = CountPerYear(dataset);
+  ASSERT_EQ(counts.size(), 10u);
+  EXPECT_EQ(counts[0].domains, 2);
+  EXPECT_EQ(counts[5].domains, 3);
+  EXPECT_EQ(counts[0].nameservers, 3);
+  EXPECT_EQ(counts[0].countries, 1);
+
+  auto churn = D1nsChurn(dataset);
+  EXPECT_EQ(churn[0].d1ns_total, 1);  // a only
+  EXPECT_EQ(churn[5].d1ns_total, 2);  // a and b
+  // In 2016, b was not d_1NS in 2011 -> 50% overlap with 2011.
+  EXPECT_DOUBLE_EQ(churn[5].pct_overlap_2011, 0.5);
+  EXPECT_DOUBLE_EQ(churn[5].pct_2011_cohort_gone, 0.0);
+
+  auto priv = PrivateShare(dataset, OneSeed());
+  // a and b are private (NS inside gov.xx); c is external.
+  EXPECT_DOUBLE_EQ(priv[5].pct_d1ns_private, 1.0);
+  EXPECT_NEAR(priv[5].pct_all_private, 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace govdns::core

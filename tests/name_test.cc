@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dns/name.h"
+#include "util/rng.h"
+
+namespace govdns::dns {
+namespace {
+
+TEST(NameTest, ParseBasic) {
+  auto name = Name::Parse("www.gov.au");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->LabelCount(), 3u);
+  EXPECT_EQ(name->Label(0), "www");
+  EXPECT_EQ(name->Label(2), "au");
+  EXPECT_EQ(name->ToString(), "www.gov.au");
+}
+
+TEST(NameTest, ParseRoot) {
+  auto root = Name::Parse(".");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->IsRoot());
+  EXPECT_EQ(root->ToString(), ".");
+}
+
+TEST(NameTest, ParseTrailingDot) {
+  auto name = Name::Parse("gov.cn.");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->ToString(), "gov.cn");
+}
+
+TEST(NameTest, ParseLowercases) {
+  EXPECT_EQ(Name::FromString("WWW.Gov.AU").ToString(), "www.gov.au");
+}
+
+TEST(NameTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(Name::Parse("").ok());
+  EXPECT_FALSE(Name::Parse("a..b").ok());
+  EXPECT_FALSE(Name::Parse("has space.com").ok());
+  EXPECT_FALSE(Name::Parse(std::string(64, 'a') + ".com").ok());  // label>63
+}
+
+TEST(NameTest, ParseRejectsOverlongName) {
+  std::string long_name;
+  for (int i = 0; i < 30; ++i) long_name += "aaaaaaaaa.";  // 300 octets
+  long_name += "com";
+  EXPECT_FALSE(Name::Parse(long_name).ok());
+}
+
+TEST(NameTest, AcceptsUnderscoreAndHyphen) {
+  EXPECT_TRUE(Name::Parse("_dmarc.example.com").ok());
+  EXPECT_TRUE(Name::Parse("awsdns-03.co.uk").ok());
+}
+
+TEST(NameTest, SubdomainRelations) {
+  Name root = Name::Root();
+  Name au = Name::FromString("au");
+  Name gov_au = Name::FromString("gov.au");
+  Name www = Name::FromString("www.gov.au");
+
+  EXPECT_TRUE(www.IsSubdomainOf(gov_au));
+  EXPECT_TRUE(www.IsSubdomainOf(au));
+  EXPECT_TRUE(www.IsSubdomainOf(root));
+  EXPECT_TRUE(www.IsSubdomainOf(www));
+  EXPECT_FALSE(gov_au.IsSubdomainOf(www));
+  EXPECT_TRUE(www.IsProperSubdomainOf(gov_au));
+  EXPECT_FALSE(www.IsProperSubdomainOf(www));
+}
+
+TEST(NameTest, SubdomainIsLabelWiseNotStringWise) {
+  // "ngov.au" must not count as a subdomain of "gov.au".
+  EXPECT_FALSE(Name::FromString("ngov.au").IsSubdomainOf(
+      Name::FromString("gov.au")));
+  EXPECT_FALSE(Name::FromString("gov.au").IsSubdomainOf(
+      Name::FromString("ov.au")));
+}
+
+TEST(NameTest, ParentChildSuffix) {
+  Name www = Name::FromString("www.gov.au");
+  EXPECT_EQ(www.Parent().ToString(), "gov.au");
+  EXPECT_EQ(www.Parent().Parent().ToString(), "au");
+  EXPECT_EQ(Name::FromString("gov.au").Child("moe").ToString(), "moe.gov.au");
+  EXPECT_EQ(www.Suffix(2).ToString(), "gov.au");
+  EXPECT_EQ(www.Suffix(0).ToString(), ".");
+  EXPECT_EQ(www.Suffix(3), www);
+}
+
+TEST(NameTest, WireLength) {
+  EXPECT_EQ(Name::Root().WireLength(), 1u);
+  EXPECT_EQ(Name::FromString("gov.au").WireLength(), 1u + 4 + 3);  // 3gov2au0
+}
+
+TEST(NameTest, CanonicalOrderingByRightmostLabel) {
+  // a.gov.au < b.gov.au, and all *.gov.au sort between gov.au and gova.au.
+  Name gov_au = Name::FromString("gov.au");
+  Name a = Name::FromString("a.gov.au");
+  Name b = Name::FromString("b.gov.au");
+  Name gova = Name::FromString("gova.au");
+  EXPECT_LT(gov_au, a);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, gova);
+}
+
+TEST(NameTest, EqualityIgnoresSourceCase) {
+  EXPECT_EQ(Name::FromString("NS1.Gov.CN"), Name::FromString("ns1.gov.cn"));
+}
+
+TEST(NameTest, HashConsistentWithEquality) {
+  Name::Hash hash;
+  EXPECT_EQ(hash(Name::FromString("a.b.c")), hash(Name::FromString("A.b.C")));
+  EXPECT_NE(hash(Name::FromString("a.b.c")), hash(Name::FromString("a.b.d")));
+}
+
+TEST(NameTest, FromLabels) {
+  auto name = Name::FromLabels({"www", "gov", "au"});
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->ToString(), "www.gov.au");
+  EXPECT_FALSE(Name::FromLabels({"ok", ""}).ok());
+}
+
+// Property sweep: ordering is a strict weak order consistent with equality.
+class NameOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NameOrderProperty, TotalOrderOnRandomNames) {
+  util::Rng rng(GetParam());
+  std::vector<Name> names;
+  static const char* kLabels[] = {"a", "b", "ns1", "gov", "cn", "au", "www"};
+  for (int i = 0; i < 40; ++i) {
+    std::vector<std::string> labels;
+    int n = 1 + static_cast<int>(rng.UniformU64(4));
+    for (int j = 0; j < n; ++j) {
+      labels.push_back(kLabels[rng.UniformU64(std::size(kLabels))]);
+    }
+    names.push_back(*Name::FromLabels(std::move(labels)));
+  }
+  std::sort(names.begin(), names.end());
+  for (size_t i = 0; i + 1 < names.size(); ++i) {
+    // Sorted: no element greater than its successor.
+    EXPECT_FALSE(names[i + 1] < names[i]);
+    // Consistency: equal iff neither is less.
+    bool eq = names[i] == names[i + 1];
+    bool neither_less = !(names[i] < names[i + 1]) && !(names[i + 1] < names[i]);
+    EXPECT_EQ(eq, neither_less);
+  }
+  // Subdomains are contiguous after their ancestor in canonical order.
+  for (size_t i = 0; i < names.size(); ++i) {
+    bool in_run = false, run_ended = false;
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      bool sub = names[j].IsSubdomainOf(names[i]);
+      if (sub) {
+        EXPECT_FALSE(run_ended) << names[j].ToString() << " under "
+                                << names[i].ToString() << " after a gap";
+        in_run = true;
+      } else if (in_run) {
+        run_ended = true;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NameOrderProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property sweep: parse/format round trip.
+class NameRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NameRoundTripProperty, ParseFormatRoundTrip) {
+  util::Rng rng(GetParam() * 977);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::string> labels;
+    int n = 1 + static_cast<int>(rng.UniformU64(5));
+    for (int j = 0; j < n; ++j) {
+      std::string label;
+      int len = 1 + static_cast<int>(rng.UniformU64(12));
+      for (int k = 0; k < len; ++k) {
+        label += static_cast<char>('a' + rng.UniformU64(26));
+      }
+      labels.push_back(std::move(label));
+    }
+    auto name = Name::FromLabels(labels);
+    ASSERT_TRUE(name.ok());
+    auto reparsed = Name::Parse(name->ToString());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(*name, *reparsed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NameRoundTripProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace govdns::dns

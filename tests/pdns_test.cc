@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "pdns/db.h"
+#include "util/rng.h"
+
+namespace govdns::pdns {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using util::DayFromYmd;
+
+TEST(PdnsTest, ObserveCreatesEntry) {
+  PdnsDatabase db;
+  db.Observe(Name::FromString("moe.gov.cn"), RRType::kNS, "ns1.moe.gov.cn",
+             DayFromYmd(2015, 3, 1));
+  EXPECT_EQ(db.entry_count(), 1u);
+  auto entries = db.Lookup(Name::FromString("moe.gov.cn"));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rdata, "ns1.moe.gov.cn");
+  EXPECT_EQ(entries[0].seen.first, entries[0].seen.last);
+}
+
+TEST(PdnsTest, NearbySightingsMerge) {
+  PdnsDatabase db(/*merge_gap_days=*/30);
+  Name name = Name::FromString("moe.gov.cn");
+  db.Observe(name, RRType::kNS, "ns1.x", DayFromYmd(2015, 3, 1));
+  db.Observe(name, RRType::kNS, "ns1.x", DayFromYmd(2015, 3, 20));
+  EXPECT_EQ(db.entry_count(), 1u);
+  auto entries = db.Lookup(name);
+  EXPECT_EQ(entries[0].seen.first, DayFromYmd(2015, 3, 1));
+  EXPECT_EQ(entries[0].seen.last, DayFromYmd(2015, 3, 20));
+}
+
+TEST(PdnsTest, LongSilenceStartsNewEntry) {
+  PdnsDatabase db(/*merge_gap_days=*/30);
+  Name name = Name::FromString("moe.gov.cn");
+  db.Observe(name, RRType::kNS, "ns1.x", DayFromYmd(2015, 3, 1));
+  db.Observe(name, RRType::kNS, "ns1.x", DayFromYmd(2016, 3, 1));
+  EXPECT_EQ(db.entry_count(), 2u);
+}
+
+TEST(PdnsTest, DifferentRdataNeverMerge) {
+  PdnsDatabase db;
+  Name name = Name::FromString("moe.gov.cn");
+  db.Observe(name, RRType::kNS, "ns1.x", DayFromYmd(2015, 3, 1));
+  db.Observe(name, RRType::kNS, "ns2.x", DayFromYmd(2015, 3, 1));
+  EXPECT_EQ(db.entry_count(), 2u);
+}
+
+TEST(PdnsTest, DifferentTypesNeverMerge) {
+  PdnsDatabase db;
+  Name name = Name::FromString("moe.gov.cn");
+  db.Observe(name, RRType::kNS, "x", DayFromYmd(2015, 3, 1));
+  db.Observe(name, RRType::kA, "x", DayFromYmd(2015, 3, 1));
+  EXPECT_EQ(db.entry_count(), 2u);
+}
+
+TEST(PdnsTest, CountAccumulates) {
+  PdnsDatabase db;
+  Name name = Name::FromString("moe.gov.cn");
+  db.ObserveInterval(name, RRType::kNS, "ns1.x",
+                     {DayFromYmd(2015, 1, 1), DayFromYmd(2015, 1, 10)});
+  auto entries = db.Lookup(name);
+  EXPECT_EQ(entries[0].count, 10u);
+}
+
+TEST(PdnsTest, WildcardSearchFindsAllSubdomains) {
+  PdnsDatabase db;
+  db.Observe(Name::FromString("gov.cn"), RRType::kNS, "a", 100);
+  db.Observe(Name::FromString("moe.gov.cn"), RRType::kNS, "b", 100);
+  db.Observe(Name::FromString("x.moe.gov.cn"), RRType::kNS, "c", 100);
+  db.Observe(Name::FromString("gov.com"), RRType::kNS, "d", 100);
+  auto hits = db.WildcardSearch(Name::FromString("gov.cn"));
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(PdnsTest, WildcardSearchIsLabelBounded) {
+  PdnsDatabase db;
+  db.Observe(Name::FromString("agov.cn"), RRType::kNS, "x", 100);
+  db.Observe(Name::FromString("gov.cna"), RRType::kNS, "x", 100);
+  // Neither is a subdomain of gov.cn even though the strings overlap.
+  EXPECT_TRUE(db.WildcardSearch(Name::FromString("gov.cn")).empty());
+}
+
+TEST(PdnsTest, QueryFiltersByType) {
+  PdnsDatabase db;
+  Name name = Name::FromString("moe.gov.cn");
+  db.Observe(name, RRType::kNS, "ns", 100);
+  db.Observe(name, RRType::kA, "1.2.3.4", 100);
+  Query q;
+  q.type = RRType::kNS;
+  EXPECT_EQ(db.Lookup(name, q).size(), 1u);
+}
+
+TEST(PdnsTest, QueryFiltersByWindowOverlap) {
+  PdnsDatabase db;
+  Name name = Name::FromString("moe.gov.cn");
+  db.ObserveInterval(name, RRType::kNS, "ns", {100, 200});
+  Query q;
+  q.window = util::DayInterval{150, 300};
+  EXPECT_EQ(db.Lookup(name, q).size(), 1u);
+  q.window = util::DayInterval{201, 300};
+  EXPECT_TRUE(db.Lookup(name, q).empty());
+}
+
+TEST(PdnsTest, StabilityFilterDropsShortLived) {
+  PdnsDatabase db(/*merge_gap_days=*/0);
+  Name name = Name::FromString("moe.gov.cn");
+  db.ObserveInterval(name, RRType::kNS, "junk", {100, 102});     // 3 days
+  db.ObserveInterval(name, RRType::kNS, "stable", {100, 300});   // 201 days
+  Query q;
+  q.min_duration_days = 7;
+  auto hits = db.Lookup(name, q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].rdata, "stable");
+}
+
+TEST(PdnsTest, ZeroGapMergesOnlyAdjacent) {
+  PdnsDatabase db(/*merge_gap_days=*/0);
+  Name name = Name::FromString("a.b");
+  db.Observe(name, RRType::kNS, "x", 100);
+  db.Observe(name, RRType::kNS, "x", 101);  // adjacent: merges
+  EXPECT_EQ(db.entry_count(), 1u);
+  db.Observe(name, RRType::kNS, "x", 103);  // one-day hole: new entry
+  EXPECT_EQ(db.entry_count(), 2u);
+}
+
+// Property: same-rdata entries never overlap, regardless of insert order.
+class PdnsMergeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PdnsMergeProperty, EntriesForSameKeyStayDisjoint) {
+  util::Rng rng(GetParam() * 101);
+  PdnsDatabase db(/*merge_gap_days=*/10);
+  Name name = Name::FromString("prop.gov.xx");
+  for (int i = 0; i < 200; ++i) {
+    util::CivilDay start = static_cast<util::CivilDay>(rng.UniformU64(2000));
+    util::CivilDay len = static_cast<util::CivilDay>(rng.UniformU64(60));
+    db.ObserveInterval(name, RRType::kNS, "ns1.x", {start, start + len});
+  }
+  auto entries = db.Lookup(name);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_LE(entries[i].seen.first, entries[i].seen.last);
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      EXPECT_FALSE(entries[i].seen.Overlaps(entries[j].seen))
+          << "entries " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PdnsMergeProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace govdns::pdns

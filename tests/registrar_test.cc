@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "registrar/registrar.h"
+#include "registrar/suffix.h"
+#include "util/stats.h"
+
+namespace govdns::registrar {
+namespace {
+
+using dns::Name;
+
+PublicSuffixList MakePsl() {
+  PublicSuffixList psl;
+  for (const char* s : {"com", "net", "org", "uk", "co.uk", "br", "com.br",
+                        "cn", "gov.cn", "la", "gov.la"}) {
+    psl.AddSuffix(Name::FromString(s));
+  }
+  return psl;
+}
+
+TEST(PslTest, IsPublicSuffix) {
+  auto psl = MakePsl();
+  EXPECT_TRUE(psl.IsPublicSuffix(Name::FromString("com")));
+  EXPECT_TRUE(psl.IsPublicSuffix(Name::FromString("co.uk")));
+  EXPECT_FALSE(psl.IsPublicSuffix(Name::FromString("example.com")));
+}
+
+TEST(PslTest, LongestSuffixWins) {
+  auto psl = MakePsl();
+  auto suffix = psl.MatchingSuffix(Name::FromString("ns1.foo.co.uk"));
+  ASSERT_TRUE(suffix.has_value());
+  EXPECT_EQ(suffix->ToString(), "co.uk");
+  suffix = psl.MatchingSuffix(Name::FromString("ns1.foo.uk"));
+  ASSERT_TRUE(suffix.has_value());
+  EXPECT_EQ(suffix->ToString(), "uk");
+}
+
+TEST(PslTest, RegisteredDomainIsSuffixPlusOne) {
+  auto psl = MakePsl();
+  auto reg = psl.RegisteredDomain(Name::FromString("pns11.cloudns.net"));
+  ASSERT_TRUE(reg.has_value());
+  EXPECT_EQ(reg->ToString(), "cloudns.net");
+
+  reg = psl.RegisteredDomain(Name::FromString("ns1.hostgator.com.br"));
+  ASSERT_TRUE(reg.has_value());
+  EXPECT_EQ(reg->ToString(), "hostgator.com.br");
+
+  reg = psl.RegisteredDomain(Name::FromString("www.laogov.gov.la"));
+  ASSERT_TRUE(reg.has_value());
+  EXPECT_EQ(reg->ToString(), "laogov.gov.la");
+}
+
+TEST(PslTest, RegisteredDomainOfSuffixItselfIsNull) {
+  auto psl = MakePsl();
+  EXPECT_FALSE(psl.RegisteredDomain(Name::FromString("co.uk")).has_value());
+  EXPECT_FALSE(psl.RegisteredDomain(Name::FromString("com")).has_value());
+}
+
+TEST(PslTest, UnknownTldHasNoRegisteredDomain) {
+  auto psl = MakePsl();
+  EXPECT_FALSE(
+      psl.RegisteredDomain(Name::FromString("host.weirdtld")).has_value());
+}
+
+TEST(RegistrarTest, AvailabilityTracksRegistration) {
+  SimRegistrar reg(1);
+  Name domain = Name::FromString("deadhost.com");
+  EXPECT_TRUE(reg.IsAvailable(domain));
+  reg.Register(domain);
+  EXPECT_FALSE(reg.IsAvailable(domain));
+  EXPECT_FALSE(reg.PriceUsd(domain).has_value());
+  reg.Release(domain);
+  EXPECT_TRUE(reg.IsAvailable(domain));
+  EXPECT_TRUE(reg.PriceUsd(domain).has_value());
+}
+
+TEST(RegistrarTest, PriceIsDeterministic) {
+  SimRegistrar a(7), b(7);
+  Name domain = Name::FromString("somehost.net");
+  EXPECT_EQ(a.PriceUsd(domain), b.PriceUsd(domain));
+}
+
+TEST(RegistrarTest, PremiumOverride) {
+  SimRegistrar reg(1);
+  Name domain = Name::FromString("aftermarket.com");
+  reg.SetPremiumPrice(domain, 300.0);
+  EXPECT_EQ(reg.PriceUsd(domain).value(), 300.0);
+}
+
+TEST(RegistrarTest, PriceDistributionMatchesPaperShape) {
+  // Paper Fig. 12: prices span 0.01..20,000 USD with median 11.99.
+  std::vector<double> prices;
+  for (int i = 0; i < 4000; ++i) {
+    prices.push_back(RegistrationPriceUsd(
+        42, Name::FromString("host" + std::to_string(i) + ".com")));
+  }
+  double lo = *std::min_element(prices.begin(), prices.end());
+  double hi = *std::max_element(prices.begin(), prices.end());
+  EXPECT_GE(lo, 0.01);
+  EXPECT_LE(hi, 20000.0);
+  EXPECT_GT(hi, 1000.0);  // the premium tail exists
+  EXPECT_NEAR(util::Median(prices), 11.99, 0.5);
+}
+
+}  // namespace
+}  // namespace govdns::registrar

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.h"
+#include "worldgen/adapter.h"
+
+namespace govdns::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    worldgen::WorldConfig config;
+    config.scale = 0.015;
+    world_ = worldgen::BuildWorld(config).release();
+    bound_ = new worldgen::BoundStudy(worldgen::MakeStudy(*world_));
+    bound_->study->RunAll();
+  }
+  static void TearDownTestSuite() {
+    delete bound_;
+    delete world_;
+  }
+  static worldgen::World* world_;
+  static worldgen::BoundStudy* bound_;
+};
+
+worldgen::World* ReportTest::world_ = nullptr;
+worldgen::BoundStudy* ReportTest::bound_ = nullptr;
+
+TEST_F(ReportTest, BuildReportAggregatesAllSections) {
+  StudyReport report = BuildReport(*bound_->study, {"cn", "br"});
+  EXPECT_EQ(report.selection.total, 193);
+  ASSERT_EQ(report.pdns_per_year.size(), 10u);
+  EXPECT_GT(report.pdns_per_year.back().domains,
+            report.pdns_per_year.front().domains);
+  EXPECT_GT(report.funnel.queried, 0);
+  EXPECT_GT(report.replication.domains_considered, 0);
+  ASSERT_EQ(report.diversity.size(), 3u);  // Total + 2 countries
+  EXPECT_EQ(report.diversity[0].label, "Total");
+  EXPECT_EQ(report.providers_first_year.year, 2011);
+  EXPECT_EQ(report.providers_last_year.year, 2020);
+  EXPECT_GT(report.delegations.domains_considered, 0);
+  EXPECT_GT(report.consistency.comparable, 0);
+}
+
+TEST_F(ReportTest, ReportIsInternallyConsistent) {
+  StudyReport report = BuildReport(*bound_->study, {});
+  // The funnel narrows monotonically.
+  EXPECT_GE(report.funnel.queried, report.funnel.parent_responded);
+  EXPECT_GE(report.funnel.parent_responded, report.funnel.parent_has_records);
+  EXPECT_GE(report.funnel.parent_has_records,
+            report.funnel.child_authoritative);
+  // Replication and delegation analyses agree on the denominator.
+  EXPECT_EQ(report.replication.domains_considered,
+            report.delegations.domains_considered);
+  // Defects never exceed the domains considered.
+  EXPECT_LE(report.delegations.partially_defective +
+                report.delegations.fully_defective,
+            report.delegations.domains_considered);
+  // Comparable consistency domains are a subset of responsive domains.
+  EXPECT_LE(report.consistency.comparable,
+            report.funnel.parent_has_records);
+}
+
+TEST_F(ReportTest, PrintReportMentionsEverySection) {
+  StudyReport report = BuildReport(*bound_->study, {"cn"});
+  std::ostringstream os;
+  PrintReport(report, os);
+  std::string text = os.str();
+  for (const char* needle :
+       {"selection:", "passive DNS:", "replication", "providers",
+        "defective delegations", "parent/child consistency"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace govdns::core

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "core/resolver.h"
+#include "tests/test_world.h"
+
+namespace govdns::core {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+using govdns::testing::TinyInternet;
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  ResolverTest() : world_(), resolver_(&world_.net, world_.roots()) {}
+
+  TinyInternet world_;
+  IterativeResolver resolver_;
+};
+
+TEST_F(ResolverTest, ResolvesAddressThroughDelegationChain) {
+  auto addrs = resolver_.ResolveAddresses(Name::FromString("www.moe.gov.xx"));
+  ASSERT_TRUE(addrs.ok()) << addrs.status().ToString();
+  ASSERT_EQ(addrs->size(), 1u);
+  EXPECT_EQ((*addrs)[0], TinyInternet::Ip(10, 0, 3, 10));
+}
+
+TEST_F(ResolverTest, FollowsCname) {
+  auto addrs = resolver_.ResolveAddresses(Name::FromString("alias.moe.gov.xx"));
+  ASSERT_TRUE(addrs.ok());
+  ASSERT_EQ(addrs->size(), 1u);
+  EXPECT_EQ((*addrs)[0], TinyInternet::Ip(10, 0, 3, 10));
+}
+
+TEST_F(ResolverTest, ResolvesNsRecordsFromChild) {
+  auto records = resolver_.Resolve(Name::FromString("moe.gov.xx"), RRType::kNS);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+}
+
+TEST_F(ResolverTest, GluelessDelegationResolvedViaSeparateLookup) {
+  auto addrs =
+      resolver_.ResolveAddresses(Name::FromString("www.glueless.gov.xx"));
+  ASSERT_TRUE(addrs.ok()) << addrs.status().ToString();
+  EXPECT_EQ((*addrs)[0], TinyInternet::Ip(10, 0, 6, 1));
+}
+
+TEST_F(ResolverTest, NxDomainGivesEmptyAnswerNotError) {
+  auto records =
+      resolver_.Resolve(Name::FromString("absent.gov.xx"), RRType::kA);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST_F(ResolverTest, UnresolvableHostFails) {
+  auto addrs = resolver_.ResolveAddresses(Name::FromString("ns1ext.xx"));
+  EXPECT_FALSE(addrs.ok());
+}
+
+TEST_F(ResolverTest, DeadDelegationFails) {
+  // lame.gov.xx's only nameserver never answers.
+  auto records =
+      resolver_.Resolve(Name::FromString("www.lame.gov.xx"), RRType::kA);
+  EXPECT_FALSE(records.ok());
+}
+
+TEST_F(ResolverTest, FindEnclosingZoneReturnsParentServers) {
+  auto zone = resolver_.FindEnclosingZoneServers(Name::FromString("moe.gov.xx"));
+  ASSERT_TRUE(zone.ok()) << zone.status().ToString();
+  EXPECT_EQ(zone->zone.ToString(), "gov.xx");
+  ASSERT_EQ(zone->addresses.size(), 1u);
+  EXPECT_EQ(zone->addresses[0], TinyInternet::Ip(10, 0, 2, 1));
+}
+
+TEST_F(ResolverTest, FindEnclosingZoneForDeepName) {
+  // www.moe.gov.xx's enclosing zone is moe.gov.xx itself.
+  auto zone =
+      resolver_.FindEnclosingZoneServers(Name::FromString("www.moe.gov.xx"));
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone->zone.ToString(), "moe.gov.xx");
+}
+
+TEST_F(ResolverTest, FindEnclosingZoneForTld) {
+  auto zone = resolver_.FindEnclosingZoneServers(Name::FromString("xx"));
+  ASSERT_TRUE(zone.ok());
+  EXPECT_TRUE(zone->zone.IsRoot());
+}
+
+TEST_F(ResolverTest, FindEnclosingZoneRejectsRoot) {
+  EXPECT_FALSE(resolver_.FindEnclosingZoneServers(Name::Root()).ok());
+}
+
+TEST_F(ResolverTest, NonExistentDelegationStopsAtParent) {
+  // gone.gov.xx has no records: the deepest enclosing zone is gov.xx and
+  // its servers answer (with NXDOMAIN for the name itself).
+  auto zone = resolver_.FindEnclosingZoneServers(Name::FromString("gone.gov.xx"));
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone->zone.ToString(), "gov.xx");
+}
+
+TEST_F(ResolverTest, CacheReducesQueryLoad) {
+  (void)resolver_.ResolveAddresses(Name::FromString("www.moe.gov.xx"));
+  uint64_t after_first = resolver_.queries_sent();
+  (void)resolver_.ResolveAddresses(Name::FromString("ns2.moe.gov.xx"));
+  uint64_t second_cost = resolver_.queries_sent() - after_first;
+  // The second lookup starts from the cached moe.gov.xx cut: 1 query.
+  EXPECT_LE(second_cost, 2u);
+  EXPECT_GT(resolver_.cache_size(), 0u);
+  resolver_.ClearCache();
+  EXPECT_EQ(resolver_.cache_size(), 0u);
+}
+
+TEST_F(ResolverTest, QueryServerClassifiesOutcomes) {
+  // Authoritative answer.
+  auto r = resolver_.QueryServer(TinyInternet::Ip(10, 0, 3, 1),
+                                 Name::FromString("www.moe.gov.xx"),
+                                 RRType::kA);
+  EXPECT_EQ(r.outcome, QueryOutcome::kAuthAnswer);
+  // Referral.
+  r = resolver_.QueryServer(TinyInternet::Ip(10, 0, 2, 1),
+                            Name::FromString("moe.gov.xx"), RRType::kNS);
+  EXPECT_EQ(r.outcome, QueryOutcome::kReferral);
+  // Refused.
+  r = resolver_.QueryServer(TinyInternet::Ip(10, 0, 4, 21),
+                            Name::FromString("refused.gov.xx"), RRType::kNS);
+  EXPECT_EQ(r.outcome, QueryOutcome::kRefused);
+  // Unreachable.
+  r = resolver_.QueryServer(TinyInternet::Ip(10, 0, 4, 12),
+                            Name::FromString("half.gov.xx"), RRType::kNS);
+  EXPECT_EQ(r.outcome, QueryOutcome::kUnreachable);
+  // Negative.
+  r = resolver_.QueryServer(TinyInternet::Ip(10, 0, 2, 1),
+                            Name::FromString("absent.gov.xx"), RRType::kA);
+  EXPECT_EQ(r.outcome, QueryOutcome::kAuthNegative);
+}
+
+TEST_F(ResolverTest, SilentEndpointIsTimeout) {
+  world_.net.SetBehavior(TinyInternet::Ip(10, 0, 3, 1),
+                         simnet::EndpointBehavior{.silent = true});
+  auto r = resolver_.QueryServer(TinyInternet::Ip(10, 0, 3, 1),
+                                 Name::FromString("www.moe.gov.xx"),
+                                 RRType::kA);
+  EXPECT_EQ(r.outcome, QueryOutcome::kTimeout);
+}
+
+TEST_F(ResolverTest, RetriesRecoverFromLoss) {
+  world_.net.SetBehavior(TinyInternet::Ip(10, 0, 3, 1),
+                         simnet::EndpointBehavior{.loss_rate = 0.6});
+  ResolverOptions options;
+  options.retries = 6;
+  IterativeResolver retrying(&world_.net, world_.roots(), options);
+  auto r = retrying.QueryServer(TinyInternet::Ip(10, 0, 3, 1),
+                                Name::FromString("www.moe.gov.xx"),
+                                RRType::kA);
+  EXPECT_EQ(r.outcome, QueryOutcome::kAuthAnswer);
+}
+
+}  // namespace
+}  // namespace govdns::core

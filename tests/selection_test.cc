@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/selection.h"
+#include "core/study.h"
+#include "worldgen/adapter.h"
+#include "worldgen/world.h"
+
+namespace govdns::core {
+namespace {
+
+using dns::Name;
+
+class MapPolicy : public RegistryPolicyLookup {
+ public:
+  std::optional<bool> IsRestricted(const Name& suffix) const override {
+    auto it = entries_.find(suffix);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::map<Name, bool> entries_;
+};
+
+// Extraction logic without any network: use a resolver over an empty net.
+class ExtractionTest : public ::testing::Test {
+ protected:
+  ExtractionTest()
+      : net_(1), resolver_(&net_, {geo::IPv4(1, 1, 1, 1)}) {
+    psl_.AddSuffix(Name::FromString("au"));
+    psl_.AddSuffix(Name::FromString("no"));
+    psl_.AddSuffix(Name::FromString("la"));
+    psl_.AddSuffix(Name::FromString("gov.au"));
+    psl_.AddSuffix(Name::FromString("gov.la"));
+    policy_.entries_[Name::FromString("gov.au")] = true;
+    policy_.entries_[Name::FromString("com.au")] = false;
+  }
+
+  simnet::SimNetwork net_;
+  IterativeResolver resolver_;
+  registrar::PublicSuffixList psl_;
+  MapPolicy policy_;
+};
+
+TEST_F(ExtractionTest, RestrictedSuffixWins) {
+  SeedSelector selector(&resolver_, &psl_, &policy_);
+  auto seed = selector.ExtractSeed(0, Name::FromString("www.australia.gov.au"));
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_EQ(seed->d_gov.ToString(), "gov.au");
+  EXPECT_EQ(seed->verification, SeedVerification::kRegistryPolicy);
+}
+
+TEST_F(ExtractionTest, UndocumentedSuffixFallsBackToRegisteredDomain) {
+  SeedSelector selector(&resolver_, &psl_, &policy_);
+  // gov.la has no policy documentation: the registered domain under the
+  // public suffix is the anchor (the paper's laogov.gov.la case).
+  auto seed = selector.ExtractSeed(1, Name::FromString("www.laogov.gov.la"));
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_EQ(seed->d_gov.ToString(), "laogov.gov.la");
+  EXPECT_EQ(seed->verification, SeedVerification::kRegisteredDomain);
+}
+
+TEST_F(ExtractionTest, PlainRegisteredDomain) {
+  SeedSelector selector(&resolver_, &psl_, &policy_);
+  // www.regjeringen.no -> regjeringen.no (Norway).
+  auto seed = selector.ExtractSeed(2, Name::FromString("www.regjeringen.no"));
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_EQ(seed->d_gov.ToString(), "regjeringen.no");
+}
+
+TEST_F(ExtractionTest, NoSuffixMatchYieldsNothing) {
+  SeedSelector selector(&resolver_, &psl_, &policy_);
+  EXPECT_FALSE(
+      selector.ExtractSeed(3, Name::FromString("www.example.zz")).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Full selection over a generated world (§III-A quirks included).
+// ---------------------------------------------------------------------------
+
+class WorldSelectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    worldgen::WorldConfig config;
+    config.scale = 0.01;
+    world_ = worldgen::BuildWorld(config).release();
+    bound_ = new worldgen::BoundStudy(worldgen::MakeStudy(*world_));
+    bound_->study->RunSelection();
+  }
+  static void TearDownTestSuite() {
+    delete bound_;
+    delete world_;
+  }
+
+  static worldgen::World* world_;
+  static worldgen::BoundStudy* bound_;
+};
+
+worldgen::World* WorldSelectionTest::world_ = nullptr;
+worldgen::BoundStudy* WorldSelectionTest::bound_ = nullptr;
+
+TEST_F(WorldSelectionTest, OneSeedPerCountry) {
+  EXPECT_EQ(bound_->study->seeds().size(), 193u);
+  std::set<int> countries;
+  for (const auto& seed : bound_->study->seeds()) {
+    countries.insert(seed.country);
+  }
+  EXPECT_EQ(countries.size(), 193u);
+}
+
+TEST_F(WorldSelectionTest, ReproducesThePapersQuirks) {
+  const auto& stats = bound_->study->selection_stats();
+  EXPECT_EQ(stats.total, 193);
+  EXPECT_EQ(stats.broken_links, 11);      // paper: 11 unresolvable links
+  EXPECT_EQ(stats.squatted_links, 1);     // one squatted portal
+  EXPECT_EQ(stats.msq_fallbacks, 3);      // 2 mismatches + the squat
+  EXPECT_EQ(stats.registered_domain_fallbacks, 4);  // la, tl, jm, no
+}
+
+TEST_F(WorldSelectionTest, SeedsMatchGroundTruthSuffixes) {
+  for (const auto& seed : bound_->study->seeds()) {
+    EXPECT_EQ(seed.d_gov, world_->country_runtime()[seed.country].suffix)
+        << "country " << seed.country;
+  }
+}
+
+}  // namespace
+}  // namespace govdns::core

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "simnet/network.h"
+
+namespace govdns::simnet {
+namespace {
+
+std::vector<uint8_t> Echo(const std::vector<uint8_t>& in) { return in; }
+
+TEST(SimNetworkTest, ExchangeDeliversToHandler) {
+  SimNetwork net(1);
+  geo::IPv4 addr(10, 0, 0, 1);
+  net.AttachHandler(addr, [](const std::vector<uint8_t>& q) {
+    std::vector<uint8_t> reply = q;
+    reply.push_back(0xFF);
+    return reply;
+  });
+  auto reply = net.Exchange(addr, {1, 2, 3});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, (std::vector<uint8_t>{1, 2, 3, 0xFF}));
+  EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(SimNetworkTest, UnreachableWithoutHandler) {
+  SimNetwork net(1);
+  auto reply = net.Exchange(geo::IPv4(10, 0, 0, 9), {1});
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), util::ErrorCode::kUnavailable);
+  EXPECT_EQ(net.stats().unreachable, 1u);
+}
+
+TEST(SimNetworkTest, SilentEndpointTimesOutEvenWithHandler) {
+  SimNetwork net(1);
+  geo::IPv4 addr(10, 0, 0, 2);
+  net.AttachHandler(addr, Echo);
+  net.SetBehavior(addr, EndpointBehavior{.silent = true});
+  auto reply = net.Exchange(addr, {1});
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(net.stats().timeouts, 1u);
+}
+
+TEST(SimNetworkTest, SilentWorksWithoutHandlerToo) {
+  SimNetwork net(1);
+  geo::IPv4 addr(10, 0, 0, 3);
+  net.SetBehavior(addr, EndpointBehavior{.silent = true});
+  auto reply = net.Exchange(addr, {1});
+  EXPECT_EQ(reply.status().code(), util::ErrorCode::kTimeout);
+}
+
+TEST(SimNetworkTest, SlowEndpointExceedingTimeoutTimesOut) {
+  SimNetwork net(1);
+  geo::IPv4 addr(10, 0, 0, 4);
+  net.AttachHandler(addr, Echo);
+  net.SetBehavior(addr, EndpointBehavior{.rtt_ms = 5000});
+  net.set_timeout_ms(2000);
+  EXPECT_EQ(net.Exchange(addr, {1}).status().code(),
+            util::ErrorCode::kTimeout);
+}
+
+TEST(SimNetworkTest, ClockAdvancesWithTraffic) {
+  SimNetwork net(1);
+  geo::IPv4 addr(10, 0, 0, 5);
+  net.AttachHandler(addr, Echo);
+  net.SetBehavior(addr, EndpointBehavior{.rtt_ms = 30});
+  uint64_t before = net.clock().now_ms();
+  (void)net.Exchange(addr, {1});
+  EXPECT_EQ(net.clock().now_ms(), before + 30);
+  // Timeouts cost the full timeout budget.
+  net.SetBehavior(addr, EndpointBehavior{.silent = true});
+  before = net.clock().now_ms();
+  (void)net.Exchange(addr, {1});
+  EXPECT_EQ(net.clock().now_ms(), before + net.timeout_ms());
+}
+
+TEST(SimNetworkTest, LossIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    SimNetwork net(seed);
+    geo::IPv4 addr(10, 0, 0, 6);
+    net.AttachHandler(addr, Echo);
+    net.SetBehavior(addr, EndpointBehavior{.loss_rate = 0.5});
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(net.Exchange(addr, {1}).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimNetworkTest, LossRateApproximatelyHonored) {
+  SimNetwork net(3);
+  geo::IPv4 addr(10, 0, 0, 7);
+  net.AttachHandler(addr, Echo);
+  net.SetBehavior(addr, EndpointBehavior{.loss_rate = 0.25});
+  int ok = 0;
+  for (int i = 0; i < 2000; ++i) ok += net.Exchange(addr, {1}).ok();
+  EXPECT_NEAR(ok / 2000.0, 0.75, 0.05);
+}
+
+TEST(SimNetworkTest, RetriesGetFreshLossDraws) {
+  SimNetwork net(3);
+  geo::IPv4 addr(10, 0, 0, 8);
+  net.AttachHandler(addr, Echo);
+  net.SetBehavior(addr, EndpointBehavior{.loss_rate = 0.5});
+  // With per-exchange draws, some retry sequence must eventually succeed.
+  bool any_ok = false;
+  for (int i = 0; i < 32 && !any_ok; ++i) any_ok = net.Exchange(addr, {1}).ok();
+  EXPECT_TRUE(any_ok);
+}
+
+TEST(SimNetworkTest, DetachHandlerMakesUnreachable) {
+  SimNetwork net(1);
+  geo::IPv4 addr(10, 0, 0, 10);
+  net.AttachHandler(addr, Echo);
+  EXPECT_TRUE(net.HasHandler(addr));
+  net.DetachHandler(addr);
+  EXPECT_FALSE(net.HasHandler(addr));
+  EXPECT_EQ(net.Exchange(addr, {1}).status().code(),
+            util::ErrorCode::kUnavailable);
+}
+
+TEST(SimNetworkTest, EndpointCount) {
+  SimNetwork net(1);
+  EXPECT_EQ(net.endpoint_count(), 0u);
+  net.AttachHandler(geo::IPv4(1, 1, 1, 1), Echo);
+  net.AttachHandler(geo::IPv4(1, 1, 1, 2), Echo);
+  net.AttachHandler(geo::IPv4(1, 1, 1, 1), Echo);  // replace, not add
+  EXPECT_EQ(net.endpoint_count(), 2u);
+}
+
+}  // namespace
+}  // namespace govdns::simnet

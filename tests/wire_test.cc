@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "dns/message.h"
+#include "dns/wire.h"
+#include "util/rng.h"
+
+namespace govdns::dns {
+namespace {
+
+TEST(WireWriterTest, Primitives) {
+  WireWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xDEADBEEF);
+  ASSERT_EQ(w.size(), 7u);
+  WireReader r(w.buffer());
+  EXPECT_EQ(*r.ReadU8(), 0xAB);
+  EXPECT_EQ(*r.ReadU16(), 0x1234);
+  EXPECT_EQ(*r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireReaderTest, TruncationDetected) {
+  std::vector<uint8_t> buf = {0x12};
+  WireReader r(buf);
+  EXPECT_FALSE(r.ReadU16().ok());
+  EXPECT_FALSE(WireReader(buf).ReadU32().ok());
+}
+
+TEST(WireNameTest, UncompressedRoundTrip) {
+  WireWriter w;
+  Name name = Name::FromString("www.gov.au");
+  w.WriteNameUncompressed(name);
+  EXPECT_EQ(w.size(), name.WireLength());
+  WireReader r(w.buffer());
+  auto decoded = r.ReadName();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, name);
+}
+
+TEST(WireNameTest, RootName) {
+  WireWriter w;
+  w.WriteName(Name::Root());
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.buffer()[0], 0);
+  WireReader r(w.buffer());
+  EXPECT_TRUE(r.ReadName()->IsRoot());
+}
+
+TEST(WireNameTest, CompressionEmitsPointer) {
+  WireWriter w;
+  Name a = Name::FromString("ns1.gov.cn");
+  Name b = Name::FromString("ns2.gov.cn");
+  w.WriteName(a);
+  size_t first = w.size();
+  w.WriteName(b);
+  // Second name: "ns2" label (4 bytes) + 2-byte pointer to "gov.cn".
+  EXPECT_EQ(w.size() - first, 4u + 2u);
+
+  WireReader r(w.buffer());
+  EXPECT_EQ(*r.ReadName(), a);
+  EXPECT_EQ(*r.ReadName(), b);
+}
+
+TEST(WireNameTest, FullSuffixCompression) {
+  WireWriter w;
+  Name a = Name::FromString("gov.cn");
+  w.WriteName(a);
+  size_t first = w.size();
+  w.WriteName(a);  // identical name: a bare pointer
+  EXPECT_EQ(w.size() - first, 2u);
+  WireReader r(w.buffer());
+  EXPECT_EQ(*r.ReadName(), a);
+  EXPECT_EQ(*r.ReadName(), a);
+}
+
+TEST(WireNameTest, PointerLoopRejected) {
+  // A pointer that points at itself.
+  std::vector<uint8_t> buf = {0xC0, 0x00};
+  WireReader r(buf);
+  EXPECT_FALSE(r.ReadName().ok());
+}
+
+TEST(WireNameTest, ForwardPointerRejected) {
+  // Pointer to offset 4, beyond its own position.
+  std::vector<uint8_t> buf = {0xC0, 0x04, 0, 0, 3, 'c', 'o', 'm', 0};
+  WireReader r(buf);
+  EXPECT_FALSE(r.ReadName().ok());
+}
+
+TEST(WireNameTest, ReservedLabelTypeRejected) {
+  std::vector<uint8_t> buf = {0x80, 0x01};
+  WireReader r(buf);
+  EXPECT_FALSE(r.ReadName().ok());
+}
+
+TEST(WireRecordTest, ARecordRoundTrip) {
+  ResourceRecord rr = MakeA(Name::FromString("www.gov.au"),
+                            geo::IPv4(192, 0, 2, 1), 3600);
+  WireWriter w;
+  w.WriteRecord(rr);
+  WireReader r(w.buffer());
+  auto decoded = r.ReadRecord();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, rr);
+}
+
+TEST(WireRecordTest, SoaRoundTrip) {
+  ResourceRecord rr = MakeSoa(Name::FromString("gov.au"),
+                              Name::FromString("ns1.gov.au"),
+                              Name::FromString("hostmaster.gov.au"), 42);
+  WireWriter w;
+  w.WriteRecord(rr);
+  WireReader r(w.buffer());
+  auto decoded = r.ReadRecord();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, rr);
+}
+
+TEST(WireRecordTest, TxtRoundTrip) {
+  ResourceRecord rr = MakeTxt(Name::FromString("gov.au"), "v=spf1 -all");
+  WireWriter w;
+  w.WriteRecord(rr);
+  WireReader r(w.buffer());
+  auto decoded = r.ReadRecord();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, rr);
+}
+
+TEST(WireRecordTest, RdlengthMismatchRejected) {
+  // A record claiming 5 bytes of A rdata.
+  WireWriter w;
+  w.WriteName(Name::FromString("x.com"));
+  w.WriteU16(1);   // type A
+  w.WriteU16(1);   // class IN
+  w.WriteU32(60);  // ttl
+  w.WriteU16(5);   // WRONG rdlength
+  w.WriteU32(0x01020304);
+  w.WriteU8(0xFF);
+  WireReader r(w.buffer());
+  EXPECT_FALSE(r.ReadRecord().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-message properties
+// ---------------------------------------------------------------------------
+
+Message RandomMessage(util::Rng& rng) {
+  static const char* kHosts[] = {
+      "www.gov.au",   "ns1.gov.cn",        "moe.gov.cn",
+      "a.nic.com",    "tim.ns.cloudflare.com", "ns-3.awsdns-01.co.uk",
+      "deep.sub.zone.gov.br",
+  };
+  auto random_name = [&] {
+    return Name::FromString(kHosts[rng.UniformU64(std::size(kHosts))]);
+  };
+  Message m;
+  m.header.id = static_cast<uint16_t>(rng.NextU64());
+  m.header.qr = rng.Bernoulli(0.5);
+  m.header.aa = rng.Bernoulli(0.5);
+  m.header.rd = rng.Bernoulli(0.5);
+  m.header.rcode = rng.Bernoulli(0.2) ? Rcode::kNxDomain : Rcode::kNoError;
+  m.questions.push_back(
+      {random_name(), rng.Bernoulli(0.5) ? RRType::kNS : RRType::kA,
+       RRClass::kIN});
+  auto random_rr = [&]() -> ResourceRecord {
+    switch (rng.UniformU64(4)) {
+      case 0:
+        return MakeA(random_name(),
+                     geo::IPv4(static_cast<uint32_t>(rng.NextU64())),
+                     static_cast<uint32_t>(rng.UniformU64(86400)));
+      case 1:
+        return MakeNs(random_name(), random_name());
+      case 2:
+        return MakeCname(random_name(), random_name());
+      default:
+        return MakeSoa(random_name(), random_name(), random_name(),
+                       static_cast<uint32_t>(rng.NextU64()));
+    }
+  };
+  for (uint64_t i = rng.UniformU64(4); i > 0; --i) m.answers.push_back(random_rr());
+  for (uint64_t i = rng.UniformU64(4); i > 0; --i) m.authority.push_back(random_rr());
+  for (uint64_t i = rng.UniformU64(4); i > 0; --i) m.additional.push_back(random_rr());
+  return m;
+}
+
+class MessageRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MessageRoundTripProperty, EncodeDecodeIdentity) {
+  util::Rng rng(GetParam() * 31337);
+  for (int i = 0; i < 60; ++i) {
+    Message m = RandomMessage(rng);
+    auto wire = m.Encode();
+    auto decoded = Message::Decode(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, m);
+  }
+}
+
+TEST_P(MessageRoundTripProperty, TruncatedPrefixesNeverCrash) {
+  util::Rng rng(GetParam() * 7919);
+  Message m = RandomMessage(rng);
+  auto wire = m.Encode();
+  // Every strict prefix must decode cleanly or fail cleanly — never crash.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto decoded = Message::Decode(wire.data(), len);
+    if (decoded.ok()) {
+      // Only possible if trailing records were absent; counts must agree.
+      auto reencoded = decoded->Encode();
+      EXPECT_LE(reencoded.size(), wire.size());
+    }
+  }
+}
+
+TEST_P(MessageRoundTripProperty, BitFlipsNeverCrash) {
+  util::Rng rng(GetParam() * 104729);
+  Message m = RandomMessage(rng);
+  auto wire = m.Encode();
+  for (int i = 0; i < 200; ++i) {
+    auto corrupted = wire;
+    size_t pos = rng.UniformU64(corrupted.size());
+    corrupted[pos] ^= static_cast<uint8_t>(1 + rng.UniformU64(255));
+    auto decoded = Message::Decode(corrupted);  // must not crash or hang
+    (void)decoded;
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageRoundTripProperty,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace govdns::dns

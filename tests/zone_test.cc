@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "zone/auth_server.h"
+#include "zone/zone.h"
+
+namespace govdns::zone {
+namespace {
+
+using dns::MakeA;
+using dns::MakeCname;
+using dns::MakeNs;
+using dns::MakeSoa;
+using dns::Name;
+
+std::shared_ptr<Zone> GovCnZone() {
+  auto z = std::make_shared<Zone>(Name::FromString("gov.cn"));
+  Name origin = z->origin();
+  z->Add(MakeSoa(origin, Name::FromString("ns1.nic.gov.cn"),
+                 Name::FromString("hostmaster.gov.cn"), 1));
+  z->Add(MakeNs(origin, Name::FromString("ns1.nic.gov.cn")));
+  z->Add(MakeNs(origin, Name::FromString("ns2.nic.gov.cn")));
+  z->Add(MakeA(Name::FromString("ns1.nic.gov.cn"), geo::IPv4(10, 0, 0, 1)));
+  z->Add(MakeA(Name::FromString("ns2.nic.gov.cn"), geo::IPv4(10, 0, 0, 2)));
+  z->Add(MakeA(Name::FromString("www.gov.cn"), geo::IPv4(10, 0, 0, 3)));
+  // Delegation: moe.gov.cn with in-bailiwick glue.
+  z->Add(MakeNs(Name::FromString("moe.gov.cn"),
+                Name::FromString("ns1.moe.gov.cn")));
+  z->Add(MakeNs(Name::FromString("moe.gov.cn"),
+                Name::FromString("ns2.moe.gov.cn")));
+  z->Add(MakeA(Name::FromString("ns1.moe.gov.cn"), geo::IPv4(10, 0, 1, 1)));
+  z->Add(MakeA(Name::FromString("ns2.moe.gov.cn"), geo::IPv4(10, 0, 1, 2)));
+  // CNAME inside the zone.
+  z->Add(MakeCname(Name::FromString("portal.gov.cn"),
+                   Name::FromString("www.gov.cn")));
+  return z;
+}
+
+// ---------------------------------------------------------------------------
+// Zone data model
+// ---------------------------------------------------------------------------
+
+TEST(ZoneTest, FindReturnsMatchingRecords) {
+  auto z = GovCnZone();
+  auto ns = z->Find(z->origin(), dns::RRType::kNS);
+  EXPECT_EQ(ns.size(), 2u);
+  EXPECT_TRUE(z->Find(z->origin(), dns::RRType::kTXT).empty());
+  EXPECT_TRUE(z->Find(Name::FromString("absent.gov.cn"), dns::RRType::kA).empty());
+}
+
+TEST(ZoneTest, NameExistsIncludesEmptyNonTerminals) {
+  auto z = GovCnZone();
+  EXPECT_TRUE(z->NameExists(Name::FromString("www.gov.cn")));
+  // nic.gov.cn has no records itself but ns1.nic.gov.cn exists below it.
+  EXPECT_TRUE(z->NameExists(Name::FromString("nic.gov.cn")));
+  EXPECT_FALSE(z->NameExists(Name::FromString("nothing.gov.cn")));
+}
+
+TEST(ZoneTest, FindDelegationAtAndBelowCut) {
+  auto z = GovCnZone();
+  auto cut = z->FindDelegation(Name::FromString("moe.gov.cn"));
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->ToString(), "moe.gov.cn");
+  cut = z->FindDelegation(Name::FromString("deep.sub.moe.gov.cn"));
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->ToString(), "moe.gov.cn");
+}
+
+TEST(ZoneTest, NoDelegationForAuthoritativeNames) {
+  auto z = GovCnZone();
+  EXPECT_FALSE(z->FindDelegation(Name::FromString("www.gov.cn")).has_value());
+  // The apex NS records are not a delegation.
+  EXPECT_FALSE(z->FindDelegation(z->origin()).has_value());
+}
+
+TEST(ZoneTest, TopmostCutWins) {
+  auto z = std::make_shared<Zone>(Name::FromString("gov.br"));
+  z->Add(MakeNs(Name::FromString("sp.gov.br"), Name::FromString("ns.x.br")));
+  z->Add(MakeNs(Name::FromString("city.sp.gov.br"),
+                Name::FromString("ns.y.br")));
+  auto cut = z->FindDelegation(Name::FromString("www.city.sp.gov.br"));
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->ToString(), "sp.gov.br");
+}
+
+TEST(ZoneTest, SoaAndNsTargets) {
+  auto z = GovCnZone();
+  ASSERT_TRUE(z->Soa().has_value());
+  auto targets = z->NsTargets(Name::FromString("moe.gov.cn"));
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0].ToString(), "ns1.moe.gov.cn");
+}
+
+TEST(ZoneTest, RecordCountAndIteration) {
+  auto z = GovCnZone();
+  size_t visited = 0;
+  z->ForEachRecord([&](const dns::ResourceRecord&) { ++visited; });
+  EXPECT_EQ(visited, z->record_count());
+  EXPECT_EQ(visited, 11u);
+}
+
+// ---------------------------------------------------------------------------
+// Authoritative server behaviour
+// ---------------------------------------------------------------------------
+
+class AuthServerTest : public ::testing::Test {
+ protected:
+  AuthServerTest() : server_("ns1.nic.gov.cn") {
+    server_.AddZone(GovCnZone());
+  }
+
+  dns::Message Ask(const std::string& name, dns::RRType type) {
+    return server_.Answer(dns::MakeQuery(1, Name::FromString(name), type));
+  }
+
+  AuthServer server_;
+};
+
+TEST_F(AuthServerTest, AuthoritativeAnswer) {
+  auto r = Ask("www.gov.cn", dns::RRType::kA);
+  EXPECT_TRUE(r.header.aa);
+  EXPECT_EQ(r.header.rcode, dns::Rcode::kNoError);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].name.ToString(), "www.gov.cn");
+}
+
+TEST_F(AuthServerTest, ApexNsAnswer) {
+  auto r = Ask("gov.cn", dns::RRType::kNS);
+  EXPECT_TRUE(r.header.aa);
+  EXPECT_EQ(r.answers.size(), 2u);
+}
+
+TEST_F(AuthServerTest, ReferralWithGlue) {
+  auto r = Ask("moe.gov.cn", dns::RRType::kNS);
+  EXPECT_FALSE(r.header.aa);
+  EXPECT_TRUE(r.answers.empty());
+  EXPECT_TRUE(r.IsReferral());
+  EXPECT_EQ(r.authority.size(), 2u);
+  EXPECT_EQ(r.additional.size(), 2u);  // glue A records
+  EXPECT_EQ(r.authority[0].name.ToString(), "moe.gov.cn");
+}
+
+TEST_F(AuthServerTest, ReferralForNamesBelowCut) {
+  auto r = Ask("www.moe.gov.cn", dns::RRType::kA);
+  EXPECT_TRUE(r.IsReferral());
+}
+
+TEST_F(AuthServerTest, NxDomainWithSoa) {
+  auto r = Ask("missing.gov.cn", dns::RRType::kA);
+  EXPECT_EQ(r.header.rcode, dns::Rcode::kNxDomain);
+  EXPECT_TRUE(r.header.aa);
+  ASSERT_EQ(r.authority.size(), 1u);
+  EXPECT_EQ(r.authority[0].type(), dns::RRType::kSOA);
+}
+
+TEST_F(AuthServerTest, NodataForExistingNameWrongType) {
+  auto r = Ask("www.gov.cn", dns::RRType::kTXT);
+  EXPECT_EQ(r.header.rcode, dns::Rcode::kNoError);
+  EXPECT_TRUE(r.answers.empty());
+  ASSERT_EQ(r.authority.size(), 1u);
+  EXPECT_EQ(r.authority[0].type(), dns::RRType::kSOA);
+}
+
+TEST_F(AuthServerTest, CnameAnswersOtherTypes) {
+  auto r = Ask("portal.gov.cn", dns::RRType::kA);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type(), dns::RRType::kCNAME);
+}
+
+TEST_F(AuthServerTest, RefusedOutsideServedZones) {
+  auto r = Ask("example.com", dns::RRType::kA);
+  EXPECT_EQ(r.header.rcode, dns::Rcode::kRefused);
+}
+
+TEST_F(AuthServerTest, FormErrOnMultiQuestion) {
+  dns::Message q = dns::MakeQuery(1, Name::FromString("www.gov.cn"),
+                                  dns::RRType::kA);
+  q.questions.push_back(q.questions[0]);
+  EXPECT_EQ(server_.Answer(q).header.rcode, dns::Rcode::kFormErr);
+}
+
+TEST_F(AuthServerTest, MostSpecificZoneWins) {
+  auto moe = std::make_shared<Zone>(Name::FromString("moe.gov.cn"));
+  moe->Add(MakeNs(moe->origin(), Name::FromString("ns1.moe.gov.cn")));
+  moe->Add(MakeA(Name::FromString("www.moe.gov.cn"), geo::IPv4(10, 9, 9, 9)));
+  server_.AddZone(moe);
+  auto r = Ask("www.moe.gov.cn", dns::RRType::kA);
+  EXPECT_TRUE(r.header.aa);  // answered from the child zone, not a referral
+  ASSERT_EQ(r.answers.size(), 1u);
+}
+
+TEST_F(AuthServerTest, RemoveZoneCausesRefused) {
+  server_.RemoveZone(Name::FromString("gov.cn"));
+  auto r = Ask("www.gov.cn", dns::RRType::kA);
+  EXPECT_EQ(r.header.rcode, dns::Rcode::kRefused);
+}
+
+TEST(AuthServerModesTest, RefuseAllIsLame) {
+  AuthServer server("lame.example", ServerMode::kRefuseAll);
+  server.AddZone(GovCnZone());
+  auto r = server.Answer(
+      dns::MakeQuery(1, Name::FromString("www.gov.cn"), dns::RRType::kA));
+  EXPECT_EQ(r.header.rcode, dns::Rcode::kRefused);
+}
+
+TEST(AuthServerModesTest, NoAuthBitAnswersWithoutAa) {
+  AuthServer server("stealth.example", ServerMode::kNoAuthBit);
+  server.AddZone(GovCnZone());
+  auto r = server.Answer(
+      dns::MakeQuery(1, Name::FromString("www.gov.cn"), dns::RRType::kA));
+  EXPECT_EQ(r.header.rcode, dns::Rcode::kNoError);
+  EXPECT_FALSE(r.header.aa);
+  EXPECT_EQ(r.answers.size(), 1u);
+}
+
+TEST(AuthServerModesTest, ParkingAnswersEverything) {
+  AuthServer server("ns1.parkmonster.com", ServerMode::kParking);
+  server.SetParkingAddresses({geo::IPv4(203, 0, 113, 10)});
+  auto a = server.Answer(
+      dns::MakeQuery(1, Name::FromString("whatever.example"), dns::RRType::kA));
+  EXPECT_TRUE(a.header.aa);
+  ASSERT_EQ(a.answers.size(), 1u);
+  EXPECT_EQ(RdataToString(a.answers[0].rdata), "203.0.113.10");
+
+  auto ns = server.Answer(
+      dns::MakeQuery(2, Name::FromString("whatever.example"), dns::RRType::kNS));
+  ASSERT_EQ(ns.answers.size(), 1u);
+  EXPECT_EQ(RdataToString(ns.answers[0].rdata), "ns1.parkmonster.com");
+}
+
+}  // namespace
+}  // namespace govdns::zone

@@ -1,0 +1,87 @@
+// govdns_dig — a minimal dig-style lookup tool over real UDP sockets.
+//
+//   govdns_dig @<server-ip> [-p port] <name> [type]
+//
+// Sends one query with the library's wire codec and prints the decoded
+// response (plus round-trip classification), e.g.:
+//
+//   govdns_dig @127.0.0.1 -p 5353 www.gov.xx A
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/resolver.h"
+#include "netio/udp.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s @<server-ip> [-p port] <name> [type]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace govdns;
+
+  std::string server_text;
+  std::string name_text;
+  std::string type_text = "A";
+  uint16_t port = 53;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() > 1 && arg[0] == '@') {
+      server_text = arg.substr(1);
+    } else if (arg == "-p" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (name_text.empty()) {
+      name_text = arg;
+    } else {
+      type_text = arg;
+    }
+  }
+  if (server_text.empty() || name_text.empty()) return Usage(argv[0]);
+
+  auto server = geo::IPv4::Parse(server_text);
+  if (!server.ok()) {
+    std::fprintf(stderr, "bad server address: %s\n", server_text.c_str());
+    return 2;
+  }
+  auto name = dns::Name::Parse(name_text);
+  if (!name.ok()) {
+    std::fprintf(stderr, "bad name: %s\n", name_text.c_str());
+    return 2;
+  }
+  for (char& c : type_text) c = static_cast<char>(std::toupper(c));
+  auto type = dns::RRTypeFromName(type_text);
+  if (!type.ok()) {
+    std::fprintf(stderr, "bad type: %s\n", type_text.c_str());
+    return 2;
+  }
+
+  netio::UdpTransport::Options options;
+  options.port = port;
+  netio::UdpTransport transport(options);
+  core::IterativeResolver resolver(&transport, {*server});
+
+  core::ServerReply reply = resolver.QueryServer(*server, *name, *type);
+  switch (reply.outcome) {
+    case core::QueryOutcome::kTimeout:
+      std::printf(";; timeout\n");
+      return 1;
+    case core::QueryOutcome::kUnreachable:
+      std::printf(";; unreachable\n");
+      return 1;
+    case core::QueryOutcome::kMalformed:
+      std::printf(";; malformed response\n");
+      return 1;
+    default:
+      break;
+  }
+  std::fputs(reply.message->ToString().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// govdns_lint — RFC 1912-style hygiene checks for a zone file (the §V-B
+// "tools for DNS debugging" remedy).
+//
+//   govdns_lint --zone <file> [--origin <name>] [--parent-ns ns1,ns2,...]
+//               [--strict]
+//
+// Exit status: 0 clean, 1 findings, 2 usage/parse error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+#include "zone/lint.h"
+#include "zone/zonefile.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --zone <file> [--origin <name>] "
+               "[--parent-ns ns1,ns2] [--strict]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace govdns;
+
+  std::string zone_path;
+  std::string origin_text = ".";
+  std::string parent_ns_text;
+  zone::LintOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--zone") {
+      if (const char* v = next()) zone_path = v;
+    } else if (arg == "--origin") {
+      if (const char* v = next()) origin_text = v;
+    } else if (arg == "--parent-ns") {
+      if (const char* v = next()) parent_ns_text = v;
+    } else if (arg == "--strict") {
+      options.strict_replication = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (zone_path.empty()) return Usage(argv[0]);
+
+  std::ifstream in(zone_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", zone_path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto origin = dns::Name::Parse(origin_text);
+  if (!origin.ok()) {
+    std::fprintf(stderr, "bad origin: %s\n", origin_text.c_str());
+    return 2;
+  }
+  auto zone = zone::ParseZoneFile(buffer.str(), *origin);
+  if (!zone.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", zone.status().ToString().c_str());
+    return 2;
+  }
+
+  auto findings = zone::LintZone(*zone, options);
+  if (!parent_ns_text.empty()) {
+    std::vector<dns::Name> parent_ns;
+    for (const std::string& token : util::Split(parent_ns_text, ',')) {
+      auto name = dns::Name::Parse(token);
+      if (!name.ok()) {
+        std::fprintf(stderr, "bad parent NS name: %s\n", token.c_str());
+        return 2;
+      }
+      parent_ns.push_back(*name);
+    }
+    auto delegation = zone::LintDelegation(*zone, parent_ns);
+    findings.insert(findings.end(), delegation.begin(), delegation.end());
+  }
+
+  for (const auto& finding : findings) {
+    std::printf("%s\n", finding.ToString().c_str());
+  }
+  std::printf("%zu finding(s) in %s (%zu records)\n", findings.size(),
+              zone->origin().ToString().c_str(), zone->record_count());
+  return findings.empty() ? 0 : 1;
+}

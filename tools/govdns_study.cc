@@ -1,0 +1,94 @@
+// govdns_study — run the complete study from the command line and export
+// the results.
+//
+//   govdns_study [--scale S] [--seed N] [--json out.json] [--csv table[,table...]]
+//                [--report]
+//
+// Builds a world at the requested scale, runs selection -> mining -> active
+// measurement, and then prints the consolidated report (--report, default)
+// and/or writes machine-readable exports.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "core/export.h"
+#include "core/report.h"
+#include "util/strings.h"
+#include "worldgen/adapter.h"
+
+int main(int argc, char** argv) {
+  using namespace govdns;
+
+  worldgen::WorldConfig config;
+  config.scale = 0.05;
+  std::string json_path;
+  std::string csv_tables;
+  bool print_report = true;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--scale") {
+      if (const char* v = next()) config.scale = std::atof(v);
+    } else if (arg == "--seed") {
+      if (const char* v = next()) config.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--json") {
+      if (const char* v = next()) json_path = v;
+    } else if (arg == "--csv") {
+      if (const char* v = next()) csv_tables = v;
+    } else if (arg == "--report") {
+      print_report = true;
+    } else if (arg == "--no-report") {
+      print_report = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale S] [--seed N] [--json out.json] "
+                   "[--csv t1,t2] [--no-report]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "building world (scale %.3f, seed %llu)...\n",
+               config.scale, static_cast<unsigned long long>(config.seed));
+  auto world = worldgen::BuildWorld(config);
+  auto bound = worldgen::MakeStudy(*world);
+  std::fprintf(stderr, "running study...\n");
+  bound.study->RunAll();
+
+  std::vector<std::string> top10;
+  for (const char* code : worldgen::Top10CountryCodes()) {
+    top10.emplace_back(code);
+  }
+  core::StudyReport report = core::BuildReport(*bound.study, top10);
+
+  if (print_report) core::PrintReport(report, std::cout);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << core::ExportReportJson(report) << "\n";
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  if (!csv_tables.empty()) {
+    for (const std::string& table : util::Split(csv_tables, ',')) {
+      std::string csv = core::ExportCsv(report, table);
+      if (csv.empty()) {
+        std::fprintf(stderr, "unknown csv table: %s\n", table.c_str());
+        continue;
+      }
+      std::string path = table + ".csv";
+      std::ofstream out(path);
+      out << csv;
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}
