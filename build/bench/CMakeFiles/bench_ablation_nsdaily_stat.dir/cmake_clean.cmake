@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nsdaily_stat.dir/bench_ablation_nsdaily_stat.cc.o"
+  "CMakeFiles/bench_ablation_nsdaily_stat.dir/bench_ablation_nsdaily_stat.cc.o.d"
+  "bench_ablation_nsdaily_stat"
+  "bench_ablation_nsdaily_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nsdaily_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_second_round.dir/bench_ablation_second_round.cc.o"
+  "CMakeFiles/bench_ablation_second_round.dir/bench_ablation_second_round.cc.o.d"
+  "bench_ablation_second_round"
+  "bench_ablation_second_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_second_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

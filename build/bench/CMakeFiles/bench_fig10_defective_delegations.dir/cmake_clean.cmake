@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_defective_delegations.dir/bench_fig10_defective_delegations.cc.o"
+  "CMakeFiles/bench_fig10_defective_delegations.dir/bench_fig10_defective_delegations.cc.o.d"
+  "bench_fig10_defective_delegations"
+  "bench_fig10_defective_delegations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_defective_delegations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_available_ns.dir/bench_fig11_available_ns.cc.o"
+  "CMakeFiles/bench_fig11_available_ns.dir/bench_fig11_available_ns.cc.o.d"
+  "bench_fig11_available_ns"
+  "bench_fig11_available_ns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_available_ns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_consistency.dir/bench_fig13_consistency.cc.o"
+  "CMakeFiles/bench_fig13_consistency.dir/bench_fig13_consistency.cc.o.d"
+  "bench_fig13_consistency"
+  "bench_fig13_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

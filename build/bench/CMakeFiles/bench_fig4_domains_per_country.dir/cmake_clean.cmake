@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_domains_per_country.dir/bench_fig4_domains_per_country.cc.o"
+  "CMakeFiles/bench_fig4_domains_per_country.dir/bench_fig4_domains_per_country.cc.o.d"
+  "bench_fig4_domains_per_country"
+  "bench_fig4_domains_per_country.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_domains_per_country.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

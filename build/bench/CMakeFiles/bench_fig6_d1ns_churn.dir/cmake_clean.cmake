@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_d1ns_churn.dir/bench_fig6_d1ns_churn.cc.o"
+  "CMakeFiles/bench_fig6_d1ns_churn.dir/bench_fig6_d1ns_churn.cc.o.d"
+  "bench_fig6_d1ns_churn"
+  "bench_fig6_d1ns_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_d1ns_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_stale_d1ns.dir/bench_fig8_stale_d1ns.cc.o"
+  "CMakeFiles/bench_fig8_stale_d1ns.dir/bench_fig8_stale_d1ns.cc.o.d"
+  "bench_fig8_stale_d1ns"
+  "bench_fig8_stale_d1ns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_stale_d1ns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

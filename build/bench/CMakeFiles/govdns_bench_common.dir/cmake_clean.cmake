@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_bench_common.dir/common.cc.o"
+  "CMakeFiles/govdns_bench_common.dir/common.cc.o.d"
+  "libgovdns_bench_common.a"
+  "libgovdns_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/country_audit.dir/country_audit.cc.o"
+  "CMakeFiles/country_audit.dir/country_audit.cc.o.d"
+  "country_audit"
+  "country_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/country_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

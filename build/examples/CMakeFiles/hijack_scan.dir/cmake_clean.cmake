@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hijack_scan.dir/hijack_scan.cc.o"
+  "CMakeFiles/hijack_scan.dir/hijack_scan.cc.o.d"
+  "hijack_scan"
+  "hijack_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hijack_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longitudinal_trends.dir/longitudinal_trends.cc.o"
+  "CMakeFiles/longitudinal_trends.dir/longitudinal_trends.cc.o.d"
+  "longitudinal_trends"
+  "longitudinal_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longitudinal_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/govdns_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/govdns_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/core/CMakeFiles/govdns_core.dir/export.cc.o" "gcc" "src/core/CMakeFiles/govdns_core.dir/export.cc.o.d"
+  "/root/repo/src/core/measure.cc" "src/core/CMakeFiles/govdns_core.dir/measure.cc.o" "gcc" "src/core/CMakeFiles/govdns_core.dir/measure.cc.o.d"
+  "/root/repo/src/core/mining.cc" "src/core/CMakeFiles/govdns_core.dir/mining.cc.o" "gcc" "src/core/CMakeFiles/govdns_core.dir/mining.cc.o.d"
+  "/root/repo/src/core/providers.cc" "src/core/CMakeFiles/govdns_core.dir/providers.cc.o" "gcc" "src/core/CMakeFiles/govdns_core.dir/providers.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/govdns_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/govdns_core.dir/report.cc.o.d"
+  "/root/repo/src/core/resolver.cc" "src/core/CMakeFiles/govdns_core.dir/resolver.cc.o" "gcc" "src/core/CMakeFiles/govdns_core.dir/resolver.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/core/CMakeFiles/govdns_core.dir/selection.cc.o" "gcc" "src/core/CMakeFiles/govdns_core.dir/selection.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/core/CMakeFiles/govdns_core.dir/study.cc.o" "gcc" "src/core/CMakeFiles/govdns_core.dir/study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/govdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/govdns_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdns/CMakeFiles/govdns_pdns.dir/DependInfo.cmake"
+  "/root/repo/build/src/registrar/CMakeFiles/govdns_registrar.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/govdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_core.dir/analysis.cc.o"
+  "CMakeFiles/govdns_core.dir/analysis.cc.o.d"
+  "CMakeFiles/govdns_core.dir/export.cc.o"
+  "CMakeFiles/govdns_core.dir/export.cc.o.d"
+  "CMakeFiles/govdns_core.dir/measure.cc.o"
+  "CMakeFiles/govdns_core.dir/measure.cc.o.d"
+  "CMakeFiles/govdns_core.dir/mining.cc.o"
+  "CMakeFiles/govdns_core.dir/mining.cc.o.d"
+  "CMakeFiles/govdns_core.dir/providers.cc.o"
+  "CMakeFiles/govdns_core.dir/providers.cc.o.d"
+  "CMakeFiles/govdns_core.dir/report.cc.o"
+  "CMakeFiles/govdns_core.dir/report.cc.o.d"
+  "CMakeFiles/govdns_core.dir/resolver.cc.o"
+  "CMakeFiles/govdns_core.dir/resolver.cc.o.d"
+  "CMakeFiles/govdns_core.dir/selection.cc.o"
+  "CMakeFiles/govdns_core.dir/selection.cc.o.d"
+  "CMakeFiles/govdns_core.dir/study.cc.o"
+  "CMakeFiles/govdns_core.dir/study.cc.o.d"
+  "libgovdns_core.a"
+  "libgovdns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_dns.dir/message.cc.o"
+  "CMakeFiles/govdns_dns.dir/message.cc.o.d"
+  "CMakeFiles/govdns_dns.dir/name.cc.o"
+  "CMakeFiles/govdns_dns.dir/name.cc.o.d"
+  "CMakeFiles/govdns_dns.dir/rr.cc.o"
+  "CMakeFiles/govdns_dns.dir/rr.cc.o.d"
+  "CMakeFiles/govdns_dns.dir/wire.cc.o"
+  "CMakeFiles/govdns_dns.dir/wire.cc.o.d"
+  "libgovdns_dns.a"
+  "libgovdns_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

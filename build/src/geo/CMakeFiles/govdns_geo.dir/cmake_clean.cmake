@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_geo.dir/asn_db.cc.o"
+  "CMakeFiles/govdns_geo.dir/asn_db.cc.o.d"
+  "CMakeFiles/govdns_geo.dir/ipv4.cc.o"
+  "CMakeFiles/govdns_geo.dir/ipv4.cc.o.d"
+  "libgovdns_geo.a"
+  "libgovdns_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

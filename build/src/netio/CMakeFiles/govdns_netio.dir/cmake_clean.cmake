@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_netio.dir/udp.cc.o"
+  "CMakeFiles/govdns_netio.dir/udp.cc.o.d"
+  "libgovdns_netio.a"
+  "libgovdns_netio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_netio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

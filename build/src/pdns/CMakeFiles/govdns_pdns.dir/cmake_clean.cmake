@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_pdns.dir/db.cc.o"
+  "CMakeFiles/govdns_pdns.dir/db.cc.o.d"
+  "libgovdns_pdns.a"
+  "libgovdns_pdns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_pdns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgovdns_pdns.a"
+)

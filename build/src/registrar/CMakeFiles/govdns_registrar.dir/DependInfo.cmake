@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/registrar/registrar.cc" "src/registrar/CMakeFiles/govdns_registrar.dir/registrar.cc.o" "gcc" "src/registrar/CMakeFiles/govdns_registrar.dir/registrar.cc.o.d"
+  "/root/repo/src/registrar/suffix.cc" "src/registrar/CMakeFiles/govdns_registrar.dir/suffix.cc.o" "gcc" "src/registrar/CMakeFiles/govdns_registrar.dir/suffix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/govdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/govdns_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/govdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_registrar.dir/registrar.cc.o"
+  "CMakeFiles/govdns_registrar.dir/registrar.cc.o.d"
+  "CMakeFiles/govdns_registrar.dir/suffix.cc.o"
+  "CMakeFiles/govdns_registrar.dir/suffix.cc.o.d"
+  "libgovdns_registrar.a"
+  "libgovdns_registrar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_registrar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

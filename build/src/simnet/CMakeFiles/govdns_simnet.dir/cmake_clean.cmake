@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_simnet.dir/network.cc.o"
+  "CMakeFiles/govdns_simnet.dir/network.cc.o.d"
+  "libgovdns_simnet.a"
+  "libgovdns_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_util.dir/civil_time.cc.o"
+  "CMakeFiles/govdns_util.dir/civil_time.cc.o.d"
+  "CMakeFiles/govdns_util.dir/json.cc.o"
+  "CMakeFiles/govdns_util.dir/json.cc.o.d"
+  "CMakeFiles/govdns_util.dir/rng.cc.o"
+  "CMakeFiles/govdns_util.dir/rng.cc.o.d"
+  "CMakeFiles/govdns_util.dir/stats.cc.o"
+  "CMakeFiles/govdns_util.dir/stats.cc.o.d"
+  "CMakeFiles/govdns_util.dir/status.cc.o"
+  "CMakeFiles/govdns_util.dir/status.cc.o.d"
+  "CMakeFiles/govdns_util.dir/strings.cc.o"
+  "CMakeFiles/govdns_util.dir/strings.cc.o.d"
+  "CMakeFiles/govdns_util.dir/table.cc.o"
+  "CMakeFiles/govdns_util.dir/table.cc.o.d"
+  "libgovdns_util.a"
+  "libgovdns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_worldgen.dir/adapter.cc.o"
+  "CMakeFiles/govdns_worldgen.dir/adapter.cc.o.d"
+  "CMakeFiles/govdns_worldgen.dir/countries.cc.o"
+  "CMakeFiles/govdns_worldgen.dir/countries.cc.o.d"
+  "CMakeFiles/govdns_worldgen.dir/generate_active.cc.o"
+  "CMakeFiles/govdns_worldgen.dir/generate_active.cc.o.d"
+  "CMakeFiles/govdns_worldgen.dir/generate_infra.cc.o"
+  "CMakeFiles/govdns_worldgen.dir/generate_infra.cc.o.d"
+  "CMakeFiles/govdns_worldgen.dir/generate_lifecycle.cc.o"
+  "CMakeFiles/govdns_worldgen.dir/generate_lifecycle.cc.o.d"
+  "CMakeFiles/govdns_worldgen.dir/providers.cc.o"
+  "CMakeFiles/govdns_worldgen.dir/providers.cc.o.d"
+  "CMakeFiles/govdns_worldgen.dir/world.cc.o"
+  "CMakeFiles/govdns_worldgen.dir/world.cc.o.d"
+  "libgovdns_worldgen.a"
+  "libgovdns_worldgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_worldgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

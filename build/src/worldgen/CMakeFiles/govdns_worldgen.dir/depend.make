@@ -1,0 +1,2 @@
+# Empty dependencies file for govdns_worldgen.
+# This may be replaced when dependencies are built.

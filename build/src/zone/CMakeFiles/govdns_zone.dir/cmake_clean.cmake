@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_zone.dir/auth_server.cc.o"
+  "CMakeFiles/govdns_zone.dir/auth_server.cc.o.d"
+  "CMakeFiles/govdns_zone.dir/lint.cc.o"
+  "CMakeFiles/govdns_zone.dir/lint.cc.o.d"
+  "CMakeFiles/govdns_zone.dir/zone.cc.o"
+  "CMakeFiles/govdns_zone.dir/zone.cc.o.d"
+  "CMakeFiles/govdns_zone.dir/zonefile.cc.o"
+  "CMakeFiles/govdns_zone.dir/zonefile.cc.o.d"
+  "libgovdns_zone.a"
+  "libgovdns_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/export_test.cc" "tests/CMakeFiles/export_test.dir/export_test.cc.o" "gcc" "tests/CMakeFiles/export_test.dir/export_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/govdns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/worldgen/CMakeFiles/govdns_worldgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netio/CMakeFiles/govdns_netio.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdns/CMakeFiles/govdns_pdns.dir/DependInfo.cmake"
+  "/root/repo/build/src/registrar/CMakeFiles/govdns_registrar.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/govdns_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/govdns_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/govdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/govdns_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/govdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

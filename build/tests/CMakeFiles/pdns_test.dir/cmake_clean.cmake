@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdns_test.dir/pdns_test.cc.o"
+  "CMakeFiles/pdns_test.dir/pdns_test.cc.o.d"
+  "pdns_test"
+  "pdns_test.pdb"
+  "pdns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

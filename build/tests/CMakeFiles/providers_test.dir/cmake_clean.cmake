@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/providers_test.dir/providers_test.cc.o"
+  "CMakeFiles/providers_test.dir/providers_test.cc.o.d"
+  "providers_test"
+  "providers_test.pdb"
+  "providers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/providers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

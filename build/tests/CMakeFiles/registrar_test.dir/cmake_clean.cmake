@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registrar_test.dir/registrar_test.cc.o"
+  "CMakeFiles/registrar_test.dir/registrar_test.cc.o.d"
+  "registrar_test"
+  "registrar_test.pdb"
+  "registrar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registrar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worldgen_test.dir/worldgen_test.cc.o"
+  "CMakeFiles/worldgen_test.dir/worldgen_test.cc.o.d"
+  "worldgen_test"
+  "worldgen_test.pdb"
+  "worldgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worldgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_dig.dir/govdns_dig.cc.o"
+  "CMakeFiles/govdns_dig.dir/govdns_dig.cc.o.d"
+  "govdns_dig"
+  "govdns_dig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_dig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_lint.dir/govdns_lint.cc.o"
+  "CMakeFiles/govdns_lint.dir/govdns_lint.cc.o.d"
+  "govdns_lint"
+  "govdns_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

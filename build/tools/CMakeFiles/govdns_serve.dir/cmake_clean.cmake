@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_serve.dir/govdns_serve.cc.o"
+  "CMakeFiles/govdns_serve.dir/govdns_serve.cc.o.d"
+  "govdns_serve"
+  "govdns_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govdns_study.dir/govdns_study.cc.o"
+  "CMakeFiles/govdns_study.dir/govdns_study.cc.o.d"
+  "govdns_study"
+  "govdns_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govdns_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
