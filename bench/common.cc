@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/json.h"
+
 namespace govdns::bench {
 
 BenchEnv& BenchEnv::Get() {
@@ -51,8 +53,47 @@ const core::ActiveDataset& BenchEnv::active() {
     std::fprintf(stderr, "[bench] measurement done (%llu queries)\n",
                  static_cast<unsigned long long>(
                      bound_.study->resolver().queries_sent()));
+    PrintStatsJson();
   }
   return bound_.study->active();
+}
+
+void BenchEnv::PrintStatsJson() {
+  const simnet::NetworkStats& net = world_->network().stats();
+  core::IterativeResolver& resolver = bound_.study->resolver();
+  const core::ResolverCounters& rc = resolver.counters();
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Key("network").BeginObject()
+      .Kv("exchanges", int64_t(net.exchanges))
+      .Kv("delivered", int64_t(net.delivered))
+      .Kv("timeouts", int64_t(net.timeouts))
+      .Kv("unreachable", int64_t(net.unreachable))
+      .Kv("flap_dropped", int64_t(net.flap_dropped))
+      .Kv("burst_dropped", int64_t(net.burst_dropped))
+      .Kv("rate_limited", int64_t(net.rate_limited))
+      .Kv("corrupted", int64_t(net.corrupted))
+      .Kv("truncated", int64_t(net.truncated))
+      .Kv("wrong_id", int64_t(net.wrong_id))
+      .Kv("clock_ms", int64_t(world_->network().clock().now_ms()))
+      .EndObject();
+  w.Key("resolver").BeginObject()
+      .Kv("queries", int64_t(rc.queries))
+      .Kv("retries", int64_t(rc.retries))
+      .Kv("timeouts", int64_t(rc.timeouts))
+      .Kv("refused", int64_t(rc.refused))
+      .Kv("malformed", int64_t(rc.malformed))
+      .Kv("wrong_id", int64_t(rc.wrong_id))
+      .Kv("truncated", int64_t(rc.truncated))
+      .Kv("backoff_ms", int64_t(rc.backoff_ms))
+      .Kv("breaker_skips", int64_t(rc.breaker_skips))
+      .Kv("negative_cache_hits", int64_t(rc.negative_cache_hits))
+      .Kv("budget_denied", int64_t(rc.budget_denied))
+      .Kv("cut_cache_entries", int64_t(resolver.cache_size()))
+      .Kv("open_circuits", int64_t(resolver.open_circuits()))
+      .EndObject();
+  w.EndObject();
+  std::fprintf(stderr, "[bench] stats %s\n", w.TakeString().c_str());
 }
 
 int BenchMain(int argc, char** argv, void (*print_artifact)()) {

@@ -30,6 +30,12 @@ class BenchEnv {
   const core::MinedDataset& mined();
   const core::ActiveDataset& active();
 
+  // Emits one `[bench] stats {...}` JSON line to stderr with the network
+  // stats and the resolver's cache/health counters, so bench runs record
+  // query volume and adversity alongside timing. Called automatically after
+  // the measurement stage; harmless to call again for an updated snapshot.
+  void PrintStatsJson();
+
   double scale() const { return scale_; }
 
  private:

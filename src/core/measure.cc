@@ -30,10 +30,23 @@ ActiveMeasurer::ActiveMeasurer(IterativeResolver* resolver,
 MeasurementResult ActiveMeasurer::Measure(const dns::Name& domain) {
   MeasurementResult result;
   result.domain = domain;
+  // Charge everything this domain costs — including resolution detours —
+  // against one hard budget, and attribute the per-outcome counters to it.
+  const ResolverCounters before = resolver_->counters();
+  resolver_->ArmQueryBudget(options_.max_queries_per_domain);
+  MeasureInternal(result);
+  result.degraded = resolver_->BudgetExhausted();
+  resolver_->DisarmQueryBudget();
+  result.query_stats = resolver_->counters() - before;
+  return result;
+}
+
+void ActiveMeasurer::MeasureInternal(MeasurementResult& result) {
+  const dns::Name& domain = result.domain;
 
   // --- Step 1: find and query the parent zone's servers. ------------------
   auto parent = resolver_->FindEnclosingZoneServers(domain);
-  if (!parent.ok()) return result;  // parent unreachable / unresolvable
+  if (!parent.ok()) return;  // parent unreachable / unresolvable
   result.parent_located = true;
   result.parent_zone = parent->zone;
 
@@ -74,7 +87,7 @@ MeasurementResult ActiveMeasurer::Measure(const dns::Name& domain) {
   }
   result.parent_ns.assign(parent_set.begin(), parent_set.end());
   result.parent_has_records = !result.parent_ns.empty();
-  if (!result.parent_has_records) return result;
+  if (!result.parent_has_records) return;
 
   // Stash referral glue into the resolver-independent host map later; keep
   // a local index for address resolution.
@@ -122,8 +135,6 @@ MeasurementResult ActiveMeasurer::Measure(const dns::Name& domain) {
     result.rounds = 2;
     QueryChildServers(result);
   }
-
-  return result;
 }
 
 void ActiveMeasurer::QueryChildServers(MeasurementResult& result) {

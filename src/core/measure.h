@@ -62,6 +62,12 @@ struct MeasurementResult {
   std::optional<dns::SoaRdata> soa;  // from an authoritative child server
   int rounds = 1;
 
+  // Resilience bookkeeping: the query effort this domain cost (diffed from
+  // the resolver's counters), and whether the per-domain budget cut the
+  // measurement short — a degraded result may under-report live servers.
+  ResolverCounters query_stats;
+  bool degraded = false;
+
   // All distinct addresses of the domain's nameservers (for Table I).
   std::vector<geo::IPv4> NsAddresses() const;
   // Convenience: the union P ∪ C.
@@ -71,6 +77,9 @@ struct MeasurementResult {
 struct MeasurerOptions {
   bool second_round = true;  // re-query silent children (§III-B)
   bool collect_soa = true;
+  // Hard cap on datagrams per measured domain (0 = unlimited). When spent,
+  // remaining queries fail fast and the result is flagged `degraded`.
+  uint64_t max_queries_per_domain = 250;
 };
 
 class ActiveMeasurer {
@@ -87,6 +96,7 @@ class ActiveMeasurer {
       const std::vector<dns::Name>& domains);
 
  private:
+  void MeasureInternal(MeasurementResult& result);
   void QueryChildServers(MeasurementResult& result);
 
   IterativeResolver* resolver_;

@@ -1,9 +1,52 @@
 #include "core/report.h"
 
+#include <algorithm>
+#include <cstdio>
+
+#include "util/json.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 namespace govdns::core {
+
+ResilienceReport BuildResilienceReport(const ActiveDataset& dataset) {
+  ResilienceReport report;
+  report.domains = static_cast<int64_t>(dataset.results.size());
+  for (const MeasurementResult& r : dataset.results) {
+    if (r.degraded) ++report.degraded_domains;
+    report.totals += r.query_stats;
+    report.max_queries_one_domain =
+        std::max(report.max_queries_one_domain, r.query_stats.queries);
+  }
+  if (report.domains > 0) {
+    report.avg_queries_per_domain =
+        double(report.totals.queries) / double(report.domains);
+  }
+  return report;
+}
+
+std::string ResilienceReport::ToJson() const {
+  util::JsonWriter w;
+  w.BeginObject()
+      .Kv("domains", domains)
+      .Kv("degraded_domains", degraded_domains)
+      .Kv("queries", int64_t(totals.queries))
+      .Kv("retries", int64_t(totals.retries))
+      .Kv("timeouts", int64_t(totals.timeouts))
+      .Kv("unreachable", int64_t(totals.unreachable))
+      .Kv("refused", int64_t(totals.refused))
+      .Kv("malformed", int64_t(totals.malformed))
+      .Kv("wrong_id", int64_t(totals.wrong_id))
+      .Kv("truncated", int64_t(totals.truncated))
+      .Kv("backoff_ms", int64_t(totals.backoff_ms))
+      .Kv("breaker_skips", int64_t(totals.breaker_skips))
+      .Kv("negative_cache_hits", int64_t(totals.negative_cache_hits))
+      .Kv("budget_denied", int64_t(totals.budget_denied))
+      .Kv("max_queries_one_domain", int64_t(max_queries_one_domain))
+      .Kv("avg_queries_per_domain", avg_queries_per_domain)
+      .EndObject();
+  return w.TakeString();
+}
 
 StudyReport BuildReport(Study& study,
                         const std::vector<std::string>& diversity_countries) {
@@ -30,6 +73,7 @@ StudyReport BuildReport(Study& study,
   report.hijack = AnalyzeHijackRisk(study.active(), *study.inputs().psl,
                                     *study.inputs().registrar);
   report.consistency = AnalyzeConsistency(study.active());
+  report.resilience = BuildResilienceReport(study.active());
   return report;
 }
 
@@ -90,6 +134,24 @@ void PrintReport(const StudyReport& report, std::ostream& os) {
      << report.hijack.dangling_available_ns << " ("
      << report.hijack.dangling_domains << " domains, "
      << report.hijack.dangling_countries << " countries)\n";
+
+  const ResilienceReport& res = report.resilience;
+  char avg[32];
+  std::snprintf(avg, sizeof(avg), "%.1f", res.avg_queries_per_domain);
+  os << "\n-- measurement resilience --\n";
+  os << WithCommas(int64_t(res.totals.queries)) << " queries over "
+     << WithCommas(res.domains) << " domains (avg " << avg << ", max "
+     << WithCommas(int64_t(res.max_queries_one_domain)) << "); "
+     << WithCommas(int64_t(res.totals.retries)) << " retries, "
+     << WithCommas(int64_t(res.totals.timeouts)) << " timeouts, "
+     << WithCommas(int64_t(res.totals.refused)) << " refused, "
+     << WithCommas(int64_t(res.totals.malformed + res.totals.wrong_id +
+                           res.totals.truncated))
+     << " malformed/spoofed/truncated\n";
+  os << "breaker skips: " << WithCommas(int64_t(res.totals.breaker_skips))
+     << ", negative-cache hits: "
+     << WithCommas(int64_t(res.totals.negative_cache_hits))
+     << ", degraded domains: " << WithCommas(res.degraded_domains) << "\n";
 }
 
 }  // namespace govdns::core

@@ -13,6 +13,26 @@
 
 namespace govdns::core {
 
+// Study-level aggregation of the resilience bookkeeping each measurement
+// carries (MeasurementResult::query_stats / degraded): how much adversity
+// the network dealt and how much query effort the armor spent absorbing it.
+// Fully deterministic for a given world seed; ToJson() is byte-stable so
+// two same-seed runs can be compared for identity.
+struct ResilienceReport {
+  int64_t domains = 0;
+  int64_t degraded_domains = 0;   // per-domain budget cut these short
+  ResolverCounters totals;        // summed per-outcome counters
+  uint64_t max_queries_one_domain = 0;
+  double avg_queries_per_domain = 0.0;
+
+  std::string ToJson() const;
+
+  friend bool operator==(const ResilienceReport&,
+                         const ResilienceReport&) = default;
+};
+
+ResilienceReport BuildResilienceReport(const ActiveDataset& dataset);
+
 struct StudyReport {
   // §III: pipeline funnel.
   SelectionStats selection;
@@ -35,6 +55,10 @@ struct StudyReport {
 
   // §IV-D.
   ConsistencySummary consistency;              // Figs. 13-14
+
+  // Measurement-infrastructure health (not a paper figure: quantifies the
+  // §III-B transient-vs-defective distinction for this run).
+  ResilienceReport resilience;
 };
 
 // Runs every analysis over a completed study (all three stages must have

@@ -2,7 +2,43 @@
 
 #include <algorithm>
 
+#include "util/rng.h"
+
 namespace govdns::core {
+
+ResolverCounters ResolverCounters::operator-(
+    const ResolverCounters& rhs) const {
+  ResolverCounters d;
+  d.queries = queries - rhs.queries;
+  d.retries = retries - rhs.retries;
+  d.timeouts = timeouts - rhs.timeouts;
+  d.unreachable = unreachable - rhs.unreachable;
+  d.refused = refused - rhs.refused;
+  d.malformed = malformed - rhs.malformed;
+  d.wrong_id = wrong_id - rhs.wrong_id;
+  d.truncated = truncated - rhs.truncated;
+  d.backoff_ms = backoff_ms - rhs.backoff_ms;
+  d.breaker_skips = breaker_skips - rhs.breaker_skips;
+  d.negative_cache_hits = negative_cache_hits - rhs.negative_cache_hits;
+  d.budget_denied = budget_denied - rhs.budget_denied;
+  return d;
+}
+
+ResolverCounters& ResolverCounters::operator+=(const ResolverCounters& rhs) {
+  queries += rhs.queries;
+  retries += rhs.retries;
+  timeouts += rhs.timeouts;
+  unreachable += rhs.unreachable;
+  refused += rhs.refused;
+  malformed += rhs.malformed;
+  wrong_id += rhs.wrong_id;
+  truncated += rhs.truncated;
+  backoff_ms += rhs.backoff_ms;
+  breaker_skips += rhs.breaker_skips;
+  negative_cache_hits += rhs.negative_cache_hits;
+  budget_denied += rhs.budget_denied;
+  return *this;
+}
 
 IterativeResolver::IterativeResolver(dns::QueryTransport* transport,
                                      std::vector<geo::IPv4> root_hints,
@@ -12,33 +48,143 @@ IterativeResolver::IterativeResolver(dns::QueryTransport* transport,
   GOVDNS_CHECK(!roots_.empty());
 }
 
+void IterativeResolver::ArmQueryBudget(uint64_t max_queries) {
+  if (max_queries == 0) {
+    budget_remaining_.reset();
+  } else {
+    budget_remaining_ = max_queries;
+  }
+  budget_exhausted_ = false;
+}
+
+void IterativeResolver::DisarmQueryBudget() { budget_remaining_.reset(); }
+
+size_t IterativeResolver::open_circuits() const {
+  const uint64_t now = transport_->now_ms();
+  size_t open = 0;
+  for (const auto& [server, health] : health_) {
+    if (now < health.open_until_ms) ++open;
+  }
+  return open;
+}
+
+bool IterativeResolver::CircuitOpen(geo::IPv4 server) const {
+  if (options_.retry.breaker_threshold <= 0) return false;
+  auto it = health_.find(server);
+  return it != health_.end() && transport_->now_ms() < it->second.open_until_ms;
+}
+
+void IterativeResolver::RecordFailure(geo::IPv4 server) {
+  if (options_.retry.breaker_threshold <= 0) return;
+  ServerHealth& h = health_[server];
+  if (++h.consecutive_failures >= options_.retry.breaker_threshold) {
+    h.open_until_ms =
+        transport_->now_ms() + options_.retry.breaker_cooldown_ms;
+    h.consecutive_failures = 0;  // half-open after cooldown: start fresh
+  }
+}
+
+void IterativeResolver::RecordSuccess(geo::IPv4 server) {
+  if (options_.retry.breaker_threshold <= 0) return;
+  auto it = health_.find(server);
+  if (it != health_.end()) health_.erase(it);
+}
+
+void IterativeResolver::Backoff(int attempt) {
+  const RetryPolicy& p = options_.retry;
+  double delay = double(p.initial_backoff_ms);
+  for (int i = 1; i < attempt; ++i) delay *= p.backoff_multiplier;
+  delay = std::min(delay, double(p.max_backoff_ms));
+  if (p.jitter_fraction > 0.0) {
+    // Deterministic jitter: shrink the wait by up to jitter_fraction so a
+    // retry fleet never synchronizes, without ever waiting longer than the
+    // schedule promises.
+    double u = double(util::SplitMix64(jitter_state_) >> 11) /
+               double(uint64_t{1} << 53);
+    delay *= 1.0 - p.jitter_fraction * u;
+  }
+  uint32_t ms = static_cast<uint32_t>(delay);
+  counters_.backoff_ms += ms;
+  transport_->Delay(ms);
+}
+
 ServerReply IterativeResolver::QueryServer(geo::IPv4 server,
                                            const dns::Name& name,
                                            dns::RRType type) {
   ServerReply reply;
   reply.server = server;
-  dns::Message query = dns::MakeQuery(next_id_++, name, type);
-  std::vector<uint8_t> wire = query.Encode();
 
-  for (int attempt = 0; attempt <= options_.retries; ++attempt) {
+  if (budget_remaining_ && *budget_remaining_ == 0) {
+    budget_exhausted_ = true;
+    ++counters_.budget_denied;
+    reply.outcome = QueryOutcome::kTimeout;
+    return reply;
+  }
+  if (CircuitOpen(server)) {
+    // A server known-dead within the cooldown window: skip without traffic.
+    ++counters_.breaker_skips;
+    reply.outcome = QueryOutcome::kUnreachable;
+    return reply;
+  }
+
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  QueryOutcome failure = QueryOutcome::kTimeout;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (budget_remaining_ && *budget_remaining_ == 0) {
+      budget_exhausted_ = true;
+      ++counters_.budget_denied;
+      break;
+    }
+    if (attempt > 0) {
+      ++counters_.retries;
+      Backoff(attempt);
+    }
+    // A fresh transaction id per attempt: a delayed reply to attempt N-1
+    // can never validate attempt N.
+    dns::Message query = dns::MakeQuery(next_id_++, name, type);
     ++queries_sent_;
-    auto raw = transport_->Exchange(server, wire);
+    ++counters_.queries;
+    if (budget_remaining_) --*budget_remaining_;
+
+    auto raw = transport_->Exchange(server, query.Encode());
     if (!raw.ok()) {
-      reply.outcome = raw.status().code() == util::ErrorCode::kUnavailable
-                          ? QueryOutcome::kUnreachable
-                          : QueryOutcome::kTimeout;
-      if (reply.outcome == QueryOutcome::kTimeout) continue;  // retry
-      return reply;
+      if (raw.status().code() == util::ErrorCode::kUnavailable) {
+        // Promptly unreachable (ICMP-style): retrying cannot help.
+        ++counters_.unreachable;
+        RecordFailure(server);
+        reply.outcome = QueryOutcome::kUnreachable;
+        return reply;
+      }
+      ++counters_.timeouts;
+      RecordFailure(server);
+      failure = QueryOutcome::kTimeout;
+      continue;
     }
     auto msg = dns::Message::Decode(*raw);
     if (!msg.ok()) {
-      reply.outcome = QueryOutcome::kMalformed;
-      return reply;
+      // Garbage datagram: counts like loss and consumes a retry. The
+      // endpoint did emit bytes, so the reachability breaker is untouched.
+      ++counters_.malformed;
+      failure = QueryOutcome::kMalformed;
+      continue;
     }
-    if (msg->header.id != query.header.id) {
-      reply.outcome = QueryOutcome::kMalformed;
-      return reply;
+    if (msg->header.id != query.header.id ||
+        (!msg->questions.empty() && msg->questions[0] != query.questions[0])) {
+      // Off-path spoof / NAT rewrite: discard like a real resolver would
+      // and keep waiting (here: retry).
+      ++counters_.wrong_id;
+      failure = QueryOutcome::kMalformed;
+      continue;
     }
+    if (msg->header.tc) {
+      // Truncated over UDP with no TCP fallback in the measurement path:
+      // the payload is unusable, treat like loss.
+      ++counters_.truncated;
+      failure = QueryOutcome::kMalformed;
+      continue;
+    }
+
+    RecordSuccess(server);
     reply.message = *std::move(msg);
     const dns::Message& m = *reply.message;
     switch (m.header.rcode) {
@@ -57,11 +203,14 @@ ServerReply IterativeResolver::QueryServer(geo::IPv4 server,
         reply.outcome = QueryOutcome::kAuthNegative;
         return reply;
       default:
+        ++counters_.refused;
         reply.outcome = QueryOutcome::kRefused;
         return reply;
     }
   }
-  return reply;  // exhausted retries: kTimeout
+  reply.outcome = failure;  // exhausted attempts: kTimeout or kMalformed
+  reply.message.reset();
+  return reply;
 }
 
 std::optional<dns::Name> IterativeResolver::ReferralCut(
@@ -103,6 +252,15 @@ util::StatusOr<std::vector<geo::IPv4>> IterativeResolver::AddressesForNs(
   return out;
 }
 
+void IterativeResolver::CacheUnreachable(const dns::Name& cut,
+                                         std::vector<dns::Name> ns_names) {
+  CachedCut entry;
+  entry.ns_names = std::move(ns_names);
+  entry.reachable = false;
+  entry.expires_ms = transport_->now_ms() + options_.negative_cache_ttl_ms;
+  cut_cache_[cut] = std::move(entry);
+}
+
 util::StatusOr<IterativeResolver::ZoneServers> IterativeResolver::WalkToZone(
     const dns::Name& name, bool stop_above, int depth_budget) {
   if (depth_budget <= 0) return util::InternalError("resolution depth");
@@ -112,16 +270,25 @@ util::StatusOr<IterativeResolver::ZoneServers> IterativeResolver::WalkToZone(
   current.addresses = roots_;
 
   // Start from the deepest cached ancestor zone (proper ancestor when the
-  // caller wants to stop above the name itself).
+  // caller wants to stop above the name itself). A cached-unreachable
+  // ancestor that has not expired fails the walk immediately: the dead
+  // subtree was already paid for once.
   const size_t max_count = name.LabelCount() - (stop_above ? 1 : 0);
   for (size_t count = max_count; count > 0; --count) {
     auto it = cut_cache_.find(name.Suffix(count));
-    if (it != cut_cache_.end() && it->second.reachable) {
+    if (it == cut_cache_.end()) continue;
+    if (it->second.reachable) {
       current.zone = name.Suffix(count);
       current.ns_names = it->second.ns_names;
       current.addresses = it->second.addresses;
       break;
     }
+    if (transport_->now_ms() < it->second.expires_ms) {
+      ++counters_.negative_cache_hits;
+      return util::UnavailableError("cached-unreachable zone at " +
+                                    it->first.ToString());
+    }
+    cut_cache_.erase(it);  // negative entry expired: try the subtree again
   }
 
   for (int hop = 0; hop < options_.max_referrals; ++hop) {
@@ -139,6 +306,11 @@ util::StatusOr<IterativeResolver::ZoneServers> IterativeResolver::WalkToZone(
       }
     }
     if (!have_usable) {
+      // Remember the dead zone (never the root: a transiently dark root
+      // would poison every later walk for the whole cooldown).
+      if (!current.zone.IsRoot() && !budget_exhausted_) {
+        CacheUnreachable(current.zone, current.ns_names);
+      }
       return util::UnavailableError("servers of " + current.zone.ToString() +
                                     " unresponsive");
     }
@@ -166,14 +338,14 @@ util::StatusOr<IterativeResolver::ZoneServers> IterativeResolver::WalkToZone(
     auto addrs =
         AddressesForNs(ns_names, usable.message->additional, depth_budget - 1);
     if (!addrs.ok()) {
-      cut_cache_[*cut] = CachedCut{ns_names, {}, false};
+      CacheUnreachable(*cut, ns_names);
       return util::UnavailableError("unresolvable delegation at " +
                                     cut->ToString());
     }
     current.zone = *cut;
     current.ns_names = ns_names;
     current.addresses = *addrs;
-    cut_cache_[*cut] = CachedCut{ns_names, *addrs, true};
+    cut_cache_[*cut] = CachedCut{ns_names, *addrs, true, 0};
   }
   return util::InternalError("referral chain too long for " + name.ToString());
 }

@@ -6,6 +6,12 @@
 // specific server addresses. All three are built on one iterative walk from
 // the root, with a per-resolver zone-cut cache so measuring 150k domains
 // does not re-resolve gov.cn's servers 30k times.
+//
+// Resilience: every server query runs under a RetryPolicy (fresh transaction
+// id per attempt, exponential backoff with deterministic jitter charged to
+// the transport clock), per-server health tracking opens a circuit breaker
+// on repeatedly dead servers, and unreachable zone cuts are negatively
+// cached with expiry so one dead subtree cannot eat the whole query budget.
 #pragma once
 
 #include <map>
@@ -28,7 +34,7 @@ enum class QueryOutcome {
   kRefused,        // REFUSED/SERVFAIL/NOTIMP rcode
   kTimeout,        // no reply
   kUnreachable,    // nothing at that address
-  kMalformed,      // undecodable reply
+  kMalformed,      // undecodable / spoofed / truncated reply
 };
 
 struct ServerReply {
@@ -37,10 +43,62 @@ struct ServerReply {
   std::optional<dns::Message> message;
 };
 
+// Per-server-query retry schedule. Attempt k (0-based) that fails waits
+// backoff = min(max_backoff_ms, initial_backoff_ms * multiplier^k), shrunk
+// by up to jitter_fraction via a deterministic draw, before attempt k+1.
+// The wait is charged to the transport's logical clock — nothing sleeps.
+struct RetryPolicy {
+  int max_attempts = 3;            // total attempts per server query
+  uint32_t initial_backoff_ms = 200;
+  double backoff_multiplier = 2.0;
+  uint32_t max_backoff_ms = 3000;
+  double jitter_fraction = 0.25;   // deterministic jitter, shrinks the wait
+
+  // Per-server circuit breaker: after this many consecutive timeouts or
+  // unreachables the server is skipped (reported kUnreachable without
+  // traffic) until cooldown_ms of transport time passes. 0 disables.
+  int breaker_threshold = 3;
+  uint32_t breaker_cooldown_ms = 60000;
+
+  // The naive pre-retry-engine behaviour: one attempt, no backoff, no
+  // breaker. The chaos ablation's "armor off" arm.
+  static RetryPolicy Disabled() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    p.breaker_threshold = 0;
+    return p;
+  }
+};
+
+// Cumulative per-outcome counters. Snapshot-diffable: the measurer charges
+// each domain with `after - before` to attribute query effort per domain.
+struct ResolverCounters {
+  uint64_t queries = 0;        // datagrams actually sent
+  uint64_t retries = 0;        // attempts beyond the first
+  uint64_t timeouts = 0;
+  uint64_t unreachable = 0;
+  uint64_t refused = 0;        // REFUSED/SERVFAIL/NOTIMP replies
+  uint64_t malformed = 0;      // undecodable datagrams
+  uint64_t wrong_id = 0;       // id/question mismatch (discarded)
+  uint64_t truncated = 0;      // TC-bit replies (unusable over UDP)
+  uint64_t backoff_ms = 0;     // logical time spent backing off
+  uint64_t breaker_skips = 0;  // queries suppressed by an open circuit
+  uint64_t negative_cache_hits = 0;  // walks cut short by a cached-dead zone
+  uint64_t budget_denied = 0;  // queries suppressed by the domain budget
+
+  ResolverCounters operator-(const ResolverCounters& rhs) const;
+  ResolverCounters& operator+=(const ResolverCounters& rhs);
+  friend bool operator==(const ResolverCounters&,
+                         const ResolverCounters&) = default;
+};
+
 struct ResolverOptions {
   int max_referrals = 24;  // delegation-chain depth bound
   int max_cname_chain = 4;
-  int retries = 0;         // extra attempts per server on timeout
+  RetryPolicy retry;       // per-server-query retry/backoff/health policy
+  // How long a zone cut discovered to be unreachable stays negatively
+  // cached (transport-clock ms) before the resolver will try it again.
+  uint32_t negative_cache_ttl_ms = 120000;
 };
 
 class IterativeResolver {
@@ -51,7 +109,10 @@ class IterativeResolver {
                     std::vector<geo::IPv4> root_hints,
                     ResolverOptions options = ResolverOptions());
 
-  // One query to one server. Never throws; outcome explains failures.
+  // One query to one server, run under the retry policy. Never throws;
+  // outcome explains failures. A malformed / spoofed / truncated datagram
+  // counts like loss and consumes a retry; kMalformed is reported only once
+  // attempts are exhausted.
   ServerReply QueryServer(geo::IPv4 server, const dns::Name& name,
                           dns::RRType type);
 
@@ -74,16 +135,33 @@ class IterativeResolver {
   };
   util::StatusOr<ZoneServers> FindEnclosingZoneServers(const dns::Name& name);
 
+  // --- Query budget --------------------------------------------------------
+  // Hard cap on datagrams sent until DisarmQueryBudget; once spent, further
+  // QueryServer calls report kTimeout without traffic and the exhausted
+  // flag latches. The measurer arms this per domain.
+  void ArmQueryBudget(uint64_t max_queries);
+  void DisarmQueryBudget();
+  bool BudgetExhausted() const { return budget_exhausted_; }
+
   // Statistics for the harness.
   uint64_t queries_sent() const { return queries_sent_; }
+  const ResolverCounters& counters() const { return counters_; }
   size_t cache_size() const { return cut_cache_.size(); }
+  // Health-tracking introspection: servers currently behind an open breaker.
+  size_t open_circuits() const;
   void ClearCache() { cut_cache_.clear(); }
 
  private:
   struct CachedCut {
     std::vector<dns::Name> ns_names;
     std::vector<geo::IPv4> addresses;
-    bool reachable = true;  // false: remembering a dead subtree
+    bool reachable = true;   // false: remembering a dead subtree
+    uint64_t expires_ms = 0; // unreachable entries only: retry-after time
+  };
+
+  struct ServerHealth {
+    int consecutive_failures = 0;
+    uint64_t open_until_ms = 0;  // breaker open while now < open_until_ms
   };
 
   // Walks the delegation chain toward `name`. Returns the deepest zone at
@@ -107,12 +185,24 @@ class IterativeResolver {
   util::StatusOr<std::vector<geo::IPv4>> ResolveAddressesInternal(
       const dns::Name& host, int depth_budget);
 
+  // Retry/health plumbing.
+  bool CircuitOpen(geo::IPv4 server) const;
+  void RecordFailure(geo::IPv4 server);   // timeout/unreachable only
+  void RecordSuccess(geo::IPv4 server);
+  void Backoff(int attempt);              // charges the transport clock
+  void CacheUnreachable(const dns::Name& cut, std::vector<dns::Name> ns_names);
+
   dns::QueryTransport* transport_;
   std::vector<geo::IPv4> roots_;
   Options options_;
   uint16_t next_id_ = 1;
   uint64_t queries_sent_ = 0;
+  uint64_t jitter_state_ = 0x6a7e9cb1d2f30e45ull;
+  ResolverCounters counters_;
+  std::optional<uint64_t> budget_remaining_;
+  bool budget_exhausted_ = false;
   std::map<dns::Name, CachedCut> cut_cache_;
+  std::map<geo::IPv4, ServerHealth> health_;
 };
 
 }  // namespace govdns::core

@@ -23,6 +23,20 @@ class QueryTransport {
   //   kUnavailable - no endpoint at that address (e.g. ICMP unreachable)
   virtual util::StatusOr<std::vector<uint8_t>> Exchange(
       geo::IPv4 server, const std::vector<uint8_t>& wire_query) = 0;
+
+  // Logical transport time. Retry backoff and health-tracking cooldowns are
+  // charged against this clock so they stay deterministic: the simulator
+  // maps it onto its SimClock, while the default implementation keeps a
+  // private counter advanced only by Delay().
+  virtual uint64_t now_ms() const { return fallback_now_ms_; }
+
+  // Charges a backoff delay to the transport clock. Nothing sleeps: real
+  // transports may override to pace actual traffic, the simulator advances
+  // its virtual clock.
+  virtual void Delay(uint32_t ms) { fallback_now_ms_ += ms; }
+
+ private:
+  uint64_t fallback_now_ms_ = 0;
 };
 
 }  // namespace govdns::dns

@@ -1,0 +1,55 @@
+#include "simnet/network.h"
+
+namespace govdns::simnet {
+
+bool ChaosProfile::Any() const {
+  return p_flapping > 0.0 || p_rate_limited > 0.0 || p_truncating > 0.0 ||
+         p_wrong_id > 0.0 || p_corrupting > 0.0 || p_bursty > 0.0 ||
+         p_jittery > 0.0;
+}
+
+EndpointBehavior ChaosProfile::Realize(uint64_t seed, geo::IPv4 address,
+                                       EndpointBehavior base) const {
+  if (!Any()) return base;
+  // One generator per endpoint, derived from (seed, address) only: the
+  // affliction draw is independent of generation order, so adding a host to
+  // the world never re-rolls another host's fate.
+  util::Rng rng(util::HashString(address.ToString(), seed ^ 0xC4A05));
+  if (p_flapping > 0.0 && rng.Bernoulli(p_flapping)) {
+    base.flap_period_ms = flap_period_ms;
+  }
+  if (p_rate_limited > 0.0 && rng.Bernoulli(p_rate_limited)) {
+    base.rate_limit_per_sec = rate_limit_per_sec;
+  }
+  if (p_truncating > 0.0 && rng.Bernoulli(p_truncating)) {
+    base.truncate_rate = truncate_rate;
+  }
+  if (p_wrong_id > 0.0 && rng.Bernoulli(p_wrong_id)) {
+    base.wrong_id_rate = wrong_id_rate;
+  }
+  if (p_corrupting > 0.0 && rng.Bernoulli(p_corrupting)) {
+    base.corrupt_rate = corrupt_rate;
+  }
+  if (p_bursty > 0.0 && rng.Bernoulli(p_bursty)) {
+    base.burst_start_rate = burst_start_rate;
+    base.burst_length = burst_length;
+  }
+  if (p_jittery > 0.0 && rng.Bernoulli(p_jittery)) {
+    base.rtt_jitter_ms = rtt_jitter_ms;
+  }
+  return base;
+}
+
+ChaosProfile ChaosProfile::Hostile() {
+  ChaosProfile p;
+  p.p_flapping = 0.08;
+  p.p_rate_limited = 0.05;
+  p.p_truncating = 0.04;
+  p.p_wrong_id = 0.04;
+  p.p_corrupting = 0.04;
+  p.p_bursty = 0.10;
+  p.p_jittery = 0.25;
+  return p;
+}
+
+}  // namespace govdns::simnet

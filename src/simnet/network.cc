@@ -1,5 +1,7 @@
 #include "simnet/network.h"
 
+#include "dns/message.h"
+
 namespace govdns::simnet {
 
 SimNetwork::SimNetwork(uint64_t seed) : seed_(seed) {}
@@ -17,6 +19,7 @@ bool SimNetwork::HasHandler(geo::IPv4 address) const {
 
 void SimNetwork::SetBehavior(geo::IPv4 address, EndpointBehavior behavior) {
   behaviors_[address] = behavior;
+  runtime_.erase(address);
 }
 
 EndpointBehavior SimNetwork::GetBehavior(geo::IPv4 address) const {
@@ -46,28 +49,119 @@ util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
     ++stats_.unreachable;
     return util::UnavailableError("no endpoint at " + server.ToString());
   }
-  double loss = behavior.loss_rate + extra_loss_rate_;
-  if (loss > 0.0) {
-    // Loss is a pure function of (seed, server, exchange ordinal) so a rerun
-    // of the same world reproduces the same drops, while retries of the same
-    // query get fresh draws.
-    uint64_t stream = seed_ ^ (uint64_t{server.bits()} << 24) ^ exchange_id;
-    util::Rng rng(util::SplitMix64(stream));
-    if (rng.Bernoulli(loss)) {
+
+  // Flapping: silent during alternating SimClock windows, with a per-
+  // endpoint phase so a fleet of flappers is not synchronized.
+  if (behavior.flap_period_ms > 0) {
+    uint64_t phase_stream = seed_ ^ (uint64_t{server.bits()} * 0x9E3779B9u);
+    uint64_t phase = util::SplitMix64(phase_stream) % behavior.flap_period_ms;
+    uint64_t window = (clock_.now_ms() + phase) / behavior.flap_period_ms;
+    if (window % 2 == 1) {
       clock_.Advance(timeout_ms_);
       ++stats_.timeouts;
-      return util::TimeoutError("packet lost to " + server.ToString());
+      ++stats_.flap_dropped;
+      return util::TimeoutError("flapping endpoint " + server.ToString());
     }
   }
-  if (behavior.rtt_ms >= timeout_ms_) {
+
+  EndpointRuntime& rt = runtime_[server];
+
+  // An in-progress loss burst swallows this exchange.
+  if (rt.burst_remaining > 0) {
+    --rt.burst_remaining;
+    clock_.Advance(timeout_ms_);
+    ++stats_.timeouts;
+    ++stats_.burst_dropped;
+    return util::TimeoutError("loss burst to " + server.ToString());
+  }
+
+  // All per-exchange chance is a pure function of (seed, server, exchange
+  // ordinal) so a rerun of the same world reproduces the same drops, while
+  // retries of the same query get fresh draws.
+  uint64_t stream = seed_ ^ (uint64_t{server.bits()} << 24) ^ exchange_id;
+  util::Rng rng(util::SplitMix64(stream));
+
+  if (behavior.burst_start_rate > 0.0 &&
+      rng.Bernoulli(behavior.burst_start_rate)) {
+    rt.burst_remaining =
+        behavior.burst_length > 0 ? behavior.burst_length - 1 : 0;
+    clock_.Advance(timeout_ms_);
+    ++stats_.timeouts;
+    ++stats_.burst_dropped;
+    return util::TimeoutError("loss burst to " + server.ToString());
+  }
+
+  double loss = behavior.loss_rate + extra_loss_rate_;
+  if (loss > 0.0 && rng.Bernoulli(loss)) {
+    clock_.Advance(timeout_ms_);
+    ++stats_.timeouts;
+    return util::TimeoutError("packet lost to " + server.ToString());
+  }
+
+  // Response rate limiting: the query arrives, but beyond the per-second
+  // budget the server sends REFUSED (RRL-style truncation would also be
+  // realistic; REFUSED is the harsher, simpler model).
+  if (behavior.rate_limit_per_sec > 0) {
+    uint64_t window = clock_.now_ms() / 1000;
+    if (rt.rate_window != window) {
+      rt.rate_window = window;
+      rt.rate_count = 0;
+    }
+    if (++rt.rate_count > behavior.rate_limit_per_sec) {
+      clock_.Advance(behavior.rtt_ms);
+      ++stats_.rate_limited;
+      ++stats_.delivered;
+      auto query = dns::Message::Decode(wire_query);
+      dns::Message refused;
+      if (query.ok()) {
+        refused = dns::MakeResponse(*query, dns::Rcode::kRefused);
+      } else {
+        refused.header.qr = true;
+        refused.header.rcode = dns::Rcode::kRefused;
+      }
+      return refused.Encode();
+    }
+  }
+
+  uint32_t rtt = behavior.rtt_ms;
+  if (behavior.rtt_jitter_ms > 0) {
+    rtt += static_cast<uint32_t>(
+        rng.UniformU64(uint64_t{behavior.rtt_jitter_ms} + 1));
+  }
+  if (rtt >= timeout_ms_) {
     clock_.Advance(timeout_ms_);
     ++stats_.timeouts;
     return util::TimeoutError("endpoint too slow: " + server.ToString());
   }
 
-  clock_.Advance(behavior.rtt_ms);
+  clock_.Advance(rtt);
+  std::vector<uint8_t> reply = it->second(wire_query);
+
+  // Damaged-but-delivered modes, applied to the wire bytes so the client's
+  // parser sees exactly what a broken path would hand it. Draw order is
+  // fixed for determinism.
+  bool corrupt = behavior.corrupt_rate > 0.0 &&
+                 rng.Bernoulli(behavior.corrupt_rate);
+  bool truncate = behavior.truncate_rate > 0.0 &&
+                  rng.Bernoulli(behavior.truncate_rate);
+  bool wrong_id = behavior.wrong_id_rate > 0.0 &&
+                  rng.Bernoulli(behavior.wrong_id_rate);
+  if (corrupt) {
+    // Chop below the 12-byte header and garble: guaranteed undecodable.
+    if (reply.size() > 8) reply.resize(8);
+    for (uint8_t& b : reply) b ^= 0x5A;
+    ++stats_.corrupted;
+  } else if (truncate && reply.size() >= 12) {
+    reply[2] |= 0x02;  // TC bit (byte 2, bit 1 of the header flags)
+    ++stats_.truncated;
+  } else if (wrong_id && reply.size() >= 2) {
+    reply[0] ^= 0xA5;  // transaction id occupies the first two bytes
+    reply[1] ^= 0x5A;
+    ++stats_.wrong_id;
+  }
+
   ++stats_.delivered;
-  return it->second(wire_query);
+  return reply;
 }
 
 }  // namespace govdns::simnet

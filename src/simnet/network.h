@@ -4,8 +4,9 @@
 // every IPv4 endpoint has an optional packet handler (typically an
 // AuthServer wrapped by worldgen) and a behaviour profile. This stands in
 // for the real Internet between the paper's vantage point and the world's
-// nameservers; silence, loss, and latency are deterministic functions of the
-// world seed, so the whole measurement is reproducible.
+// nameservers; silence, loss, latency and the whole chaos model below are
+// deterministic functions of the world seed, so the whole measurement is
+// reproducible.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +34,11 @@ class SimClock {
 };
 
 // How an endpoint behaves at the packet level, independent of what the
-// attached handler would answer.
+// attached handler would answer. The base fields model a healthy host on an
+// imperfect network; the chaos fields model the adversarial conditions the
+// paper's second measurement round exists to rule out (§III-B): flapping
+// hosts, response-rate-limited resolvers, middleboxes that truncate or
+// corrupt, and off-path spoofers.
 struct EndpointBehavior {
   // Never answers (host firewalled/gone). The transport reports kTimeout.
   bool silent = false;
@@ -42,6 +47,66 @@ struct EndpointBehavior {
   // Round-trip time added to the clock per exchange.
   uint32_t rtt_ms = 30;
   // If the RTT exceeds the client timeout, the exchange times out.
+
+  // --- chaos extensions (all default off) --------------------------------
+  // Uniform extra RTT in [0, rtt_jitter_ms] per exchange; pushing the total
+  // past the client timeout turns the exchange into a timeout.
+  uint32_t rtt_jitter_ms = 0;
+  // Probability the reply is garbled into undecodable bytes.
+  double corrupt_rate = 0.0;
+  // Probability the reply comes back with the TC bit set (UDP-truncated).
+  double truncate_rate = 0.0;
+  // Probability the reply carries a wrong transaction id (off-path spoof /
+  // broken NAT rewriting).
+  double wrong_id_rate = 0.0;
+  // Correlated loss: probability an exchange *starts* a burst during which
+  // this and the next `burst_length - 1` exchanges to the endpoint drop.
+  double burst_start_rate = 0.0;
+  uint32_t burst_length = 0;
+  // Flapping: the endpoint is silent during alternating windows of this
+  // many milliseconds of SimClock time (0 = never flaps). The window phase
+  // is derived from the seed so different endpoints flap out of step.
+  uint32_t flap_period_ms = 0;
+  // Response rate limiting: after this many queries within one logical
+  // second, further queries get REFUSED (0 = unlimited).
+  uint32_t rate_limit_per_sec = 0;
+};
+
+// A population-level description of how unreliable a set of endpoints is.
+// Realize() deterministically afflicts a concrete endpoint: each affliction
+// strikes with its `p_*` probability (drawn once per address from the seed),
+// using the intensity knobs below when it does. Worldgen attaches a profile
+// per generated nameserver so worlds contain realistically flaky
+// infrastructure; the default profile is entirely benign.
+struct ChaosProfile {
+  double p_flapping = 0.0;
+  double p_rate_limited = 0.0;
+  double p_truncating = 0.0;
+  double p_wrong_id = 0.0;
+  double p_corrupting = 0.0;
+  double p_bursty = 0.0;
+  double p_jittery = 0.0;
+
+  uint32_t flap_period_ms = 8000;
+  uint32_t rate_limit_per_sec = 4;
+  double truncate_rate = 0.5;
+  double wrong_id_rate = 0.3;
+  double corrupt_rate = 0.3;
+  double burst_start_rate = 0.05;
+  uint32_t burst_length = 4;
+  uint32_t rtt_jitter_ms = 40;
+
+  // True when any affliction probability is non-zero.
+  bool Any() const;
+
+  // The behaviour of the endpoint at `address` under this profile, starting
+  // from `base`. Pure function of (seed, address): re-running the generator
+  // afflicts the same endpoints the same way.
+  EndpointBehavior Realize(uint64_t seed, geo::IPv4 address,
+                           EndpointBehavior base) const;
+
+  // A moderately hostile preset used by tests and the chaos sweep.
+  static ChaosProfile Hostile();
 };
 
 // Statistics the harness can report on.
@@ -50,6 +115,14 @@ struct NetworkStats {
   uint64_t timeouts = 0;
   uint64_t unreachable = 0;
   uint64_t delivered = 0;
+  // Chaos-mode breakdowns. Timeout-shaped ones also count in `timeouts`;
+  // delivered-but-damaged ones also count in `delivered`.
+  uint64_t flap_dropped = 0;
+  uint64_t burst_dropped = 0;
+  uint64_t rate_limited = 0;
+  uint64_t corrupted = 0;
+  uint64_t truncated = 0;
+  uint64_t wrong_id = 0;
 };
 
 class SimNetwork : public dns::QueryTransport {
@@ -74,19 +147,29 @@ class SimNetwork : public dns::QueryTransport {
   uint32_t timeout_ms() const { return timeout_ms_; }
 
   // Additional loss applied to every exchange on top of per-endpoint loss
-  // (weather for the whole network; the second-round ablation uses it).
+  // (weather for the whole network; the second-round ablation and the chaos
+  // sweep use it).
   void set_extra_loss_rate(double rate) { extra_loss_rate_ = rate; }
   double extra_loss_rate() const { return extra_loss_rate_; }
 
   // dns::QueryTransport:
   util::StatusOr<std::vector<uint8_t>> Exchange(
       geo::IPv4 server, const std::vector<uint8_t>& wire_query) override;
+  uint64_t now_ms() const override { return clock_.now_ms(); }
+  void Delay(uint32_t ms) override { clock_.Advance(ms); }
 
   SimClock& clock() { return clock_; }
   const NetworkStats& stats() const { return stats_; }
   size_t endpoint_count() const { return handlers_.size(); }
 
  private:
+  // Mutable per-endpoint chaos state (burst progress, rate-limit window).
+  struct EndpointRuntime {
+    uint32_t burst_remaining = 0;
+    uint64_t rate_window = 0;   // logical second of the current window
+    uint32_t rate_count = 0;    // queries seen in that window
+  };
+
   uint64_t seed_;
   uint64_t exchange_counter_ = 0;
   uint32_t timeout_ms_ = 2000;
@@ -95,6 +178,7 @@ class SimNetwork : public dns::QueryTransport {
   NetworkStats stats_;
   std::unordered_map<geo::IPv4, Handler, geo::IPv4::Hash> handlers_;
   std::unordered_map<geo::IPv4, EndpointBehavior, geo::IPv4::Hash> behaviors_;
+  std::unordered_map<geo::IPv4, EndpointRuntime, geo::IPv4::Hash> runtime_;
 };
 
 }  // namespace govdns::simnet

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "simnet/network.h"
+
 namespace govdns::worldgen {
 
 struct WorldConfig {
@@ -118,6 +120,13 @@ struct WorldConfig {
   // --- Network behaviour ---------------------------------------------------
   double base_loss_rate = 0.002;  // transient loss on healthy endpoints
   uint32_t rtt_ms_base = 20;
+
+  // Endpoint-level chaos applied on top of the base behaviour when wiring
+  // nameserver hosts (flapping, rate limiting, truncation, spoofed ids,
+  // corruption, bursts, jitter). Default: entirely benign, so the
+  // calibrated marginals above are undisturbed; the chaos sweep and
+  // robustness tests use simnet::ChaosProfile::Hostile().
+  simnet::ChaosProfile chaos;
 
   // Number of national hosting companies per country (scaled by country
   // volume; at least 2).

@@ -121,9 +121,11 @@ void World::Builder::AttachHost(const dns::Name& hostname,
           return server->Answer(*query).Encode();
         });
     w.network_->SetBehavior(
-        ip, simnet::EndpointBehavior{.silent = false,
-                                     .loss_rate = cfg.base_loss_rate,
-                                     .rtt_ms = cfg.rtt_ms_base});
+        ip, cfg.chaos.Realize(
+                cfg.seed, ip,
+                simnet::EndpointBehavior{.silent = false,
+                                         .loss_rate = cfg.base_loss_rate,
+                                         .rtt_ms = cfg.rtt_ms_base}));
   }
   hosts[hostname] = HostRecord{server, std::move(ips)};
 }

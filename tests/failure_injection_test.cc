@@ -114,6 +114,77 @@ TEST_F(FailureInjectionTest, HeavyLossStillTerminates) {
   EXPECT_LT(fresh.queries_sent() - before, 500u);  // bounded effort
 }
 
+TEST_F(FailureInjectionTest, TruncatingServerIsMalformedAfterRetries) {
+  // A middlebox that sets TC on every reply: the payload is never usable
+  // over UDP, so after exhausting retries the verdict is kMalformed.
+  const geo::IPv4 moe = TinyInternet::Ip(10, 0, 3, 1);
+  auto b = world_.net.GetBehavior(moe);
+  b.truncate_rate = 1.0;
+  world_.net.SetBehavior(moe, b);
+  ServerReply reply = resolver_.QueryServer(
+      moe, Name::FromString("www.moe.gov.xx"), dns::RRType::kA);
+  EXPECT_EQ(reply.outcome, QueryOutcome::kMalformed);
+  EXPECT_FALSE(reply.message.has_value());
+  EXPECT_GE(resolver_.counters().truncated, 3u);  // every attempt truncated
+}
+
+TEST_F(FailureInjectionTest, PersistentSpoofedIdsAreMalformed) {
+  const geo::IPv4 moe = TinyInternet::Ip(10, 0, 3, 1);
+  auto b = world_.net.GetBehavior(moe);
+  b.wrong_id_rate = 1.0;
+  world_.net.SetBehavior(moe, b);
+  ServerReply reply = resolver_.QueryServer(
+      moe, Name::FromString("www.moe.gov.xx"), dns::RRType::kA);
+  EXPECT_EQ(reply.outcome, QueryOutcome::kMalformed);
+  EXPECT_GE(resolver_.counters().wrong_id, 3u);
+}
+
+TEST_F(FailureInjectionTest, IntermittentSpoofRecoveredByRetry) {
+  const geo::IPv4 moe = TinyInternet::Ip(10, 0, 3, 1);
+  auto b = world_.net.GetBehavior(moe);
+  b.wrong_id_rate = 0.5;
+  world_.net.SetBehavior(moe, b);
+  ResolverOptions options;
+  options.retry.max_attempts = 10;
+  IterativeResolver armored(&world_.net, world_.roots(), options);
+  ServerReply reply = armored.QueryServer(
+      moe, Name::FromString("www.moe.gov.xx"), dns::RRType::kA);
+  EXPECT_EQ(reply.outcome, QueryOutcome::kAuthAnswer);
+}
+
+TEST_F(FailureInjectionTest, RateLimitedServerRefusesNotFatal) {
+  const geo::IPv4 moe = TinyInternet::Ip(10, 0, 3, 1);
+  auto b = world_.net.GetBehavior(moe);
+  b.rate_limit_per_sec = 1;
+  world_.net.SetBehavior(moe, b);
+  const Name q = Name::FromString("www.moe.gov.xx");
+  ServerReply first = resolver_.QueryServer(moe, q, dns::RRType::kA);
+  EXPECT_EQ(first.outcome, QueryOutcome::kAuthAnswer);
+  ServerReply second = resolver_.QueryServer(moe, q, dns::RRType::kA);
+  EXPECT_EQ(second.outcome, QueryOutcome::kRefused);
+  EXPECT_GE(resolver_.counters().refused, 1u);
+  // The next logical second replenishes the budget.
+  world_.net.clock().Advance(1000);
+  ServerReply third = resolver_.QueryServer(moe, q, dns::RRType::kA);
+  EXPECT_EQ(third.outcome, QueryOutcome::kAuthAnswer);
+}
+
+TEST_F(FailureInjectionTest, FlappingServerRecoveredByBackoff) {
+  const geo::IPv4 moe = TinyInternet::Ip(10, 0, 3, 1);
+  auto b = world_.net.GetBehavior(moe);
+  b.flap_period_ms = 1200;
+  world_.net.SetBehavior(moe, b);
+  ResolverOptions options;
+  options.retry.max_attempts = 8;
+  options.retry.initial_backoff_ms = 500;
+  IterativeResolver armored(&world_.net, world_.roots(), options);
+  // Each timed-out attempt plus its backoff moves the clock past window
+  // boundaries, so some attempt lands in an up-window.
+  ServerReply reply = armored.QueryServer(
+      moe, Name::FromString("www.moe.gov.xx"), dns::RRType::kA);
+  EXPECT_EQ(reply.outcome, QueryOutcome::kAuthAnswer);
+}
+
 TEST_F(FailureInjectionTest, ParkingWildcardDoesNotLookLame) {
   // Delegate park.gov.xx to the parking-style server: the measurement sees
   // responsive-but-inconsistent, not defective (the §IV-D scenario).

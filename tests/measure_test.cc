@@ -134,15 +134,19 @@ TEST_F(MeasureTest, DeadParentZone) {
 
 TEST_F(MeasureTest, SecondRoundRecoversFromTransientLoss) {
   // Heavy loss toward the healthy moe servers: round 1 may fail entirely,
-  // round 2 retries.
+  // round 2 retries. Both arms run the naive single-shot policy so the test
+  // isolates the second-round mechanism from the per-query retry armor
+  // (which would push both arms to the ceiling).
   world_.net.SetBehavior(TinyInternet::Ip(10, 0, 3, 1),
                          simnet::EndpointBehavior{.loss_rate = 0.7});
   world_.net.SetBehavior(TinyInternet::Ip(10, 0, 3, 2),
                          simnet::EndpointBehavior{.loss_rate = 0.7});
+  ResolverOptions naive;
+  naive.retry = RetryPolicy::Disabled();
   int with_round2 = 0, without = 0;
   for (int trial = 0; trial < 30; ++trial) {
     {
-      IterativeResolver resolver(&world_.net, world_.roots());
+      IterativeResolver resolver(&world_.net, world_.roots(), naive);
       MeasurerOptions opts;
       opts.second_round = true;
       ActiveMeasurer m(&resolver, opts);
@@ -150,7 +154,7 @@ TEST_F(MeasureTest, SecondRoundRecoversFromTransientLoss) {
                          .child_any_authoritative;
     }
     {
-      IterativeResolver resolver(&world_.net, world_.roots());
+      IterativeResolver resolver(&world_.net, world_.roots(), naive);
       MeasurerOptions opts;
       opts.second_round = false;
       ActiveMeasurer m(&resolver, opts);
@@ -158,8 +162,7 @@ TEST_F(MeasureTest, SecondRoundRecoversFromTransientLoss) {
                      .child_any_authoritative;
     }
   }
-  EXPECT_GE(with_round2, without);
-  EXPECT_GT(with_round2, 20);  // retries make success the norm
+  EXPECT_GT(with_round2, without);  // the second round visibly recovers
 }
 
 TEST_F(MeasureTest, MeasureAllPreservesOrder) {

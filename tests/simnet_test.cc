@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "dns/message.h"
 #include "simnet/network.h"
 
 namespace govdns::simnet {
@@ -128,6 +131,238 @@ TEST(SimNetworkTest, EndpointCount) {
   net.AttachHandler(geo::IPv4(1, 1, 1, 2), Echo);
   net.AttachHandler(geo::IPv4(1, 1, 1, 1), Echo);  // replace, not add
   EXPECT_EQ(net.endpoint_count(), 2u);
+}
+
+// --- chaos model ----------------------------------------------------------
+
+// A decodable DNS query so damage modes can operate on realistic wire bytes.
+std::vector<uint8_t> WireQuery(uint16_t id = 1) {
+  return dns::MakeQuery(id, dns::Name::FromString("q.example"),
+                        dns::RRType::kA)
+      .Encode();
+}
+
+std::vector<uint8_t> DnsEcho(const std::vector<uint8_t>& wire) {
+  auto query = dns::Message::Decode(wire);
+  return dns::MakeResponse(*query, dns::Rcode::kNoError).Encode();
+}
+
+TEST(SimNetworkChaosTest, FlappingEndpointAlternatesSilenceWindows) {
+  SimNetwork net(11);
+  geo::IPv4 addr(10, 0, 1, 1);
+  net.AttachHandler(addr, Echo);
+  net.SetBehavior(addr, EndpointBehavior{.flap_period_ms = 1000});
+  int up = 0, down = 0;
+  for (int i = 0; i < 20; ++i) {
+    // Probe at the start of each window; each exchange also advances the
+    // clock, so land back on a window boundary before the next probe.
+    if (net.Exchange(addr, {1}).ok()) {
+      ++up;
+    } else {
+      ++down;
+    }
+    uint64_t next_window = (net.clock().now_ms() / 1000 + 1) * 1000;
+    net.clock().Advance(next_window - net.clock().now_ms());
+  }
+  EXPECT_GT(up, 0);
+  EXPECT_GT(down, 0);
+  EXPECT_EQ(net.stats().flap_dropped, uint64_t(down));
+  // Flap drops cost the client its full timeout, like any silence.
+  EXPECT_EQ(net.stats().timeouts, uint64_t(down));
+}
+
+TEST(SimNetworkChaosTest, FlapPhaseDiffersAcrossEndpoints) {
+  SimNetwork net(11);
+  geo::IPv4 a(10, 0, 1, 1), b(10, 0, 1, 2);
+  net.AttachHandler(a, Echo);
+  net.AttachHandler(b, Echo);
+  for (geo::IPv4 ip : {a, b}) {
+    net.SetBehavior(ip, EndpointBehavior{.flap_period_ms = 4000});
+  }
+  // Sample both endpoints across several windows; desynchronized phases
+  // must disagree at least once.
+  bool disagreed = false;
+  for (int i = 0; i < 16 && !disagreed; ++i) {
+    bool a_ok = net.Exchange(a, {1}).ok();
+    bool b_ok = net.Exchange(b, {1}).ok();
+    disagreed = a_ok != b_ok;
+    net.clock().Advance(1500);
+  }
+  EXPECT_TRUE(disagreed);
+}
+
+TEST(SimNetworkChaosTest, RateLimitRefusesBeyondPerSecondBudget) {
+  SimNetwork net(5);
+  geo::IPv4 addr(10, 0, 2, 1);
+  net.AttachHandler(addr, DnsEcho);
+  net.SetBehavior(addr, EndpointBehavior{.rtt_ms = 1, .rate_limit_per_sec = 2});
+  int refused = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto raw = net.Exchange(addr, WireQuery(uint16_t(i + 1)));
+    ASSERT_TRUE(raw.ok());
+    auto msg = dns::Message::Decode(*raw);
+    ASSERT_TRUE(msg.ok());
+    refused += msg->header.rcode == dns::Rcode::kRefused;
+  }
+  EXPECT_EQ(refused, 3);  // budget of 2, then REFUSED
+  EXPECT_EQ(net.stats().rate_limited, 3u);
+  // A fresh logical second resets the window.
+  net.clock().Advance(1000);
+  auto raw = net.Exchange(addr, WireQuery(9));
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(dns::Message::Decode(*raw)->header.rcode, dns::Rcode::kNoError);
+}
+
+TEST(SimNetworkChaosTest, TruncatedRepliesCarryTcBit) {
+  SimNetwork net(5);
+  geo::IPv4 addr(10, 0, 2, 2);
+  net.AttachHandler(addr, DnsEcho);
+  net.SetBehavior(addr, EndpointBehavior{.truncate_rate = 1.0});
+  auto raw = net.Exchange(addr, WireQuery());
+  ASSERT_TRUE(raw.ok());
+  auto msg = dns::Message::Decode(*raw);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_TRUE(msg->header.tc);
+  EXPECT_EQ(net.stats().truncated, 1u);
+  EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(SimNetworkChaosTest, WrongIdRepliesKeepPayloadButMismatch) {
+  SimNetwork net(5);
+  geo::IPv4 addr(10, 0, 2, 3);
+  net.AttachHandler(addr, DnsEcho);
+  net.SetBehavior(addr, EndpointBehavior{.wrong_id_rate = 1.0});
+  auto raw = net.Exchange(addr, WireQuery(0x1234));
+  ASSERT_TRUE(raw.ok());
+  auto msg = dns::Message::Decode(*raw);
+  ASSERT_TRUE(msg.ok());  // decodable — only the transaction id is off
+  EXPECT_NE(msg->header.id, 0x1234);
+  EXPECT_EQ(net.stats().wrong_id, 1u);
+}
+
+TEST(SimNetworkChaosTest, CorruptedRepliesAreUndecodable) {
+  SimNetwork net(5);
+  geo::IPv4 addr(10, 0, 2, 4);
+  net.AttachHandler(addr, DnsEcho);
+  net.SetBehavior(addr, EndpointBehavior{.corrupt_rate = 1.0});
+  auto raw = net.Exchange(addr, WireQuery());
+  ASSERT_TRUE(raw.ok());
+  EXPECT_FALSE(dns::Message::Decode(*raw).ok());
+  EXPECT_EQ(net.stats().corrupted, 1u);
+}
+
+TEST(SimNetworkChaosTest, BurstLossIsCorrelated) {
+  SimNetwork net(9);
+  geo::IPv4 addr(10, 0, 2, 5);
+  net.AttachHandler(addr, Echo);
+  net.SetBehavior(addr, EndpointBehavior{.burst_start_rate = 1.0,
+                                         .burst_length = 3});
+  // With certain burst starts every exchange drops: one starter plus the
+  // rest of its burst, then the next burst begins immediately.
+  for (int i = 0; i < 6; ++i) EXPECT_FALSE(net.Exchange(addr, {1}).ok());
+  EXPECT_EQ(net.stats().burst_dropped, 6u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+}
+
+TEST(SimNetworkChaosTest, BurstsEndAndTrafficResumes) {
+  SimNetwork net(9);
+  geo::IPv4 addr(10, 0, 2, 6);
+  net.AttachHandler(addr, Echo);
+  net.SetBehavior(addr, EndpointBehavior{.burst_start_rate = 0.05,
+                                         .burst_length = 8});
+  int delivered = 0;
+  for (int i = 0; i < 400; ++i) delivered += net.Exchange(addr, {1}).ok();
+  EXPECT_GT(delivered, 0);
+  EXPECT_GT(net.stats().burst_dropped, 0u);
+  EXPECT_EQ(net.stats().delivered, uint64_t(delivered));
+}
+
+TEST(SimNetworkChaosTest, JitterVariesRoundTripTime) {
+  SimNetwork net(13);
+  geo::IPv4 addr(10, 0, 2, 7);
+  net.AttachHandler(addr, Echo);
+  net.SetBehavior(addr, EndpointBehavior{.rtt_ms = 30, .rtt_jitter_ms = 40});
+  std::vector<uint64_t> deltas;
+  for (int i = 0; i < 16; ++i) {
+    uint64_t before = net.clock().now_ms();
+    ASSERT_TRUE(net.Exchange(addr, {1}).ok());
+    deltas.push_back(net.clock().now_ms() - before);
+  }
+  for (uint64_t d : deltas) {
+    EXPECT_GE(d, 30u);
+    EXPECT_LE(d, 70u);
+  }
+  EXPECT_GT(*std::max_element(deltas.begin(), deltas.end()),
+            *std::min_element(deltas.begin(), deltas.end()));
+}
+
+TEST(SimNetworkChaosTest, ChaosIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    SimNetwork net(seed);
+    geo::IPv4 addr(10, 0, 3, 1);
+    net.AttachHandler(addr, DnsEcho);
+    net.SetBehavior(addr, EndpointBehavior{.loss_rate = 0.1,
+                                           .rtt_jitter_ms = 40,
+                                           .corrupt_rate = 0.2,
+                                           .truncate_rate = 0.2,
+                                           .wrong_id_rate = 0.2,
+                                           .burst_start_rate = 0.05,
+                                           .burst_length = 3,
+                                           .rate_limit_per_sec = 16});
+    std::vector<std::vector<uint8_t>> transcript;
+    for (int i = 0; i < 64; ++i) {
+      auto raw = net.Exchange(addr, WireQuery(uint16_t(i)));
+      transcript.push_back(raw.ok() ? *raw : std::vector<uint8_t>{});
+    }
+    return transcript;
+  };
+  EXPECT_EQ(run(21), run(21));
+  EXPECT_NE(run(21), run(22));
+}
+
+TEST(ChaosProfileTest, BenignDefaultLeavesBehaviorUntouched) {
+  ChaosProfile benign;
+  EXPECT_FALSE(benign.Any());
+  EndpointBehavior base{.loss_rate = 0.01, .rtt_ms = 25};
+  EndpointBehavior out = benign.Realize(7, geo::IPv4(10, 9, 9, 9), base);
+  EXPECT_EQ(out.loss_rate, base.loss_rate);
+  EXPECT_EQ(out.rtt_ms, base.rtt_ms);
+  EXPECT_EQ(out.flap_period_ms, 0u);
+  EXPECT_EQ(out.rate_limit_per_sec, 0u);
+  EXPECT_EQ(out.corrupt_rate, 0.0);
+}
+
+TEST(ChaosProfileTest, RealizeIsAPureFunctionOfSeedAndAddress) {
+  ChaosProfile hostile = ChaosProfile::Hostile();
+  EXPECT_TRUE(hostile.Any());
+  geo::IPv4 addr(10, 4, 4, 4);
+  EndpointBehavior a = hostile.Realize(42, addr, EndpointBehavior{});
+  EndpointBehavior b = hostile.Realize(42, addr, EndpointBehavior{});
+  EXPECT_EQ(a.flap_period_ms, b.flap_period_ms);
+  EXPECT_EQ(a.rate_limit_per_sec, b.rate_limit_per_sec);
+  EXPECT_EQ(a.truncate_rate, b.truncate_rate);
+  EXPECT_EQ(a.wrong_id_rate, b.wrong_id_rate);
+  EXPECT_EQ(a.corrupt_rate, b.corrupt_rate);
+  EXPECT_EQ(a.burst_start_rate, b.burst_start_rate);
+  EXPECT_EQ(a.rtt_jitter_ms, b.rtt_jitter_ms);
+}
+
+TEST(ChaosProfileTest, HostileAfflictsAFractionOfEndpoints) {
+  ChaosProfile hostile = ChaosProfile::Hostile();
+  int afflicted = 0;
+  for (int i = 0; i < 400; ++i) {
+    EndpointBehavior b = hostile.Realize(
+        7, geo::IPv4(10, 20, uint8_t(i / 256), uint8_t(i % 256)),
+        EndpointBehavior{});
+    bool touched = b.flap_period_ms > 0 || b.rate_limit_per_sec > 0 ||
+                   b.truncate_rate > 0.0 || b.wrong_id_rate > 0.0 ||
+                   b.corrupt_rate > 0.0 || b.burst_start_rate > 0.0 ||
+                   b.rtt_jitter_ms > 0;
+    afflicted += touched;
+  }
+  // Hostile afflicts ~48% of endpoints; nowhere near none or all.
+  EXPECT_GT(afflicted, 100);
+  EXPECT_LT(afflicted, 320);
 }
 
 }  // namespace

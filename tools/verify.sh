@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a normal release build and an ASan+UBSan
+# build. The sanitized pass exists because the chaos model deliberately
+# feeds the wire-format parsers corrupted datagrams; memory bugs there must
+# fail CI, not just crash probabilistically.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+
+echo "==> tier-1: release build + ctest"
+cmake --preset release >/dev/null
+cmake --build --preset release -j "${JOBS}"
+ctest --preset release -j "${JOBS}"
+
+echo "==> tier-1: asan/ubsan build + ctest"
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "${JOBS}"
+ctest --preset asan -j "${JOBS}"
+
+echo "==> verify OK (release + sanitized)"
