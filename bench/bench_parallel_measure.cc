@@ -1,0 +1,128 @@
+// Scaling bench: the sharded measurement pool vs worker count.
+//
+// Measures wall-clock domains/sec of ActiveMeasurer::MeasureAll at 1/2/4/8
+// workers over one fixed query list, and verifies on the way that the
+// measured results are invariant to the worker count (the pool's defining
+// property — parallelism must be a pure optimization). The artifact records
+// the sweep as a table plus one machine-readable `[bench] parallel` JSON
+// line for the stats scraper.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/analysis.h"
+#include "core/measure.h"
+#include "core/report.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using govdns::bench::BenchEnv;
+
+std::vector<govdns::dns::Name> QueryList() {
+  auto& env = BenchEnv::Get();
+  auto list = govdns::core::PdnsMiner::ActiveQueryList(env.mined());
+  constexpr size_t kSample = 20000;
+  if (list.size() > kSample) list.resize(kSample);
+  return list;
+}
+
+struct SweepPoint {
+  int workers = 0;
+  double seconds = 0.0;
+  double domains_per_sec = 0.0;
+  std::string resilience_json;  // must match across the whole sweep
+};
+
+SweepPoint MeasurePoint(int workers,
+                        const std::vector<govdns::dns::Name>& list) {
+  auto& env = BenchEnv::Get();
+  govdns::core::MeasurerOptions mopts;
+  mopts.collect_soa = false;
+  mopts.workers = workers;
+  govdns::core::ActiveMeasurer measurer(&env.world().network(),
+                                        env.world().root_server_ips(),
+                                        govdns::core::ResolverOptions(), mopts);
+  const auto start = std::chrono::steady_clock::now();
+  auto results = measurer.MeasureAll(list);
+  const auto stop = std::chrono::steady_clock::now();
+
+  SweepPoint point;
+  point.workers = workers;
+  point.seconds = std::chrono::duration<double>(stop - start).count();
+  point.domains_per_sec =
+      point.seconds > 0.0 ? double(list.size()) / point.seconds : 0.0;
+  auto dataset = govdns::core::ActiveDataset::Build(
+      std::move(results), env.seeds(), govdns::worldgen::MakeCountryMetas());
+  point.resilience_json =
+      govdns::core::BuildResilienceReport(dataset).ToJson();
+  return point;
+}
+
+void BM_MeasureAllWorkers(benchmark::State& state) {
+  const auto list = QueryList();
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto point = MeasurePoint(workers, list);
+    benchmark::DoNotOptimize(point);
+  }
+}
+BENCHMARK(BM_MeasureAllWorkers)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+void PrintArtifact() {
+  const auto list = QueryList();
+  std::vector<SweepPoint> sweep;
+  for (int workers : {1, 2, 4, 8}) {
+    sweep.push_back(MeasurePoint(workers, list));
+  }
+  const SweepPoint& serial = sweep.front();
+
+  govdns::util::TextTable table(
+      {"Workers", "Seconds", "Domains/sec", "Speedup", "Identical"});
+  govdns::util::JsonWriter w;
+  w.BeginObject();
+  w.Kv("domains", int64_t(list.size()));
+  w.Key("sweep").BeginArray();
+  for (const SweepPoint& p : sweep) {
+    const bool identical = p.resilience_json == serial.resilience_json;
+    const double speedup_v = (serial.seconds > 0.0 && p.seconds > 0.0)
+                                 ? serial.seconds / p.seconds
+                                 : 0.0;
+    char seconds[32], rate[32], speedup[32];
+    std::snprintf(seconds, sizeof seconds, "%.3f", p.seconds);
+    std::snprintf(rate, sizeof rate, "%.0f", p.domains_per_sec);
+    std::snprintf(speedup, sizeof speedup, "%.2fx", speedup_v);
+    table.AddRow({std::to_string(p.workers), seconds, rate, speedup,
+                  identical ? "yes" : "NO"});
+    w.BeginObject()
+        .Kv("workers", int64_t(p.workers))
+        .Kv("seconds", p.seconds)
+        .Kv("domains_per_sec", p.domains_per_sec)
+        .Kv("identical_to_serial", identical)
+        .EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  std::printf("\nScaling — sharded measurement pool vs worker count\n");
+  std::printf("(same world seed and query list at every point; 'Identical'\n");
+  std::printf(" checks the resilience report is byte-equal to the 1-worker\n");
+  std::printf(" run — the pool may only change speed, never results)\n");
+  table.Print(std::cout);
+  std::fprintf(stderr, "[bench] parallel %s\n", w.TakeString().c_str());
+}
+
+}  // namespace
+
+GOVDNS_BENCH_MAIN(PrintArtifact)

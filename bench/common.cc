@@ -52,16 +52,16 @@ const core::ActiveDataset& BenchEnv::active() {
     active_done_ = true;
     std::fprintf(stderr, "[bench] measurement done (%llu queries)\n",
                  static_cast<unsigned long long>(
-                     bound_.study->resolver().queries_sent()));
+                     bound_.study->measurement_queries_sent()));
     PrintStatsJson();
   }
   return bound_.study->active();
 }
 
 void BenchEnv::PrintStatsJson() {
-  const simnet::NetworkStats& net = world_->network().stats();
-  core::IterativeResolver& resolver = bound_.study->resolver();
-  const core::ResolverCounters& rc = resolver.counters();
+  const simnet::NetworkStats net = world_->network().stats();
+  const core::ResolverCounters& rc = bound_.study->measurement_counters();
+  const core::CutCacheStats& cc = bound_.study->measurement_cache_stats();
   util::JsonWriter w;
   w.BeginObject();
   w.Key("network").BeginObject()
@@ -77,7 +77,7 @@ void BenchEnv::PrintStatsJson() {
       .Kv("wrong_id", int64_t(net.wrong_id))
       .Kv("clock_ms", int64_t(world_->network().clock().now_ms()))
       .EndObject();
-  w.Key("resolver").BeginObject()
+  w.Key("measurement").BeginObject()
       .Kv("queries", int64_t(rc.queries))
       .Kv("retries", int64_t(rc.retries))
       .Kv("timeouts", int64_t(rc.timeouts))
@@ -89,8 +89,15 @@ void BenchEnv::PrintStatsJson() {
       .Kv("breaker_skips", int64_t(rc.breaker_skips))
       .Kv("negative_cache_hits", int64_t(rc.negative_cache_hits))
       .Kv("budget_denied", int64_t(rc.budget_denied))
-      .Kv("cut_cache_entries", int64_t(resolver.cache_size()))
-      .Kv("open_circuits", int64_t(resolver.open_circuits()))
+      .EndObject();
+  w.Key("cut_cache").BeginObject()
+      .Kv("hits", int64_t(cc.hits))
+      .Kv("misses", int64_t(cc.misses))
+      .Kv("negative_hits", int64_t(cc.negative_hits))
+      .Kv("publishes", int64_t(cc.publishes))
+      .Kv("negative_publishes", int64_t(cc.negative_publishes))
+      .Kv("infra_queries", int64_t(cc.infra.queries))
+      .Kv("infra_retries", int64_t(cc.infra.retries))
       .EndObject();
   w.EndObject();
   std::fprintf(stderr, "[bench] stats %s\n", w.TakeString().c_str());

@@ -24,16 +24,19 @@ ActiveDataset ActiveDataset::Build(std::vector<MeasurementResult> results,
   out.metas = std::move(metas);
   out.country.resize(out.results.size(), -1);
   // Longest-match over seeds (jis.gov.jm-style seeds can nest under a TLD
-  // another seed also uses).
+  // another seed also uses). Strictly-longer-only so the first seed in input
+  // order wins among equal-length matches: two same-length seeds that both
+  // enclose the domain are necessarily the same d_gov (duplicate seed rows,
+  // possibly with conflicting country metadata), and attribution must not
+  // depend on which duplicate happens to be listed last.
   for (size_t i = 0; i < out.results.size(); ++i) {
     int best = -1;
     size_t best_labels = 0;
     for (const SeedDomain& seed : out.seeds) {
-      if (out.results[i].domain.IsSubdomainOf(seed.d_gov) &&
-          seed.d_gov.LabelCount() >= best_labels) {
-        best = seed.country;
-        best_labels = seed.d_gov.LabelCount();
-      }
+      if (!out.results[i].domain.IsSubdomainOf(seed.d_gov)) continue;
+      if (best >= 0 && seed.d_gov.LabelCount() <= best_labels) continue;
+      best = seed.country;
+      best_labels = seed.d_gov.LabelCount();
     }
     out.country[i] = best;
   }

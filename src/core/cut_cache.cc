@@ -1,0 +1,89 @@
+#include "core/cut_cache.h"
+
+namespace govdns::core {
+
+SharedCutCache::SharedCutCache(size_t stripes) {
+  if (stripes == 0) stripes = 1;
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+SharedCutCache::Stripe& SharedCutCache::StripeFor(const dns::Name& cut) const {
+  return *stripes_[dns::Name::Hash{}(cut) % stripes_.size()];
+}
+
+std::optional<SharedCutCache::Entry> SharedCutCache::Lookup(
+    const dns::Name& cut) const {
+  Stripe& stripe = StripeFor(cut);
+  std::optional<Entry> out;
+  {
+    std::lock_guard lock(stripe.mu);
+    auto it = stripe.entries.find(cut);
+    if (it != stripe.entries.end()) out = it->second;
+  }
+  std::lock_guard stats_lock(stats_mu_);
+  if (!out.has_value()) {
+    ++stats_.misses;
+  } else if (out->reachable) {
+    ++stats_.hits;
+  } else {
+    ++stats_.negative_hits;
+  }
+  return out;
+}
+
+void SharedCutCache::Publish(const dns::Name& cut, Entry entry) {
+  Stripe& stripe = StripeFor(cut);
+  {
+    std::lock_guard lock(stripe.mu);
+    stripe.entries[cut] = std::move(entry);
+  }
+  std::lock_guard stats_lock(stats_mu_);
+  ++stats_.publishes;
+}
+
+void SharedCutCache::PublishUnreachable(const dns::Name& cut,
+                                        std::vector<dns::Name> ns_names,
+                                        uint64_t expires_ms) {
+  Entry entry;
+  entry.ns_names = std::move(ns_names);
+  entry.reachable = false;
+  entry.expires_ms = expires_ms;
+  Stripe& stripe = StripeFor(cut);
+  {
+    std::lock_guard lock(stripe.mu);
+    stripe.entries[cut] = std::move(entry);
+  }
+  std::lock_guard stats_lock(stats_mu_);
+  ++stats_.negative_publishes;
+}
+
+void SharedCutCache::ChargeInfra(const ResolverCounters& effort) {
+  std::lock_guard lock(stats_mu_);
+  stats_.infra += effort;
+}
+
+size_t SharedCutCache::size() const {
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    total += stripe->entries.size();
+  }
+  return total;
+}
+
+void SharedCutCache::Clear() {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe->mu);
+    stripe->entries.clear();
+  }
+}
+
+CutCacheStats SharedCutCache::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace govdns::core

@@ -1,0 +1,90 @@
+// A zone-cut + negative cache shared by a fleet of resolvers.
+//
+// The serial measurement path kept one private cut cache per
+// IterativeResolver; the sharded engine gives every worker its own resolver
+// but one shared cache, so gov.cn's servers are resolved once per run, not
+// once per shard. Entries are striped across independently-locked maps by
+// name hash — lookups for unrelated zones never contend.
+//
+// Concurrency model: optimistic compute, last-publish-wins. There is no
+// claim/wait protocol: two workers that race on a cold cut both compute it
+// and both publish. Because every cut computation runs in a hermetic chaos
+// context keyed by the cut's parent zone (see IterativeResolver), the racers
+// draw identical network weather and publish identical entries, so the race
+// costs duplicate *infrastructure* queries but can never change the cache's
+// contents or any per-domain measurement outcome. Blocking single-flight was
+// rejected deliberately: circular glueless NS dependencies (zone A's servers
+// named under zone B and vice versa) would deadlock a claim-and-wait design.
+//
+// Accounting: queries spent computing shared entries ("infrastructure"
+// effort) are charged here via ChargeInfra, not to the triggering domain.
+// That keeps per-domain query_stats — and therefore the study's resilience
+// report — a pure function of (world seed, domain), byte-identical no matter
+// how many workers share the cache or which of them warmed it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/resolver.h"
+#include "dns/name.h"
+#include "geo/ipv4.h"
+
+namespace govdns::core {
+
+struct CutCacheStats {
+  uint64_t hits = 0;             // positive entries served
+  uint64_t misses = 0;
+  uint64_t negative_hits = 0;    // unexpired dead-subtree entries served
+  uint64_t publishes = 0;
+  uint64_t negative_publishes = 0;
+  // Query effort spent computing shared entries (cold walks, glueless NS
+  // resolution, dead-subtree probing). Reported as a diagnostic alongside —
+  // never inside — the per-domain resilience totals: cold-start races make
+  // it scheduling-dependent by a few duplicate walks.
+  ResolverCounters infra;
+};
+
+class SharedCutCache {
+ public:
+  struct Entry {
+    std::vector<dns::Name> ns_names;
+    std::vector<geo::IPv4> addresses;
+    bool reachable = true;    // false: remembering a dead subtree
+    uint64_t expires_ms = 0;  // unreachable entries only: retry-after time
+  };
+
+  explicit SharedCutCache(size_t stripes = 16);
+
+  // Copies the entry out under the stripe lock; counts a hit/miss.
+  std::optional<Entry> Lookup(const dns::Name& cut) const;
+
+  // Publishes (or overwrites) an entry. Racing publishers of the same cut
+  // carry identical content by construction, so ordering is immaterial.
+  void Publish(const dns::Name& cut, Entry entry);
+  void PublishUnreachable(const dns::Name& cut, std::vector<dns::Name> ns_names,
+                          uint64_t expires_ms);
+
+  void ChargeInfra(const ResolverCounters& effort);
+
+  size_t size() const;
+  void Clear();
+  CutCacheStats stats() const;  // snapshot
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<dns::Name, Entry> entries;
+  };
+
+  Stripe& StripeFor(const dns::Name& cut) const;
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  mutable std::mutex stats_mu_;
+  mutable CutCacheStats stats_;
+};
+
+}  // namespace govdns::core

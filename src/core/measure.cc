@@ -1,7 +1,11 @@
 #include "core/measure.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
+
+#include "core/cut_cache.h"
 
 namespace govdns::core {
 
@@ -27,25 +31,56 @@ ActiveMeasurer::ActiveMeasurer(IterativeResolver* resolver,
   GOVDNS_CHECK(resolver != nullptr);
 }
 
+ActiveMeasurer::ActiveMeasurer(dns::QueryTransport* transport,
+                               std::vector<geo::IPv4> root_hints,
+                               ResolverOptions resolver_options,
+                               MeasurerOptions options)
+    : transport_(transport),
+      roots_(std::move(root_hints)),
+      resolver_options_(resolver_options),
+      shared_cache_(std::make_unique<SharedCutCache>()),
+      options_(options) {
+  GOVDNS_CHECK(transport != nullptr);
+  GOVDNS_CHECK(!roots_.empty());
+  resolver_options_.shared_cache = shared_cache_.get();
+}
+
+ActiveMeasurer::~ActiveMeasurer() = default;
+
 MeasurementResult ActiveMeasurer::Measure(const dns::Name& domain) {
-  MeasurementResult result;
-  result.domain = domain;
-  // Charge everything this domain costs — including resolution detours —
-  // against one hard budget, and attribute the per-outcome counters to it.
-  const ResolverCounters before = resolver_->counters();
-  resolver_->ArmQueryBudget(options_.max_queries_per_domain);
-  MeasureInternal(result);
-  result.degraded = resolver_->BudgetExhausted();
-  resolver_->DisarmQueryBudget();
-  result.query_stats = resolver_->counters() - before;
+  if (resolver_ != nullptr) return MeasureWith(*resolver_, domain);
+  IterativeResolver resolver(transport_, roots_, resolver_options_);
+  MeasurementResult result = MeasureWith(resolver, domain);
+  merged_counters_ += resolver.counters();
+  merged_queries_sent_ += resolver.queries_sent();
   return result;
 }
 
-void ActiveMeasurer::MeasureInternal(MeasurementResult& result) {
+MeasurementResult ActiveMeasurer::MeasureWith(IterativeResolver& resolver,
+                                              const dns::Name& domain) {
+  MeasurementResult result;
+  result.domain = domain;
+  // In engine mode the scope makes everything below a pure function of
+  // (world seed, domain): no-op otherwise.
+  resolver.BeginDomainScope(domain);
+  // Charge everything this domain costs — including resolution detours —
+  // against one hard budget, and attribute the per-outcome counters to it.
+  const ResolverCounters before = resolver.counters();
+  resolver.ArmQueryBudget(options_.max_queries_per_domain);
+  MeasureInternal(resolver, result);
+  result.degraded = resolver.BudgetExhausted();
+  resolver.DisarmQueryBudget();
+  result.query_stats = resolver.counters() - before;
+  resolver.EndDomainScope();
+  return result;
+}
+
+void ActiveMeasurer::MeasureInternal(IterativeResolver& resolver,
+                                     MeasurementResult& result) {
   const dns::Name& domain = result.domain;
 
   // --- Step 1: find and query the parent zone's servers. ------------------
-  auto parent = resolver_->FindEnclosingZoneServers(domain);
+  auto parent = resolver.FindEnclosingZoneServers(domain);
   if (!parent.ok()) return;  // parent unreachable / unresolvable
   result.parent_located = true;
   result.parent_zone = parent->zone;
@@ -53,7 +88,7 @@ void ActiveMeasurer::MeasureInternal(MeasurementResult& result) {
   std::set<dns::Name> parent_set;
   std::vector<dns::ResourceRecord> parent_glue;
   for (geo::IPv4 server : parent->addresses) {
-    ServerReply reply = resolver_->QueryServer(server, domain, dns::RRType::kNS);
+    ServerReply reply = resolver.QueryServer(server, domain, dns::RRType::kNS);
     switch (reply.outcome) {
       case QueryOutcome::kTimeout:
       case QueryOutcome::kUnreachable:
@@ -65,13 +100,23 @@ void ActiveMeasurer::MeasureInternal(MeasurementResult& result) {
     }
     const dns::Message& m = *reply.message;
     if (reply.outcome == QueryOutcome::kReferral) {
+      std::set<dns::Name> referral_targets;
       for (const dns::ResourceRecord& rr : m.authority) {
         if (rr.type() == dns::RRType::kNS && rr.name == domain) {
-          parent_set.insert(std::get<dns::NsRdata>(rr.rdata).nameserver);
+          const dns::Name& target = std::get<dns::NsRdata>(rr.rdata).nameserver;
+          parent_set.insert(target);
+          referral_targets.insert(target);
         }
       }
+      // Bailiwick check: only additional-section A records whose owner is a
+      // target of *this* referral's delegation count as glue. Anything else
+      // in the additional section (stale data, a misconfigured or hostile
+      // server padding unrelated addresses) must not become a nameserver
+      // address we measure — or worse, credit to the domain's deployment.
       for (const dns::ResourceRecord& rr : m.additional) {
-        if (rr.type() == dns::RRType::kA) parent_glue.push_back(rr);
+        if (rr.type() == dns::RRType::kA && referral_targets.contains(rr.name)) {
+          parent_glue.push_back(rr);
+        }
       }
     } else if (reply.outcome == QueryOutcome::kAuthAnswer) {
       // Parent and child on the same servers: the "parent view" is already
@@ -109,40 +154,55 @@ void ActiveMeasurer::MeasureInternal(MeasurementResult& result) {
     seen_hosts.insert(ns);
   }
 
-  QueryChildServers(result);
+  QueryChildServers(resolver, result);
 
-  // Newly discovered child-side NS hostnames get queried too (step 4).
-  bool added = false;
-  for (const dns::Name& ns : result.child_ns) {
-    if (seen_hosts.insert(ns).second) {
-      NsHostResult host;
-      host.host = ns;
-      host.in_child_set = true;
-      result.hosts.push_back(std::move(host));
-      added = true;
+  // Newly discovered child-side NS hostnames get queried too (step 4). An
+  // authoritative answer from one of *those* hosts can itself name servers
+  // unseen so far (child servers disagreeing about the NS set), so the
+  // expansion iterates until no new hostname appears — bounded, so a
+  // misconfigured ring of zones each pointing at fresh names cannot spin.
+  auto add_new_child_hosts = [&]() {
+    bool added = false;
+    for (const dns::Name& ns : result.child_ns) {
+      if (seen_hosts.insert(ns).second) {
+        NsHostResult host;
+        host.host = ns;
+        host.in_child_set = true;
+        result.hosts.push_back(std::move(host));
+        added = true;
+      }
     }
-  }
-  for (NsHostResult& host : result.hosts) {
-    if (std::find(result.child_ns.begin(), result.child_ns.end(), host.host) !=
-        result.child_ns.end()) {
-      host.in_child_set = true;
+    return added;
+  };
+  auto mark_child_set = [&]() {
+    for (NsHostResult& host : result.hosts) {
+      if (std::find(result.child_ns.begin(), result.child_ns.end(),
+                    host.host) != result.child_ns.end()) {
+        host.in_child_set = true;
+      }
     }
+  };
+  constexpr int kMaxExpansions = 3;
+  for (int expansion = 0; expansion < kMaxExpansions; ++expansion) {
+    if (!add_new_child_hosts()) break;
+    QueryChildServers(resolver, result);
   }
-  if (added) QueryChildServers(result);
+  mark_child_set();
 
   // --- Round 2 (§III-B): parent had records but no child ever answered. ---
   if (options_.second_round && !result.child_any_authoritative) {
     result.rounds = 2;
-    QueryChildServers(result);
+    QueryChildServers(resolver, result);
   }
 }
 
-void ActiveMeasurer::QueryChildServers(MeasurementResult& result) {
+void ActiveMeasurer::QueryChildServers(IterativeResolver& resolver,
+                                       MeasurementResult& result) {
   for (NsHostResult& host : result.hosts) {
     if (host.status == NsHostStatus::kAuthoritative) continue;
 
     if (host.addresses.empty()) {
-      auto addrs = resolver_->ResolveAddresses(host.host);
+      auto addrs = resolver.ResolveAddresses(host.host);
       if (addrs.ok()) host.addresses = *addrs;
     }
     if (host.addresses.empty()) {
@@ -167,7 +227,7 @@ void ActiveMeasurer::QueryChildServers(MeasurementResult& result) {
 
     for (geo::IPv4 addr : host.addresses) {
       ServerReply reply =
-          resolver_->QueryServer(addr, result.domain, dns::RRType::kNS);
+          resolver.QueryServer(addr, result.domain, dns::RRType::kNS);
       switch (reply.outcome) {
         case QueryOutcome::kAuthAnswer: {
           best = NsHostStatus::kAuthoritative;
@@ -184,7 +244,7 @@ void ActiveMeasurer::QueryChildServers(MeasurementResult& result) {
           }
           if (options_.collect_soa && !result.soa.has_value()) {
             ServerReply soa_reply =
-                resolver_->QueryServer(addr, result.domain, dns::RRType::kSOA);
+                resolver.QueryServer(addr, result.domain, dns::RRType::kSOA);
             if (soa_reply.outcome == QueryOutcome::kAuthAnswer) {
               for (const dns::ResourceRecord& rr : soa_reply.message->answers) {
                 if (rr.type() == dns::RRType::kSOA) {
@@ -218,10 +278,57 @@ void ActiveMeasurer::QueryChildServers(MeasurementResult& result) {
 
 std::vector<MeasurementResult> ActiveMeasurer::MeasureAll(
     const std::vector<dns::Name>& domains) {
-  std::vector<MeasurementResult> out;
-  out.reserve(domains.size());
-  for (const dns::Name& domain : domains) {
-    out.push_back(Measure(domain));
+  if (resolver_ != nullptr) {
+    std::vector<MeasurementResult> out;
+    out.reserve(domains.size());
+    for (const dns::Name& domain : domains) {
+      out.push_back(Measure(domain));
+    }
+    merged_counters_ = resolver_->counters();
+    merged_queries_sent_ = resolver_->queries_sent();
+    return out;
+  }
+
+  // Pool mode: shard over workers with an atomic dispenser. Every domain is
+  // measured hermetically, so which worker picks it up cannot change its
+  // result — writing into out[i] by input index makes the whole vector
+  // byte-identical to a serial run.
+  int workers = options_.workers > 0
+                    ? options_.workers
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  if (static_cast<size_t>(workers) > domains.size() && !domains.empty()) {
+    workers = static_cast<int>(domains.size());
+  }
+
+  std::vector<MeasurementResult> out(domains.size());
+  std::atomic<size_t> next{0};
+  std::vector<ResolverCounters> worker_counters(workers);
+  std::vector<uint64_t> worker_queries(workers, 0);
+  auto run = [&](int w) {
+    IterativeResolver resolver(transport_, roots_, resolver_options_);
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= domains.size()) break;
+      out[i] = MeasureWith(resolver, domains[i]);
+    }
+    worker_counters[w] = resolver.counters();
+    worker_queries[w] = resolver.queries_sent();
+  };
+  if (workers == 1) {
+    run(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w) pool.emplace_back(run, w);
+    for (std::thread& t : pool) t.join();
+  }
+
+  merged_counters_ = ResolverCounters{};
+  merged_queries_sent_ = 0;
+  for (int w = 0; w < workers; ++w) {
+    merged_counters_ += worker_counters[w];
+    merged_queries_sent_ += worker_queries[w];
   }
   return out;
 }

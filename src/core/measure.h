@@ -13,9 +13,21 @@
 //
 // A second round re-queries domains whose parent returned NS records but
 // whose child servers never answered, to rule out transient loss (§III-B).
+//
+// Two construction modes:
+//   * Legacy serial mode (resolver pointer): every Measure call runs through
+//     one caller-owned resolver, exactly as the original client did.
+//   * Pool mode (transport + root hints): MeasureAll shards the domain list
+//     over worker threads; each worker owns a private IterativeResolver but
+//     all share one thread-safe zone-cut + negative cache, and every domain
+//     is measured inside a hermetic per-domain chaos scope. Results land in
+//     input order and per-domain query_stats are byte-identical for any
+//     worker count, so the downstream analyses and the resilience report do
+//     not depend on parallelism.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -80,27 +92,59 @@ struct MeasurerOptions {
   // Hard cap on datagrams per measured domain (0 = unlimited). When spent,
   // remaining queries fail fast and the result is flagged `degraded`.
   uint64_t max_queries_per_domain = 250;
+  // Worker threads used by MeasureAll in pool mode; 0 picks
+  // std::thread::hardware_concurrency(). Ignored in legacy serial mode.
+  int workers = 0;
 };
 
 class ActiveMeasurer {
  public:
   using Options = MeasurerOptions;
 
+  // Legacy serial mode: all measurement traffic goes through `resolver`,
+  // which the caller owns and may share with other components.
   ActiveMeasurer(IterativeResolver* resolver,
                  MeasurerOptions options = MeasurerOptions());
 
+  // Pool mode: MeasureAll runs a worker pool over `transport`; workers share
+  // one zone-cut cache owned by the measurer.
+  ActiveMeasurer(dns::QueryTransport* transport,
+                 std::vector<geo::IPv4> root_hints,
+                 ResolverOptions resolver_options = ResolverOptions(),
+                 MeasurerOptions options = MeasurerOptions());
+  ~ActiveMeasurer();
+
   MeasurementResult Measure(const dns::Name& domain);
 
-  // Runs Measure over a list (the paper's 147k-domain query list).
+  // Runs Measure over a list (the paper's 147k-domain query list). Results
+  // are returned in input order regardless of how work was sharded.
   std::vector<MeasurementResult> MeasureAll(
       const std::vector<dns::Name>& domains);
 
- private:
-  void MeasureInternal(MeasurementResult& result);
-  void QueryChildServers(MeasurementResult& result);
+  // Aggregate query effort of the last MeasureAll: in pool mode the exact
+  // sum of the per-worker resolver counters (surface queries only — shared
+  // cache computation is accounted on the cache itself); in legacy mode the
+  // caller resolver's cumulative counters.
+  const ResolverCounters& merged_counters() const { return merged_counters_; }
+  uint64_t merged_queries_sent() const { return merged_queries_sent_; }
+  // Pool mode only (nullptr otherwise).
+  const SharedCutCache* shared_cache() const { return shared_cache_.get(); }
 
-  IterativeResolver* resolver_;
+ private:
+  MeasurementResult MeasureWith(IterativeResolver& resolver,
+                                const dns::Name& domain);
+  void MeasureInternal(IterativeResolver& resolver, MeasurementResult& result);
+  void QueryChildServers(IterativeResolver& resolver,
+                         MeasurementResult& result);
+
+  IterativeResolver* resolver_ = nullptr;     // legacy serial mode
+  dns::QueryTransport* transport_ = nullptr;  // pool mode
+  std::vector<geo::IPv4> roots_;
+  ResolverOptions resolver_options_;
+  std::unique_ptr<SharedCutCache> shared_cache_;
   Options options_;
+  ResolverCounters merged_counters_;
+  uint64_t merged_queries_sent_ = 0;
 };
 
 }  // namespace govdns::core

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "core/cut_cache.h"
 #include "util/rng.h"
 
 namespace govdns::core {
+
+namespace {
+// Salts separating the four deterministic streams engine mode derives from
+// names: chaos-context tags and backoff-jitter seeds, each keyed either by a
+// zone (shared-cut computation) or by a measured domain (surface queries).
+constexpr uint64_t kCutTagSalt = 0x63757454616753ull;      // "cutTagS"
+constexpr uint64_t kCutJitterSalt = 0x63757453656564ull;   // "cutSeed"
+constexpr uint64_t kDomainTagSalt = 0x646f6d54616753ull;   // "domTagS"
+constexpr uint64_t kDomainJitterSalt = 0x646f6d53656564ull; // "domSeed"
+}  // namespace
 
 ResolverCounters ResolverCounters::operator-(
     const ResolverCounters& rhs) const {
@@ -261,8 +272,193 @@ void IterativeResolver::CacheUnreachable(const dns::Name& cut,
   cut_cache_[cut] = std::move(entry);
 }
 
+IterativeResolver::InfraScope::InfraScope(IterativeResolver& r,
+                                          const dns::Name& zone)
+    : r_(r),
+      saved_counters_(r.counters_),
+      saved_queries_sent_(r.queries_sent_),
+      saved_jitter_state_(r.jitter_state_),
+      saved_budget_remaining_(r.budget_remaining_),
+      saved_budget_exhausted_(r.budget_exhausted_),
+      saved_health_(std::move(r.health_)) {
+  r.counters_ = ResolverCounters{};
+  r.queries_sent_ = 0;
+  r.jitter_state_ = util::HashString(zone.ToString(), kCutJitterSalt);
+  // Shared-cut probes run unbudgeted: a domain's armed budget must not leak
+  // into (or be consumed by) cache computation another domain may reuse.
+  r.budget_remaining_.reset();
+  r.budget_exhausted_ = false;
+  r.health_.clear();
+  r.transport_->PushChaosContext(util::HashString(zone.ToString(), kCutTagSalt));
+}
+
+IterativeResolver::InfraScope::~InfraScope() {
+  r_.transport_->PopChaosContext();
+  r_.options_.shared_cache->ChargeInfra(r_.counters_);
+  r_.counters_ = saved_counters_;
+  r_.queries_sent_ = saved_queries_sent_;
+  r_.jitter_state_ = saved_jitter_state_;
+  r_.budget_remaining_ = saved_budget_remaining_;
+  r_.budget_exhausted_ = saved_budget_exhausted_;
+  r_.health_ = std::move(saved_health_);
+}
+
+void IterativeResolver::BeginDomainScope(const dns::Name& domain) {
+  if (options_.shared_cache == nullptr) return;
+  GOVDNS_CHECK(!domain_scope_active_);
+  domain_scope_active_ = true;
+  // Per-domain state is reseeded so nothing from previously measured domains
+  // (breaker verdicts, jitter-stream position) can influence this one.
+  // Cross-domain dead-server memory is instead delegated to the shared
+  // negative cut cache.
+  health_.clear();
+  jitter_state_ = util::HashString(domain.ToString(), kDomainJitterSalt);
+  transport_->PushChaosContext(
+      util::HashString(domain.ToString(), kDomainTagSalt));
+}
+
+void IterativeResolver::EndDomainScope() {
+  if (options_.shared_cache == nullptr) return;
+  GOVDNS_CHECK(domain_scope_active_);
+  domain_scope_active_ = false;
+  transport_->PopChaosContext();
+}
+
+util::StatusOr<IterativeResolver::ZoneServers>
+IterativeResolver::WalkToZoneShared(const dns::Name& name, bool stop_above,
+                                    int depth_budget) {
+  if (depth_budget <= 0) return util::InternalError("resolution depth");
+  SharedCutCache& cache = *options_.shared_cache;
+
+  ZoneServers current;
+  current.zone = dns::Name::Root();
+  current.addresses = roots_;
+
+  // Start from the deepest cached ancestor. An unexpired dead subtree fails
+  // the walk immediately; an *expired* negative entry is treated as a plain
+  // miss — no eager erase, because the hermetic re-probe below reproduces
+  // the identical outcome and simply republishes over it.
+  const size_t max_count = name.LabelCount() - (stop_above ? 1 : 0);
+  for (size_t count = max_count; count > 0; --count) {
+    auto entry = cache.Lookup(name.Suffix(count));
+    if (!entry.has_value()) continue;
+    if (entry->reachable) {
+      current.zone = name.Suffix(count);
+      current.ns_names = std::move(entry->ns_names);
+      current.addresses = std::move(entry->addresses);
+      break;
+    }
+    if (transport_->now_ms() < entry->expires_ms) {
+      ++counters_.negative_cache_hits;
+      return util::UnavailableError("cached-unreachable zone at " +
+                                    name.Suffix(count).ToString());
+    }
+  }
+
+  for (int hop = 0; hop < options_.max_referrals; ++hop) {
+    // One referral-resolution step, computed hermetically: inside the scope
+    // every draw, clock tick and breaker verdict is a pure function of
+    // (world seed, current zone, the cut being descended into) — so racing
+    // workers that probe the same cut publish byte-identical entries, and
+    // the step's cost lands on the cache's infra counters, not this domain.
+    bool dead = false, direct = false, lame = false, stop_here = false;
+    bool cut_unresolvable = false;
+    dns::Name cut;
+    std::vector<dns::Name> ns_names;
+    std::vector<geo::IPv4> addrs;
+    uint64_t neg_expires = 0;
+    {
+      InfraScope scope(*this, current.zone);
+      ServerReply usable;
+      bool have_usable = false;
+      for (geo::IPv4 server : current.addresses) {
+        ServerReply r = QueryServer(server, name, dns::RRType::kNS);
+        if (r.outcome == QueryOutcome::kReferral ||
+            r.outcome == QueryOutcome::kAuthAnswer ||
+            r.outcome == QueryOutcome::kAuthNegative ||
+            r.outcome == QueryOutcome::kNonAuthAnswer) {
+          usable = std::move(r);
+          have_usable = true;
+          break;
+        }
+      }
+      if (!have_usable) {
+        dead = true;
+        neg_expires = transport_->now_ms() + options_.negative_cache_ttl_ms;
+      } else if (usable.outcome != QueryOutcome::kReferral) {
+        direct = true;
+      } else {
+        auto c = ReferralCut(*usable.message);
+        if (!c || !name.IsSubdomainOf(*c) ||
+            !c->IsProperSubdomainOf(current.zone)) {
+          lame = true;
+        } else if (stop_above && *c == name) {
+          stop_here = true;
+        } else {
+          cut = *c;
+          for (const dns::ResourceRecord& rr : usable.message->authority) {
+            if (rr.type() == dns::RRType::kNS && rr.name == cut) {
+              ns_names.push_back(std::get<dns::NsRdata>(rr.rdata).nameserver);
+            }
+          }
+          auto a = AddressesForNs(ns_names, usable.message->additional,
+                                  depth_budget - 1);
+          if (!a.ok()) {
+            cut_unresolvable = true;
+            neg_expires =
+                transport_->now_ms() + options_.negative_cache_ttl_ms;
+          } else {
+            addrs = *std::move(a);
+          }
+        }
+      }
+    }
+    if (dead) {
+      // Never negatively cache the root: a transiently dark root would
+      // poison every later walk, for every worker, for the whole cooldown.
+      if (!current.zone.IsRoot()) {
+        cache.PublishUnreachable(current.zone, current.ns_names, neg_expires);
+      }
+      // Uniform accounting: the domain whose walk probed the dead subtree
+      // and the domains that later hit the cached negative each record
+      // exactly one negative_cache_hit, so per-domain stats do not depend
+      // on which worker got there first.
+      ++counters_.negative_cache_hits;
+      return util::UnavailableError("servers of " + current.zone.ToString() +
+                                    " unresponsive");
+    }
+    if (direct) return current;
+    if (lame) {
+      return util::ParseError("lame referral from " + current.zone.ToString());
+    }
+    if (stop_here) {
+      // The next zone down *is* the name: current servers are its parent's.
+      // Not published — the entry is created on demand by walks that need
+      // to descend *through* this cut rather than stop at it.
+      return current;
+    }
+    if (cut_unresolvable) {
+      cache.PublishUnreachable(cut, ns_names, neg_expires);
+      ++counters_.negative_cache_hits;
+      return util::UnavailableError("unresolvable delegation at " +
+                                    cut.ToString());
+    }
+    SharedCutCache::Entry entry;
+    entry.ns_names = ns_names;
+    entry.addresses = addrs;
+    cache.Publish(cut, std::move(entry));
+    current.zone = std::move(cut);
+    current.ns_names = std::move(ns_names);
+    current.addresses = std::move(addrs);
+  }
+  return util::InternalError("referral chain too long for " + name.ToString());
+}
+
 util::StatusOr<IterativeResolver::ZoneServers> IterativeResolver::WalkToZone(
     const dns::Name& name, bool stop_above, int depth_budget) {
+  if (options_.shared_cache != nullptr) {
+    return WalkToZoneShared(name, stop_above, depth_budget);
+  }
   if (depth_budget <= 0) return util::InternalError("resolution depth");
 
   ZoneServers current;

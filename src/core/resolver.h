@@ -25,6 +25,8 @@
 
 namespace govdns::core {
 
+class SharedCutCache;
+
 // How a single server responded to a single query.
 enum class QueryOutcome {
   kAuthAnswer,     // authoritative answer with records for the question
@@ -99,6 +101,18 @@ struct ResolverOptions {
   // How long a zone cut discovered to be unreachable stays negatively
   // cached (transport-clock ms) before the resolver will try it again.
   uint32_t negative_cache_ttl_ms = 120000;
+
+  // Engine mode: when set, zone cuts are resolved through this shared
+  // thread-safe cache instead of the resolver's private one, every cut
+  // computation runs in its own hermetic chaos context (keyed by the parent
+  // zone, so racing workers compute identical entries), and the query effort
+  // it costs is charged to the cache's infrastructure counters rather than
+  // to this resolver's — per-domain query_stats then depend only on the
+  // world seed and the domain, never on which worker warmed the cache. The
+  // caller must keep the cache alive for the resolver's lifetime. In engine
+  // mode the armed query budget caps only the caller-attributed (surface)
+  // queries; shared-cut computation is bounded by the cache itself.
+  SharedCutCache* shared_cache = nullptr;
 };
 
 class IterativeResolver {
@@ -143,6 +157,17 @@ class IterativeResolver {
   void DisarmQueryBudget();
   bool BudgetExhausted() const { return budget_exhausted_; }
 
+  // --- Per-domain hermetic scope (engine mode) -----------------------------
+  // Brackets one unit of attributable work (one measured domain): pushes a
+  // chaos context derived from `domain` onto the transport and resets the
+  // per-domain resolver state (breaker map, backoff jitter stream) to a
+  // deterministic function of the domain. Inside the scope, every outcome is
+  // a pure function of (world seed, domain, shared-cache semantics) — the
+  // foundation of worker-count-independent measurement results. No-ops when
+  // no shared cache is configured.
+  void BeginDomainScope(const dns::Name& domain);
+  void EndDomainScope();
+
   // Statistics for the harness.
   uint64_t queries_sent() const { return queries_sent_; }
   const ResolverCounters& counters() const { return counters_; }
@@ -150,6 +175,7 @@ class IterativeResolver {
   // Health-tracking introspection: servers currently behind an open breaker.
   size_t open_circuits() const;
   void ClearCache() { cut_cache_.clear(); }
+  const Options& options() const { return options_; }
 
  private:
   struct CachedCut {
@@ -170,6 +196,37 @@ class IterativeResolver {
   // `stop_above` is true.
   util::StatusOr<ZoneServers> WalkToZone(const dns::Name& name,
                                          bool stop_above, int depth_budget);
+
+  // Engine-mode walk: same contract as WalkToZone but resolved through the
+  // shared cache. Each referral-resolution hop runs inside a hermetic
+  // InfraScope keyed by the zone being queried, so the hop's outcome — and
+  // the entry it publishes — depends only on (world seed, zone, parent entry
+  // content), never on which worker or in which order hops were computed.
+  util::StatusOr<ZoneServers> WalkToZoneShared(const dns::Name& name,
+                                               bool stop_above,
+                                               int depth_budget);
+
+  // RAII bracket for one shared-cache computation step. On entry: pushes a
+  // zone-keyed chaos context on the transport and swaps in fresh per-step
+  // resolver state (empty breaker map, zone-seeded jitter stream, no armed
+  // budget). On exit: charges the step's query effort to the shared cache's
+  // infrastructure counters, restores the caller's state, pops the context.
+  class InfraScope {
+   public:
+    InfraScope(IterativeResolver& r, const dns::Name& zone);
+    ~InfraScope();
+    InfraScope(const InfraScope&) = delete;
+    InfraScope& operator=(const InfraScope&) = delete;
+
+   private:
+    IterativeResolver& r_;
+    ResolverCounters saved_counters_;
+    uint64_t saved_queries_sent_;
+    uint64_t saved_jitter_state_;
+    std::optional<uint64_t> saved_budget_remaining_;
+    bool saved_budget_exhausted_;
+    std::map<geo::IPv4, ServerHealth> saved_health_;
+  };
 
   // Extracts a referral's target cut and NS records from a message.
   static std::optional<dns::Name> ReferralCut(const dns::Message& msg);
@@ -203,6 +260,7 @@ class IterativeResolver {
   bool budget_exhausted_ = false;
   std::map<dns::Name, CachedCut> cut_cache_;
   std::map<geo::IPv4, ServerHealth> health_;
+  bool domain_scope_active_ = false;
 };
 
 }  // namespace govdns::core

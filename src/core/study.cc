@@ -27,8 +27,12 @@ const MinedDataset& Study::RunMining() {
 const ActiveDataset& Study::RunActiveMeasurement(MeasurerOptions options) {
   GOVDNS_CHECK(mined_ != nullptr);
   std::vector<dns::Name> query_list = PdnsMiner::ActiveQueryList(*mined_);
-  ActiveMeasurer measurer(&resolver_, options);
+  ActiveMeasurer measurer(inputs_.transport, inputs_.root_hints,
+                          ResolverOptions(), options);
   std::vector<MeasurementResult> results = measurer.MeasureAll(query_list);
+  measurement_counters_ = measurer.merged_counters();
+  measurement_queries_sent_ = measurer.merged_queries_sent();
+  measurement_cache_stats_ = measurer.shared_cache()->stats();
   active_ = std::make_unique<ActiveDataset>(
       ActiveDataset::Build(std::move(results), seeds_, inputs_.countries));
   return *active_;

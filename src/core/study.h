@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/analysis.h"
+#include "core/cut_cache.h"
 #include "core/measure.h"
 #include "core/mining.h"
 #include "core/providers.h"
@@ -43,7 +44,10 @@ class Study {
   const std::vector<SeedDomain>& RunSelection();
   // §III-B/C (requires selection).
   const MinedDataset& RunMining();
-  // Fig. 1 measurements over the mined query list (requires mining).
+  // Fig. 1 measurements over the mined query list (requires mining). Runs
+  // the sharded pool measurer: options.workers threads (0 = all cores), a
+  // shared zone-cut cache, results and per-domain stats independent of the
+  // worker count.
   const ActiveDataset& RunActiveMeasurement(
       MeasurerOptions options = MeasurerOptions());
 
@@ -61,6 +65,19 @@ class Study {
   IterativeResolver& resolver() { return resolver_; }
   const StudyInputs& inputs() const { return inputs_; }
 
+  // Aggregate query effort of the last RunActiveMeasurement (summed over the
+  // measurement pool's workers; surface queries only).
+  const ResolverCounters& measurement_counters() const {
+    return measurement_counters_;
+  }
+  uint64_t measurement_queries_sent() const {
+    return measurement_queries_sent_;
+  }
+  // Shared-cut-cache statistics of the last RunActiveMeasurement.
+  const CutCacheStats& measurement_cache_stats() const {
+    return measurement_cache_stats_;
+  }
+
  private:
   StudyInputs inputs_;
   IterativeResolver resolver_;
@@ -68,6 +85,9 @@ class Study {
   SelectionStats selection_stats_;
   std::unique_ptr<MinedDataset> mined_;
   std::unique_ptr<ActiveDataset> active_;
+  ResolverCounters measurement_counters_;
+  uint64_t measurement_queries_sent_ = 0;
+  CutCacheStats measurement_cache_stats_;
 };
 
 }  // namespace govdns::core

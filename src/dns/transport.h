@@ -35,6 +35,16 @@ class QueryTransport {
   // its virtual clock.
   virtual void Delay(uint32_t ms) { fallback_now_ms_ += ms; }
 
+  // Scoped "chaos context" for deterministic parallel use. While a context
+  // is active on the calling thread, a simulating transport derives all
+  // per-exchange randomness, its logical clock, and per-endpoint chaos
+  // state from `tag` instead of from process-global counters, so the same
+  // unit of work produces the same outcomes regardless of how work is
+  // interleaved across threads. Contexts nest (strict LIFO per thread).
+  // Transports that talk to the real network ignore them.
+  virtual void PushChaosContext(uint64_t tag) { (void)tag; }
+  virtual void PopChaosContext() {}
+
  private:
   uint64_t fallback_now_ms_ = 0;
 };

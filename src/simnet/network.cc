@@ -4,40 +4,136 @@
 
 namespace govdns::simnet {
 
+thread_local std::vector<SimNetwork::ChaosContext> SimNetwork::context_stack_;
+
 SimNetwork::SimNetwork(uint64_t seed) : seed_(seed) {}
 
 void SimNetwork::AttachHandler(geo::IPv4 address, Handler handler) {
   GOVDNS_CHECK(handler != nullptr);
+  std::unique_lock lock(maps_mu_);
   handlers_[address] = std::move(handler);
 }
 
-void SimNetwork::DetachHandler(geo::IPv4 address) { handlers_.erase(address); }
+void SimNetwork::DetachHandler(geo::IPv4 address) {
+  std::unique_lock lock(maps_mu_);
+  handlers_.erase(address);
+}
 
 bool SimNetwork::HasHandler(geo::IPv4 address) const {
+  std::shared_lock lock(maps_mu_);
   return handlers_.contains(address);
 }
 
 void SimNetwork::SetBehavior(geo::IPv4 address, EndpointBehavior behavior) {
+  std::unique_lock lock(maps_mu_);
   behaviors_[address] = behavior;
-  runtime_.erase(address);
+  RuntimeStripeState& stripe = runtime_stripes_[RuntimeStripe(address)];
+  std::lock_guard rt_lock(stripe.mu);
+  stripe.entries.erase(address);
 }
 
 EndpointBehavior SimNetwork::GetBehavior(geo::IPv4 address) const {
+  std::shared_lock lock(maps_mu_);
   auto it = behaviors_.find(address);
   return it == behaviors_.end() ? EndpointBehavior{} : it->second;
 }
 
+size_t SimNetwork::endpoint_count() const {
+  std::shared_lock lock(maps_mu_);
+  return handlers_.size();
+}
+
+NetworkStats SimNetwork::stats() const {
+  NetworkStats s;
+  s.exchanges = stats_.exchanges.load(std::memory_order_relaxed);
+  s.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
+  s.unreachable = stats_.unreachable.load(std::memory_order_relaxed);
+  s.delivered = stats_.delivered.load(std::memory_order_relaxed);
+  s.flap_dropped = stats_.flap_dropped.load(std::memory_order_relaxed);
+  s.burst_dropped = stats_.burst_dropped.load(std::memory_order_relaxed);
+  s.rate_limited = stats_.rate_limited.load(std::memory_order_relaxed);
+  s.corrupted = stats_.corrupted.load(std::memory_order_relaxed);
+  s.truncated = stats_.truncated.load(std::memory_order_relaxed);
+  s.wrong_id = stats_.wrong_id.load(std::memory_order_relaxed);
+  return s;
+}
+
+SimNetwork::ChaosContext* SimNetwork::ActiveContext() const {
+  if (context_stack_.empty() || context_stack_.back().owner != this) {
+    return nullptr;
+  }
+  return &context_stack_.back();
+}
+
+void SimNetwork::PushChaosContext(uint64_t tag) {
+  ChaosContext ctx;
+  ctx.owner = this;
+  uint64_t state = seed_ ^ tag;
+  ctx.tag_mix = util::SplitMix64(state);
+  // Start the context clock at a tag-derived offset inside a ~17-minute
+  // horizon so flap windows and rate-limit seconds are not phase-locked
+  // across contexts the way they would be if every context began at t=0.
+  uint64_t state2 = ctx.tag_mix;
+  ctx.clock_ms = util::SplitMix64(state2) % (uint64_t{1} << 20);
+  context_stack_.push_back(std::move(ctx));
+}
+
+void SimNetwork::PopChaosContext() {
+  GOVDNS_CHECK(!context_stack_.empty() &&
+               context_stack_.back().owner == this);
+  context_stack_.pop_back();
+}
+
+uint64_t SimNetwork::now_ms() const {
+  const ChaosContext* ctx = ActiveContext();
+  return ctx != nullptr ? ctx->clock_ms : clock_.now_ms();
+}
+
+void SimNetwork::Delay(uint32_t ms) {
+  ChaosContext* ctx = ActiveContext();
+  if (ctx != nullptr) {
+    ctx->clock_ms += ms;
+  } else {
+    clock_.Advance(ms);
+  }
+}
+
 util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
     geo::IPv4 server, const std::vector<uint8_t>& wire_query) {
-  ++stats_.exchanges;
-  const uint64_t exchange_id = exchange_counter_++;
+  ChaosContext* ctx = ActiveContext();
+  stats_.exchanges.fetch_add(1, std::memory_order_relaxed);
+  // In a context, the exchange ordinal is per (context, endpoint): retries
+  // of the same query get fresh draws, but the stream is independent of
+  // global history and of other threads. Context-free exchanges keep the
+  // legacy process-global ordinal.
+  const uint64_t exchange_id =
+      ctx != nullptr ? ctx->ordinals[server]++
+                     : exchange_counter_.fetch_add(1, std::memory_order_relaxed);
+
+  auto advance = [&](uint64_t ms) {
+    if (ctx != nullptr) {
+      ctx->clock_ms += ms;
+    } else {
+      clock_.Advance(ms);
+    }
+  };
+  auto local_now = [&]() -> uint64_t {
+    return ctx != nullptr ? ctx->clock_ms : clock_.now_ms();
+  };
+
+  // Handler/behaviour tables are read-mostly: a shared lock held for the
+  // whole exchange keeps them stable under concurrent SetBehavior calls.
+  std::shared_lock maps_lock(maps_mu_);
 
   // Silence wins over everything else, including handler presence: a
   // firewalled host looks the same whether or not a server runs behind it.
-  EndpointBehavior behavior = GetBehavior(server);
+  EndpointBehavior behavior;
+  if (auto it = behaviors_.find(server); it != behaviors_.end()) {
+    behavior = it->second;
+  }
   if (behavior.silent) {
-    clock_.Advance(timeout_ms_);
-    ++stats_.timeouts;
+    advance(timeout_ms_);
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
     return util::TimeoutError("silent endpoint " + server.ToString());
   }
 
@@ -45,56 +141,76 @@ util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
   if (it == handlers_.end()) {
     // Nothing listens at this address. A real resolver sees either an ICMP
     // unreachable or silence; we model it as promptly unreachable.
-    clock_.Advance(5);
-    ++stats_.unreachable;
+    advance(5);
+    stats_.unreachable.fetch_add(1, std::memory_order_relaxed);
     return util::UnavailableError("no endpoint at " + server.ToString());
   }
 
-  // Flapping: silent during alternating SimClock windows, with a per-
-  // endpoint phase so a fleet of flappers is not synchronized.
+  // Flapping: silent during alternating clock windows, with a per-endpoint
+  // phase so a fleet of flappers is not synchronized.
   if (behavior.flap_period_ms > 0) {
     uint64_t phase_stream = seed_ ^ (uint64_t{server.bits()} * 0x9E3779B9u);
     uint64_t phase = util::SplitMix64(phase_stream) % behavior.flap_period_ms;
-    uint64_t window = (clock_.now_ms() + phase) / behavior.flap_period_ms;
+    uint64_t window = (local_now() + phase) / behavior.flap_period_ms;
     if (window % 2 == 1) {
-      clock_.Advance(timeout_ms_);
-      ++stats_.timeouts;
-      ++stats_.flap_dropped;
+      advance(timeout_ms_);
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      stats_.flap_dropped.fetch_add(1, std::memory_order_relaxed);
       return util::TimeoutError("flapping endpoint " + server.ToString());
     }
   }
 
-  EndpointRuntime& rt = runtime_[server];
+  // Mutable per-endpoint chaos state: context-local when a context is
+  // active, else the striped global table under its stripe lock.
+  auto with_runtime = [&](auto&& fn) {
+    if (ctx != nullptr) {
+      fn(ctx->runtime[server]);
+    } else {
+      RuntimeStripeState& stripe = runtime_stripes_[RuntimeStripe(server)];
+      std::lock_guard rt_lock(stripe.mu);
+      fn(stripe.entries[server]);
+    }
+  };
 
   // An in-progress loss burst swallows this exchange.
-  if (rt.burst_remaining > 0) {
-    --rt.burst_remaining;
-    clock_.Advance(timeout_ms_);
-    ++stats_.timeouts;
-    ++stats_.burst_dropped;
+  bool in_burst = false;
+  with_runtime([&](EndpointRuntime& rt) {
+    if (rt.burst_remaining > 0) {
+      --rt.burst_remaining;
+      in_burst = true;
+    }
+  });
+  if (in_burst) {
+    advance(timeout_ms_);
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+    stats_.burst_dropped.fetch_add(1, std::memory_order_relaxed);
     return util::TimeoutError("loss burst to " + server.ToString());
   }
 
   // All per-exchange chance is a pure function of (seed, server, exchange
-  // ordinal) so a rerun of the same world reproduces the same drops, while
-  // retries of the same query get fresh draws.
+  // ordinal) — plus the context tag when one is active — so a rerun of the
+  // same world reproduces the same drops, while retries of the same query
+  // get fresh draws.
   uint64_t stream = seed_ ^ (uint64_t{server.bits()} << 24) ^ exchange_id;
+  if (ctx != nullptr) stream ^= ctx->tag_mix;
   util::Rng rng(util::SplitMix64(stream));
 
   if (behavior.burst_start_rate > 0.0 &&
       rng.Bernoulli(behavior.burst_start_rate)) {
-    rt.burst_remaining =
-        behavior.burst_length > 0 ? behavior.burst_length - 1 : 0;
-    clock_.Advance(timeout_ms_);
-    ++stats_.timeouts;
-    ++stats_.burst_dropped;
+    with_runtime([&](EndpointRuntime& rt) {
+      rt.burst_remaining =
+          behavior.burst_length > 0 ? behavior.burst_length - 1 : 0;
+    });
+    advance(timeout_ms_);
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+    stats_.burst_dropped.fetch_add(1, std::memory_order_relaxed);
     return util::TimeoutError("loss burst to " + server.ToString());
   }
 
-  double loss = behavior.loss_rate + extra_loss_rate_;
+  double loss = behavior.loss_rate + extra_loss_rate();
   if (loss > 0.0 && rng.Bernoulli(loss)) {
-    clock_.Advance(timeout_ms_);
-    ++stats_.timeouts;
+    advance(timeout_ms_);
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
     return util::TimeoutError("packet lost to " + server.ToString());
   }
 
@@ -102,15 +218,19 @@ util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
   // budget the server sends REFUSED (RRL-style truncation would also be
   // realistic; REFUSED is the harsher, simpler model).
   if (behavior.rate_limit_per_sec > 0) {
-    uint64_t window = clock_.now_ms() / 1000;
-    if (rt.rate_window != window) {
-      rt.rate_window = window;
-      rt.rate_count = 0;
-    }
-    if (++rt.rate_count > behavior.rate_limit_per_sec) {
-      clock_.Advance(behavior.rtt_ms);
-      ++stats_.rate_limited;
-      ++stats_.delivered;
+    bool limited = false;
+    uint64_t window = local_now() / 1000;
+    with_runtime([&](EndpointRuntime& rt) {
+      if (rt.rate_window != window) {
+        rt.rate_window = window;
+        rt.rate_count = 0;
+      }
+      limited = ++rt.rate_count > behavior.rate_limit_per_sec;
+    });
+    if (limited) {
+      advance(behavior.rtt_ms);
+      stats_.rate_limited.fetch_add(1, std::memory_order_relaxed);
+      stats_.delivered.fetch_add(1, std::memory_order_relaxed);
       auto query = dns::Message::Decode(wire_query);
       dns::Message refused;
       if (query.ok()) {
@@ -129,12 +249,12 @@ util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
         rng.UniformU64(uint64_t{behavior.rtt_jitter_ms} + 1));
   }
   if (rtt >= timeout_ms_) {
-    clock_.Advance(timeout_ms_);
-    ++stats_.timeouts;
+    advance(timeout_ms_);
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
     return util::TimeoutError("endpoint too slow: " + server.ToString());
   }
 
-  clock_.Advance(rtt);
+  advance(rtt);
   std::vector<uint8_t> reply = it->second(wire_query);
 
   // Damaged-but-delivered modes, applied to the wire bytes so the client's
@@ -150,17 +270,17 @@ util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
     // Chop below the 12-byte header and garble: guaranteed undecodable.
     if (reply.size() > 8) reply.resize(8);
     for (uint8_t& b : reply) b ^= 0x5A;
-    ++stats_.corrupted;
+    stats_.corrupted.fetch_add(1, std::memory_order_relaxed);
   } else if (truncate && reply.size() >= 12) {
     reply[2] |= 0x02;  // TC bit (byte 2, bit 1 of the header flags)
-    ++stats_.truncated;
+    stats_.truncated.fetch_add(1, std::memory_order_relaxed);
   } else if (wrong_id && reply.size() >= 2) {
     reply[0] ^= 0xA5;  // transaction id occupies the first two bytes
     reply[1] ^= 0x5A;
-    ++stats_.wrong_id;
+    stats_.wrong_id.fetch_add(1, std::memory_order_relaxed);
   }
 
-  ++stats_.delivered;
+  stats_.delivered.fetch_add(1, std::memory_order_relaxed);
   return reply;
 }
 

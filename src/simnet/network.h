@@ -7,11 +7,26 @@
 // nameservers; silence, loss, latency and the whole chaos model below are
 // deterministic functions of the world seed, so the whole measurement is
 // reproducible.
+//
+// Thread safety: Exchange may be called concurrently from many worker
+// threads. The handler/behaviour tables are guarded by a shared mutex
+// (read-mostly), the aggregate statistics are atomics, and the mutable
+// per-endpoint chaos state (burst progress, rate-limit window) is striped by
+// endpoint. For *deterministic* parallelism, callers push a per-unit-of-work
+// chaos context (see dns::QueryTransport::PushChaosContext): an active
+// context carries its own logical clock, per-endpoint exchange ordinals and
+// chaos runtime, all derived from (seed, tag), so outcomes do not depend on
+// thread interleaving. Without a context, the legacy process-global clock
+// and exchange counter are used — byte-compatible with the serial
+// behaviour this simulator always had.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,14 +38,17 @@
 namespace govdns::simnet {
 
 // A virtual clock advanced by simulated network delays. Purely logical time;
-// nothing sleeps.
+// nothing sleeps. Atomic so concurrent legacy (context-free) exchanges are
+// data-race free.
 class SimClock {
  public:
-  uint64_t now_ms() const { return now_ms_; }
-  void Advance(uint64_t ms) { now_ms_ += ms; }
+  uint64_t now_ms() const { return now_ms_.load(std::memory_order_relaxed); }
+  void Advance(uint64_t ms) {
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t now_ms_ = 0;
+  std::atomic<uint64_t> now_ms_{0};
 };
 
 // How an endpoint behaves at the packet level, independent of what the
@@ -149,18 +167,26 @@ class SimNetwork : public dns::QueryTransport {
   // Additional loss applied to every exchange on top of per-endpoint loss
   // (weather for the whole network; the second-round ablation and the chaos
   // sweep use it).
-  void set_extra_loss_rate(double rate) { extra_loss_rate_ = rate; }
-  double extra_loss_rate() const { return extra_loss_rate_; }
+  void set_extra_loss_rate(double rate) {
+    extra_loss_rate_.store(rate, std::memory_order_relaxed);
+  }
+  double extra_loss_rate() const {
+    return extra_loss_rate_.load(std::memory_order_relaxed);
+  }
 
   // dns::QueryTransport:
   util::StatusOr<std::vector<uint8_t>> Exchange(
       geo::IPv4 server, const std::vector<uint8_t>& wire_query) override;
-  uint64_t now_ms() const override { return clock_.now_ms(); }
-  void Delay(uint32_t ms) override { clock_.Advance(ms); }
+  uint64_t now_ms() const override;
+  void Delay(uint32_t ms) override;
+  void PushChaosContext(uint64_t tag) override;
+  void PopChaosContext() override;
 
   SimClock& clock() { return clock_; }
-  const NetworkStats& stats() const { return stats_; }
-  size_t endpoint_count() const { return handlers_.size(); }
+  // Snapshot of the aggregate counters (by value: the internal counters are
+  // atomics updated concurrently).
+  NetworkStats stats() const;
+  size_t endpoint_count() const;
 
  private:
   // Mutable per-endpoint chaos state (burst progress, rate-limit window).
@@ -170,15 +196,58 @@ class SimNetwork : public dns::QueryTransport {
     uint32_t rate_count = 0;    // queries seen in that window
   };
 
+  // A thread-local unit-of-work state: its own clock, per-endpoint exchange
+  // ordinals and chaos runtime. Every draw inside a context is a pure
+  // function of (seed, tag, endpoint, ordinal) — independent of anything
+  // other threads do and of process-global history.
+  struct ChaosContext {
+    const SimNetwork* owner = nullptr;
+    uint64_t tag_mix = 0;   // SplitMix64(seed ^ tag), folded into draw streams
+    uint64_t clock_ms = 0;  // context-local logical clock
+    std::unordered_map<geo::IPv4, uint64_t, geo::IPv4::Hash> ordinals;
+    std::unordered_map<geo::IPv4, EndpointRuntime, geo::IPv4::Hash> runtime;
+  };
+
+  struct AtomicStats {
+    std::atomic<uint64_t> exchanges{0};
+    std::atomic<uint64_t> timeouts{0};
+    std::atomic<uint64_t> unreachable{0};
+    std::atomic<uint64_t> delivered{0};
+    std::atomic<uint64_t> flap_dropped{0};
+    std::atomic<uint64_t> burst_dropped{0};
+    std::atomic<uint64_t> rate_limited{0};
+    std::atomic<uint64_t> corrupted{0};
+    std::atomic<uint64_t> truncated{0};
+    std::atomic<uint64_t> wrong_id{0};
+  };
+
+  // The calling thread's innermost context, if it belongs to this network.
+  ChaosContext* ActiveContext() const;
+
+  static constexpr size_t kRuntimeStripes = 16;
+  size_t RuntimeStripe(geo::IPv4 server) const {
+    return geo::IPv4::Hash{}(server) % kRuntimeStripes;
+  }
+
   uint64_t seed_;
-  uint64_t exchange_counter_ = 0;
+  std::atomic<uint64_t> exchange_counter_{0};
   uint32_t timeout_ms_ = 2000;
-  double extra_loss_rate_ = 0.0;
+  std::atomic<double> extra_loss_rate_{0.0};
   SimClock clock_;
-  NetworkStats stats_;
+  AtomicStats stats_;
+  mutable std::shared_mutex maps_mu_;  // guards handlers_ and behaviors_
   std::unordered_map<geo::IPv4, Handler, geo::IPv4::Hash> handlers_;
   std::unordered_map<geo::IPv4, EndpointBehavior, geo::IPv4::Hash> behaviors_;
-  std::unordered_map<geo::IPv4, EndpointRuntime, geo::IPv4::Hash> runtime_;
+  // Legacy (context-free) chaos runtime, striped by endpoint: each stripe is
+  // an independent map under its own lock, so concurrent context-free
+  // exchanges to different endpoints never contend or race on a rehash.
+  struct RuntimeStripeState {
+    std::mutex mu;
+    std::unordered_map<geo::IPv4, EndpointRuntime, geo::IPv4::Hash> entries;
+  };
+  mutable RuntimeStripeState runtime_stripes_[kRuntimeStripes];
+
+  static thread_local std::vector<ChaosContext> context_stack_;
 };
 
 }  // namespace govdns::simnet

@@ -187,6 +187,53 @@ TEST(ActiveDatasetTest, BuildsCountryMapping) {
   EXPECT_EQ(dataset.country[2], 1);
 }
 
+// Regression: with duplicate seed rows for the same d_gov (equal label
+// count), attribution used `>=` and silently let the *last* duplicate win.
+// The tiebreak is first-seed-in-input-order, independent of list order.
+TEST(ActiveDatasetTest, CountryTiebreakIsFirstSeedWins) {
+  std::vector<CountryMeta> metas = {{"aa", "Aland", "Northern Europe", false},
+                                    {"bb", "Borduria", "Eastern Europe", false}};
+  std::vector<SeedDomain> seeds;
+  seeds.push_back({0, Name::FromString("gov.aa"),
+                   SeedVerification::kRegistryPolicy, false});
+  seeds.push_back({1, Name::FromString("gov.aa"),
+                   SeedVerification::kRegistryPolicy, false});
+
+  std::vector<MeasurementResult> results;
+  MeasurementResult r;
+  r.domain = Name::FromString("x.gov.aa");
+  results.push_back(r);
+
+  auto dataset =
+      ActiveDataset::Build(std::move(results), std::move(seeds), metas);
+  EXPECT_EQ(dataset.country[0], 0);
+
+  // Same duplicates, reversed: the first listed still wins.
+  std::vector<SeedDomain> reversed;
+  reversed.push_back({1, Name::FromString("gov.aa"),
+                      SeedVerification::kRegistryPolicy, false});
+  reversed.push_back({0, Name::FromString("gov.aa"),
+                      SeedVerification::kRegistryPolicy, false});
+  std::vector<MeasurementResult> results2;
+  results2.push_back(r);
+  auto dataset2 = ActiveDataset::Build(std::move(results2),
+                                       std::move(reversed), metas);
+  EXPECT_EQ(dataset2.country[0], 1);
+
+  // The longest-match rule itself is untouched: a deeper seed still beats a
+  // shallower one listed earlier.
+  std::vector<SeedDomain> nested;
+  nested.push_back({0, Name::FromString("aa"),
+                    SeedVerification::kRegistryPolicy, false});
+  nested.push_back({1, Name::FromString("gov.aa"),
+                    SeedVerification::kRegistryPolicy, false});
+  std::vector<MeasurementResult> results3;
+  results3.push_back(r);
+  auto dataset3 =
+      ActiveDataset::Build(std::move(results3), std::move(nested), metas);
+  EXPECT_EQ(dataset3.country[0], 1);
+}
+
 TEST(ActiveDatasetTest, Funnel) {
   auto dataset = SmallDataset();
   auto funnel = dataset.ComputeFunnel();

@@ -181,5 +181,44 @@ TEST_F(MeasureTest, NsAddressesDeduplicates) {
   EXPECT_EQ(all_ns.size(), 2u);
 }
 
+// Regression: one of victim.gov.yy's two parent servers pads its referral
+// with an A record for ns2 it is not delegating to (pointing at 10.0.9.9).
+// Only glue for the referral's own NS targets may be accepted; the poisoned
+// address must never be attributed to — or queried on behalf of — ns2.
+TEST_F(MeasureTest, RejectsOutOfBailiwickGlue) {
+  auto r = Measure("victim.gov.yy");
+  EXPECT_TRUE(r.parent_has_records);
+  ASSERT_EQ(r.parent_ns.size(), 2u);  // the union of both parents' targets
+
+  const NsHostResult* ns2 = HostNamed(r, "ns2.victim.gov.yy");
+  ASSERT_NE(ns2, nullptr);
+  ASSERT_EQ(ns2->addresses.size(), 1u);
+  EXPECT_EQ(ns2->addresses[0], TinyInternet::Ip(10, 0, 12, 2));
+  EXPECT_EQ(ns2->status, NsHostStatus::kAuthoritative);
+
+  // Nothing anywhere in the result carries the poisoned address.
+  for (geo::IPv4 addr : r.NsAddresses()) {
+    EXPECT_NE(addr, TinyInternet::Ip(10, 0, 9, 9));
+  }
+}
+
+// Regression: chain.gov.yy's parent knows only ns1, ns1's zone copy names
+// {ns1,ns2}, and only ns2's newer copy names ns3. ns3 surfaces in the
+// second child-query pass, so host expansion must iterate until no new
+// hostname appears — a single expansion round left ns3 in child_ns with no
+// NsHostResult (and thus no status) at all.
+TEST_F(MeasureTest, ExpandsHostsDiscoveredInLaterRounds) {
+  auto r = Measure("chain.gov.yy");
+  EXPECT_TRUE(r.child_any_authoritative);
+  ASSERT_EQ(r.child_ns.size(), 3u);
+  ASSERT_EQ(r.hosts.size(), 3u);
+
+  const NsHostResult* ns3 = HostNamed(r, "ns3.chain.gov.yy");
+  ASSERT_NE(ns3, nullptr);
+  EXPECT_EQ(ns3->status, NsHostStatus::kAuthoritative);
+  EXPECT_FALSE(ns3->in_parent_set);
+  EXPECT_TRUE(ns3->in_child_set);
+}
+
 }  // namespace
 }  // namespace govdns::core

@@ -1,0 +1,106 @@
+// The sharded measurement pool must be a pure optimization: for a fixed
+// world seed, every observable study output — per-domain results, every
+// analysis, the resilience report, the exported JSON — must be
+// byte-identical whether one worker or many measured the list. The shared
+// cut cache and the per-worker counter merge must also reconcile exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cut_cache.h"
+#include "core/export.h"
+#include "core/measure.h"
+#include "core/report.h"
+#include "core/study.h"
+#include "worldgen/adapter.h"
+
+namespace govdns {
+namespace {
+
+struct RunOutput {
+  std::string resilience_json;
+  std::string export_json;
+  core::ResolverCounters merged;      // Σ per-worker resolver counters
+  core::ResolverCounters per_domain;  // Σ per-domain query_stats
+  uint64_t queries_sent = 0;
+  core::CutCacheStats cache;
+};
+
+// One full pipeline run on a fresh hostile world (fixed seed), measured
+// with `workers` threads.
+RunOutput RunStudy(int workers) {
+  worldgen::WorldConfig config;
+  config.scale = 0.02;
+  config.chaos = simnet::ChaosProfile::Hostile();
+  auto world = worldgen::BuildWorld(config);
+  auto bound = worldgen::MakeStudy(*world);
+  core::Study& study = *bound.study;
+  study.RunSelection();
+  study.RunMining();
+
+  core::MeasurerOptions mopts;
+  mopts.workers = workers;
+  study.RunActiveMeasurement(mopts);
+
+  RunOutput out;
+  out.resilience_json =
+      core::BuildResilienceReport(study.active()).ToJson();
+  out.export_json =
+      core::ExportReportJson(core::BuildReport(study, {"cn", "br"}));
+  out.merged = study.measurement_counters();
+  out.queries_sent = study.measurement_queries_sent();
+  out.cache = study.measurement_cache_stats();
+  for (const core::MeasurementResult& r : study.active().results) {
+    out.per_domain += r.query_stats;
+  }
+  return out;
+}
+
+TEST(ParallelMeasureTest, FourWorkersMatchSerialByteForByte) {
+  RunOutput serial = RunStudy(1);
+  RunOutput parallel = RunStudy(4);
+
+  // Headline equivalence: the resilience report and the full exported study
+  // report are byte-identical — no analysis can tell the runs apart.
+  EXPECT_EQ(serial.resilience_json, parallel.resilience_json);
+  EXPECT_EQ(serial.export_json, parallel.export_json);
+
+  // Counter reconciliation: the merged per-worker counters are exactly the
+  // sum of the per-domain attributions, in both runs — nothing the workers
+  // spent went unattributed, nothing was double-counted.
+  EXPECT_EQ(serial.merged, serial.per_domain);
+  EXPECT_EQ(parallel.merged, parallel.per_domain);
+  EXPECT_EQ(serial.merged, parallel.merged);
+  EXPECT_EQ(serial.queries_sent, parallel.queries_sent);
+  EXPECT_EQ(serial.queries_sent, serial.merged.queries);
+
+  // The run must have actually exercised the hostile weather and the shared
+  // cache, or the equivalence above would be vacuous.
+  EXPECT_GT(serial.merged.queries, 0u);
+  EXPECT_GT(serial.merged.retries, 0u);
+  EXPECT_GT(serial.cache.hits, 0u);
+  EXPECT_GT(serial.cache.publishes, 0u);
+  EXPECT_GT(parallel.cache.hits, 0u);
+}
+
+TEST(ParallelMeasureTest, RepeatedParallelRunsAreDeterministic) {
+  // Same seed, same worker count, two runs: thread scheduling differs, the
+  // outputs must not.
+  RunOutput a = RunStudy(4);
+  RunOutput b = RunStudy(4);
+  EXPECT_EQ(a.resilience_json, b.resilience_json);
+  EXPECT_EQ(a.export_json, b.export_json);
+  EXPECT_EQ(a.merged, b.merged);
+}
+
+TEST(ParallelMeasureTest, DefaultWorkerCountRuns) {
+  // workers = 0 (hardware concurrency) must behave like any explicit count.
+  RunOutput defaulted = RunStudy(0);
+  RunOutput serial = RunStudy(1);
+  EXPECT_EQ(defaulted.resilience_json, serial.resilience_json);
+  EXPECT_EQ(defaulted.export_json, serial.export_json);
+}
+
+}  // namespace
+}  // namespace govdns

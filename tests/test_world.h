@@ -11,6 +11,16 @@
 //     refused.gov.xx    served by a kRefuseAll host
 //     drift.gov.xx      parent lists {ns1,old}; child zone lists {ns1,new}
 //   ext.xx              ns1.ext.xx @ 10.0.5.1 (also serves glueless.gov.xx)
+//
+//   yy (TLD)            a.nic.yy  @ 10.0.10.1   (regression-test subtree)
+//   gov.yy              g1 @ 10.0.11.1 (honest) + g2 @ 10.0.11.2 (poisons
+//                       referrals for victim.gov.yy with an out-of-bailiwick
+//                       additional A record)
+//     victim.gov.yy     ns1/ns2.victim.gov.yy @ 10.0.12.1/.2, both healthy
+//     chain.gov.yy      parent lists only ns1 @ 10.0.13.1 whose zone copy
+//                       names {ns1,ns2}; ns2/ns3 @ 10.0.13.2/.3 serve a
+//                       newer copy naming {ns1,ns2,ns3} — the full NS set
+//                       only appears after a second expansion round
 #pragma once
 
 #include <memory>
@@ -152,6 +162,115 @@ class TinyInternet {
     drift_server_new = AddServer("nsnew.drift.gov.xx", {Ip(10, 0, 7, 2)});
     drift_server_new->AddZone(drift);
     // nsold @ 10.0.7.3: resolvable but nothing listens.
+
+    // --- yy TLD (kept separate from xx so its traffic cannot shift the
+    // global exchange ordinals any xx-path test depends on) ---
+    auto yy = AddZone("yy");
+    yy->Add(MakeNs(N("yy"), N("a.nic.yy")));
+    yy->Add(MakeSoa(N("yy"), N("a.nic.yy"), N("hostmaster.nic.yy"), 1));
+    yy->Add(MakeA(N("a.nic.yy"), Ip(10, 0, 10, 1)));
+    root->Add(MakeNs(N("yy"), N("a.nic.yy")));
+    root->Add(MakeA(N("a.nic.yy"), Ip(10, 0, 10, 1)));
+    yy_tld_server = AddServer("a.nic.yy", {Ip(10, 0, 10, 1)});
+    yy_tld_server->AddZone(yy);
+
+    // --- gov.yy: two parent servers; g2 poisons victim.gov.yy referrals ---
+    auto govyy = AddZone("gov.yy");
+    govyy->Add(MakeNs(N("gov.yy"), N("g1.nic.gov.yy")));
+    govyy->Add(MakeNs(N("gov.yy"), N("g2.nic.gov.yy")));
+    govyy->Add(MakeSoa(N("gov.yy"), N("g1.nic.gov.yy"),
+                       N("hostmaster.gov.yy"), 1));
+    govyy->Add(MakeA(N("g1.nic.gov.yy"), Ip(10, 0, 11, 1)));
+    govyy->Add(MakeA(N("g2.nic.gov.yy"), Ip(10, 0, 11, 2)));
+    yy->Add(MakeNs(N("gov.yy"), N("g1.nic.gov.yy")));
+    yy->Add(MakeNs(N("gov.yy"), N("g2.nic.gov.yy")));
+    yy->Add(MakeA(N("g1.nic.gov.yy"), Ip(10, 0, 11, 1)));
+    yy->Add(MakeA(N("g2.nic.gov.yy"), Ip(10, 0, 11, 2)));
+    gov_yy_server1 = AddServer("g1.nic.gov.yy", {Ip(10, 0, 11, 1)});
+    gov_yy_server1->AddZone(govyy);
+
+    // victim.gov.yy: an honestly-delegated two-host zone.
+    auto victim = AddZone("victim.gov.yy");
+    victim->Add(MakeNs(N("victim.gov.yy"), N("ns1.victim.gov.yy")));
+    victim->Add(MakeNs(N("victim.gov.yy"), N("ns2.victim.gov.yy")));
+    victim->Add(MakeSoa(N("victim.gov.yy"), N("ns1.victim.gov.yy"),
+                        N("hostmaster.victim.gov.yy"), 1));
+    victim->Add(MakeA(N("ns1.victim.gov.yy"), Ip(10, 0, 12, 1)));
+    victim->Add(MakeA(N("ns2.victim.gov.yy"), Ip(10, 0, 12, 2)));
+    govyy->Add(MakeNs(N("victim.gov.yy"), N("ns1.victim.gov.yy")));
+    govyy->Add(MakeNs(N("victim.gov.yy"), N("ns2.victim.gov.yy")));
+    govyy->Add(MakeA(N("ns1.victim.gov.yy"), Ip(10, 0, 12, 1)));
+    govyy->Add(MakeA(N("ns2.victim.gov.yy"), Ip(10, 0, 12, 2)));
+    victim_server1 = AddServer("ns1.victim.gov.yy", {Ip(10, 0, 12, 1)});
+    victim_server2 = AddServer("ns2.victim.gov.yy", {Ip(10, 0, 12, 2)});
+    victim_server1->AddZone(victim);
+    victim_server2->AddZone(victim);
+
+    // g2: answers gov.yy normally, except that referrals for anything under
+    // victim.gov.yy delegate to ns1 only while the additional section also
+    // smuggles an A record for ns2 pointing at an unrelated address — the
+    // classic out-of-bailiwick glue a measurement client must not swallow.
+    servers_.push_back(
+        std::make_unique<zone::AuthServer>("g2.nic.gov.yy",
+                                           zone::ServerMode::kNormal));
+    gov_yy_server2 = servers_.back().get();
+    gov_yy_server2->AddZone(govyy);
+    zone::AuthServer* g2 = gov_yy_server2;
+    net.AttachHandler(Ip(10, 0, 11, 2), [g2](const std::vector<uint8_t>& wire) {
+      auto query = dns::Message::Decode(wire);
+      if (!query.ok()) {
+        dns::Message err;
+        err.header.qr = true;
+        err.header.rcode = dns::Rcode::kFormErr;
+        return err.Encode();
+      }
+      const dns::Name victim_zone = dns::Name::FromString("victim.gov.yy");
+      if (!query->questions.empty() &&
+          query->questions[0].name.IsSubdomainOf(victim_zone)) {
+        dns::Message resp = dns::MakeResponse(*query, dns::Rcode::kNoError);
+        resp.header.aa = false;
+        resp.authority.push_back(
+            dns::MakeNs(victim_zone, dns::Name::FromString("ns1.victim.gov.yy")));
+        resp.additional.push_back(dns::MakeA(
+            dns::Name::FromString("ns1.victim.gov.yy"), Ip(10, 0, 12, 1)));
+        // The poison: ns2 is a real nameserver of victim.gov.yy, but *this*
+        // referral does not delegate to it, so its address must be ignored.
+        resp.additional.push_back(dns::MakeA(
+            dns::Name::FromString("ns2.victim.gov.yy"), Ip(10, 0, 9, 9)));
+        return resp.Encode();
+      }
+      return g2->Answer(*query).Encode();
+    });
+
+    // chain.gov.yy: the NS set only fully emerges by following servers that
+    // first appear in another server's authoritative answer. The parent
+    // knows just ns1; ns1's (older) zone copy names {ns1,ns2}; ns2 and ns3
+    // serve a newer copy naming {ns1,ns2,ns3}.
+    auto chain_old = AddZone("chain.gov.yy");
+    chain_old->Add(MakeNs(N("chain.gov.yy"), N("ns1.chain.gov.yy")));
+    chain_old->Add(MakeNs(N("chain.gov.yy"), N("ns2.chain.gov.yy")));
+    chain_old->Add(MakeSoa(N("chain.gov.yy"), N("ns1.chain.gov.yy"),
+                           N("hostmaster.chain.gov.yy"), 1));
+    chain_old->Add(MakeA(N("ns1.chain.gov.yy"), Ip(10, 0, 13, 1)));
+    chain_old->Add(MakeA(N("ns2.chain.gov.yy"), Ip(10, 0, 13, 2)));
+    chain_old->Add(MakeA(N("ns3.chain.gov.yy"), Ip(10, 0, 13, 3)));
+    auto chain_new = AddZone("chain.gov.yy");
+    chain_new->Add(MakeNs(N("chain.gov.yy"), N("ns1.chain.gov.yy")));
+    chain_new->Add(MakeNs(N("chain.gov.yy"), N("ns2.chain.gov.yy")));
+    chain_new->Add(MakeNs(N("chain.gov.yy"), N("ns3.chain.gov.yy")));
+    chain_new->Add(MakeSoa(N("chain.gov.yy"), N("ns1.chain.gov.yy"),
+                           N("hostmaster.chain.gov.yy"), 2));
+    chain_new->Add(MakeA(N("ns1.chain.gov.yy"), Ip(10, 0, 13, 1)));
+    chain_new->Add(MakeA(N("ns2.chain.gov.yy"), Ip(10, 0, 13, 2)));
+    chain_new->Add(MakeA(N("ns3.chain.gov.yy"), Ip(10, 0, 13, 3)));
+    govyy->Add(MakeNs(N("chain.gov.yy"), N("ns1.chain.gov.yy")));
+    govyy->Add(MakeA(N("ns1.chain.gov.yy"), Ip(10, 0, 13, 1)));
+    chain_server1 = AddServer("ns1.chain.gov.yy", {Ip(10, 0, 13, 1)});
+    chain_server1->AddZone(chain_old);
+    chain_server2 = AddServer("ns2.chain.gov.yy", {Ip(10, 0, 13, 2)});
+    chain_server2->AddZone(chain_new);
+    chain_server3 = AddServer("ns3.chain.gov.yy", {Ip(10, 0, 13, 3)});
+    chain_server3->AddZone(chain_new);
   }
 
   static geo::IPv4 Ip(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
@@ -171,6 +290,14 @@ class TinyInternet {
   zone::AuthServer* refused_server = nullptr;
   zone::AuthServer* drift_server = nullptr;
   zone::AuthServer* drift_server_new = nullptr;
+  zone::AuthServer* yy_tld_server = nullptr;
+  zone::AuthServer* gov_yy_server1 = nullptr;
+  zone::AuthServer* gov_yy_server2 = nullptr;
+  zone::AuthServer* victim_server1 = nullptr;
+  zone::AuthServer* victim_server2 = nullptr;
+  zone::AuthServer* chain_server1 = nullptr;
+  zone::AuthServer* chain_server2 = nullptr;
+  zone::AuthServer* chain_server3 = nullptr;
 
  private:
   std::shared_ptr<zone::Zone> AddZone(const char* origin) {

@@ -18,4 +18,19 @@ cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}"
 
-echo "==> verify OK (release + sanitized)"
+echo "==> tier-1: tsan build + concurrency suites"
+# The sharded measurement pool (shared cut cache, SimNetwork striping,
+# per-worker merges) must be race-free, not just correct-when-lucky. Run the
+# suites that exercise the parallel path under ThreadSanitizer; the binaries
+# are invoked directly so gtest filters stay simple and reliable.
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "${JOBS}" --target \
+  simnet_test resolver_test measure_test parallel_measure_test \
+  chaos_resilience_test
+for t in simnet_test resolver_test measure_test parallel_measure_test \
+         chaos_resilience_test; do
+  echo "==> tsan: ${t}"
+  "./build-tsan/tests/${t}"
+done
+
+echo "==> verify OK (release + sanitized + tsan)"
