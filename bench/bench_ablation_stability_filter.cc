@@ -1,12 +1,15 @@
 // Ablation: the §III-C stability filter threshold.
 //
-// The paper keeps PDNS records whose first-to-last-seen span is at least 7
-// days (the largest default cache TTL among popular resolvers), arguing
-// that shorter-lived records are transients (misconfigurations, DDoS
-// protection switches, expirations). This sweep re-mines the dataset at
-// thresholds 1..30 days and reports how the 2020 domain count and the
-// d_1NS population react: low thresholds admit junk records, high ones
-// start dropping genuinely stable deployments.
+// The paper keeps PDNS records whose first-to-last-seen *gap* is at least 7
+// days — `last_seen − first_seen >= stability_days`, the largest default
+// cache TTL among popular resolvers — arguing that shorter-lived records
+// are transients (misconfigurations, DDoS protection switches,
+// expirations). Note the gap, not the inclusive calendar length: a record
+// seen on 7 consecutive days has a 6-day gap and is dropped at the default
+// threshold (see mining.h). This sweep re-mines the dataset at thresholds
+// 1..30 days and reports how the 2020 domain count and the d_1NS population
+// react: low thresholds admit junk records, high ones start dropping
+// genuinely stable deployments.
 #include <iostream>
 
 #include "bench/common.h"

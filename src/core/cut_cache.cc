@@ -35,6 +35,11 @@ std::optional<SharedCutCache::Entry> SharedCutCache::Lookup(
 }
 
 void SharedCutCache::Publish(const dns::Name& cut, Entry entry) {
+  if (trace_log_ != nullptr) {
+    trace_log_->Record(cut.ToString(), /*reachable=*/true,
+                       static_cast<uint32_t>(entry.ns_names.size()),
+                       static_cast<uint32_t>(entry.addresses.size()));
+  }
   Stripe& stripe = StripeFor(cut);
   {
     std::lock_guard lock(stripe.mu);
@@ -51,6 +56,11 @@ void SharedCutCache::PublishUnreachable(const dns::Name& cut,
   entry.ns_names = std::move(ns_names);
   entry.reachable = false;
   entry.expires_ms = expires_ms;
+  if (trace_log_ != nullptr) {
+    trace_log_->Record(cut.ToString(), /*reachable=*/false,
+                       static_cast<uint32_t>(entry.ns_names.size()),
+                       /*addr_count=*/0);
+  }
   Stripe& stripe = StripeFor(cut);
   {
     std::lock_guard lock(stripe.mu);

@@ -32,6 +32,7 @@
 #include "core/resolver.h"
 #include "dns/name.h"
 #include "geo/ipv4.h"
+#include "obs/trace.h"
 
 namespace govdns::core {
 
@@ -70,6 +71,11 @@ class SharedCutCache {
 
   void ChargeInfra(const ResolverCounters& effort);
 
+  // Wires a publish log (not owned; may be null). Raw publish order and
+  // multiplicity are scheduling-dependent, but entry *content* is hermetic
+  // per zone, so the log's sorted/deduped snapshot is deterministic.
+  void set_trace_log(obs::CutTraceLog* log) { trace_log_ = log; }
+
   size_t size() const;
   void Clear();
   CutCacheStats stats() const;  // snapshot
@@ -85,6 +91,7 @@ class SharedCutCache {
   std::vector<std::unique_ptr<Stripe>> stripes_;
   mutable std::mutex stats_mu_;
   mutable CutCacheStats stats_;
+  obs::CutTraceLog* trace_log_ = nullptr;
 };
 
 }  // namespace govdns::core

@@ -8,6 +8,10 @@ namespace govdns::core {
 
 namespace {
 
+const char* DeterminismName(obs::Determinism det) {
+  return det == obs::Determinism::kStable ? "stable" : "diagnostic";
+}
+
 void WriteProviderTable(util::JsonWriter& json, const ProviderYearTable& t) {
   json.BeginObject();
   json.Kv("year", t.year);
@@ -180,6 +184,147 @@ std::string ExportReportJson(const StudyReport& report) {
   }
   json.EndObject();
   json.EndObject();
+
+  const ResilienceReport& res = report.resilience;
+  json.Key("resilience").BeginObject();
+  json.Kv("domains", res.domains);
+  json.Kv("degraded_domains", res.degraded_domains);
+  json.Kv("queries", int64_t(res.totals.queries));
+  json.Kv("retries", int64_t(res.totals.retries));
+  json.Kv("timeouts", int64_t(res.totals.timeouts));
+  json.Kv("breaker_skips", int64_t(res.totals.breaker_skips));
+  json.Kv("negative_cache_hits", int64_t(res.totals.negative_cache_hits));
+  json.Kv("budget_denied", int64_t(res.totals.budget_denied));
+  json.Kv("max_queries_one_domain", int64_t(res.max_queries_one_domain));
+  json.Kv("avg_queries_per_domain", res.avg_queries_per_domain);
+  json.Kv("total_logical_ms", int64_t(res.total_logical_ms));
+  json.Kv("max_logical_ms_one_domain",
+          int64_t(res.max_logical_ms_one_domain));
+  json.EndObject();
+
+  json.Key("profile").BeginArray();
+  for (const obs::PhaseRecord& r : report.profile) {
+    json.BeginObject();
+    json.Kv("name", r.name);
+    json.Kv("items", r.items);
+    json.Kv("logical_ms", int64_t(r.logical_ms));
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string ExportMetricsJson(const obs::MetricsSnapshot& snapshot) {
+  util::JsonWriter json;
+  json.BeginObject();
+
+  json.Key("counters").BeginArray();
+  for (const auto& c : snapshot.counters) {
+    json.BeginObject();
+    json.Kv("name", c.name);
+    json.Key("value").Uint(c.value);
+    json.Kv("determinism", DeterminismName(c.determinism));
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("gauges").BeginArray();
+  for (const auto& g : snapshot.gauges) {
+    json.BeginObject();
+    json.Kv("name", g.name);
+    json.Kv("value", g.value);
+    json.Kv("determinism", DeterminismName(g.determinism));
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("histograms").BeginArray();
+  for (const auto& h : snapshot.histograms) {
+    json.BeginObject();
+    json.Kv("name", h.name);
+    json.Kv("determinism", DeterminismName(h.determinism));
+    json.Key("count").Uint(h.data.count);
+    json.Key("sum").Uint(h.data.sum);
+    json.Key("min").Uint(h.data.count > 0 ? h.data.min : 0);
+    json.Key("max").Uint(h.data.max);
+    // Trailing empty buckets are elided; index i counts values with
+    // bit_width i (bucket 0 = zeros).
+    int last = obs::HistogramData::kBuckets;
+    while (last > 0 && h.data.buckets[last - 1] == 0) --last;
+    json.Key("buckets").BeginArray();
+    for (int i = 0; i < last; ++i) json.Uint(h.data.buckets[i]);
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string ExportMetricsCsv(const obs::MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "kind,name,determinism,count,sum,min,max\n";
+  for (const auto& c : snapshot.counters) {
+    os << "counter," << c.name << ',' << DeterminismName(c.determinism) << ','
+       << c.value << ",,,\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    os << "gauge," << g.name << ',' << DeterminismName(g.determinism) << ','
+       << g.value << ",,,\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    os << "histogram," << h.name << ',' << DeterminismName(h.determinism)
+       << ',' << h.data.count << ',' << h.data.sum << ','
+       << (h.data.count > 0 ? h.data.min : 0) << ',' << h.data.max << '\n';
+  }
+  return os.str();
+}
+
+std::string ExportTraceJson(const obs::TraceRing& traces,
+                            const obs::CutTraceLog& cut_log) {
+  util::JsonWriter json;
+  json.BeginObject();
+
+  json.Key("config").BeginObject();
+  json.Key("sample_period").Uint(traces.config().sample_period);
+  json.Key("max_domains").Uint(traces.config().max_domains);
+  json.Key("max_events_per_domain").Uint(traces.config().max_events_per_domain);
+  json.EndObject();
+
+  json.Key("folded_domains").Uint(traces.folded_total());
+
+  json.Key("domains").BeginArray();
+  for (const obs::DomainTrace* trace : traces.Entries()) {
+    json.BeginObject();
+    json.Kv("domain", trace->domain());
+    json.Key("dropped").Uint(trace->dropped());
+    json.Key("events").BeginArray();
+    for (const obs::TraceEvent& e : trace->events()) {
+      json.BeginObject();
+      json.Kv("kind", obs::TraceEventKindName(e.kind));
+      json.Key("at_ms").Uint(e.at_ms);
+      if (e.server != 0) json.Key("server").Uint(e.server);
+      if (e.aux != 0) json.Kv("aux", int(e.aux));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("cut_log").BeginArray();
+  for (const obs::CutTraceLog::Entry& entry : cut_log.Snapshot()) {
+    json.BeginObject();
+    json.Kv("zone", entry.zone);
+    json.Kv("reachable", entry.reachable);
+    json.Key("ns").Uint(entry.ns_count);
+    json.Key("addrs").Uint(entry.addr_count);
+    json.EndObject();
+  }
+  json.EndArray();
 
   json.EndObject();
   return json.TakeString();

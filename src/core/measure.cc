@@ -43,40 +43,143 @@ ActiveMeasurer::ActiveMeasurer(dns::QueryTransport* transport,
   GOVDNS_CHECK(transport != nullptr);
   GOVDNS_CHECK(!roots_.empty());
   resolver_options_.shared_cache = shared_cache_.get();
+  if (options_.obs != nullptr) {
+    shared_cache_->set_trace_log(&options_.obs->cut_log());
+  }
 }
 
 ActiveMeasurer::~ActiveMeasurer() = default;
 
+// Well-known measurement metrics. Everything here is kStable: per-domain
+// query_stats and logical_ms are pure functions of (world seed, domain), so
+// their sums and histograms are worker-count independent by construction.
+struct ActiveMeasurer::MetricIds {
+  int domains;
+  int degraded;
+  int second_rounds;
+  int queries;
+  int retries;
+  int timeouts;
+  int backoff_ms;
+  int breaker_skips;
+  int negative_cache_hits;
+  int budget_denied;
+  int h_queries;
+  int h_logical;
+
+  static MetricIds Declare(obs::MetricsRegistry& m) {
+    MetricIds ids;
+    ids.domains = m.DeclareCounter("measure.domains");
+    ids.degraded = m.DeclareCounter("measure.degraded_domains");
+    ids.second_rounds = m.DeclareCounter("measure.second_rounds");
+    ids.queries = m.DeclareCounter("measure.queries");
+    ids.retries = m.DeclareCounter("measure.retries");
+    ids.timeouts = m.DeclareCounter("measure.timeouts");
+    ids.backoff_ms = m.DeclareCounter("measure.backoff_ms");
+    ids.breaker_skips = m.DeclareCounter("measure.breaker_skips");
+    ids.negative_cache_hits = m.DeclareCounter("measure.negative_cache_hits");
+    ids.budget_denied = m.DeclareCounter("measure.budget_denied");
+    ids.h_queries = m.DeclareHistogram("measure.queries_per_domain");
+    ids.h_logical = m.DeclareHistogram("measure.logical_ms_per_domain");
+    return ids;
+  }
+
+  void Observe(obs::MetricsShard& shard, const MeasurementResult& r) const {
+    shard.Add(domains, 1);
+    if (r.degraded) shard.Add(degraded, 1);
+    if (r.rounds > 1) shard.Add(second_rounds, 1);
+    shard.Add(queries, r.query_stats.queries);
+    shard.Add(retries, r.query_stats.retries);
+    shard.Add(timeouts, r.query_stats.timeouts);
+    shard.Add(backoff_ms, r.query_stats.backoff_ms);
+    shard.Add(breaker_skips, r.query_stats.breaker_skips);
+    shard.Add(negative_cache_hits, r.query_stats.negative_cache_hits);
+    shard.Add(budget_denied, r.query_stats.budget_denied);
+    shard.Observe(h_queries, r.query_stats.queries);
+    shard.Observe(h_logical, r.logical_ms);
+  }
+};
+
+bool ActiveMeasurer::WantTrace(const dns::Name& domain) const {
+  return options_.obs != nullptr &&
+         options_.obs->traces().Sampled(domain.ToString());
+}
+
+void ActiveMeasurer::PublishCacheGauges() {
+  if (options_.obs == nullptr || shared_cache_ == nullptr) return;
+  obs::MetricsRegistry& m = options_.obs->metrics();
+  const CutCacheStats cs = shared_cache_->stats();
+  // All diagnostic: hit/miss splits and infra effort depend on which worker
+  // warmed the cache first (DESIGN.md §6c).
+  using obs::Determinism;
+  m.SetGauge("cutcache.size", static_cast<int64_t>(shared_cache_->size()),
+             Determinism::kDiagnostic);
+  m.SetGauge("cutcache.hits", static_cast<int64_t>(cs.hits),
+             Determinism::kDiagnostic);
+  m.SetGauge("cutcache.misses", static_cast<int64_t>(cs.misses),
+             Determinism::kDiagnostic);
+  m.SetGauge("cutcache.negative_hits", static_cast<int64_t>(cs.negative_hits),
+             Determinism::kDiagnostic);
+  m.SetGauge("cutcache.publishes", static_cast<int64_t>(cs.publishes),
+             Determinism::kDiagnostic);
+  m.SetGauge("cutcache.negative_publishes",
+             static_cast<int64_t>(cs.negative_publishes),
+             Determinism::kDiagnostic);
+  m.SetGauge("cutcache.infra_queries", static_cast<int64_t>(cs.infra.queries),
+             Determinism::kDiagnostic);
+}
+
 MeasurementResult ActiveMeasurer::Measure(const dns::Name& domain) {
-  if (resolver_ != nullptr) return MeasureWith(*resolver_, domain);
-  IterativeResolver resolver(transport_, roots_, resolver_options_);
-  MeasurementResult result = MeasureWith(resolver, domain);
-  merged_counters_ += resolver.counters();
-  merged_queries_sent_ += resolver.queries_sent();
+  std::optional<obs::DomainTrace> slot;
+  std::optional<obs::DomainTrace>* slot_ptr = WantTrace(domain) ? &slot : nullptr;
+  MeasurementResult result;
+  if (resolver_ != nullptr) {
+    result = MeasureWith(*resolver_, domain, slot_ptr);
+  } else {
+    IterativeResolver resolver(transport_, roots_, resolver_options_);
+    result = MeasureWith(resolver, domain, slot_ptr);
+    merged_counters_ += resolver.counters();
+    merged_queries_sent_ += resolver.queries_sent();
+  }
+  if (slot.has_value()) options_.obs->traces().Fold(std::move(*slot));
   return result;
 }
 
-MeasurementResult ActiveMeasurer::MeasureWith(IterativeResolver& resolver,
-                                              const dns::Name& domain) {
+MeasurementResult ActiveMeasurer::MeasureWith(
+    IterativeResolver& resolver, const dns::Name& domain,
+    std::optional<obs::DomainTrace>* trace_slot) {
   MeasurementResult result;
   result.domain = domain;
   // In engine mode the scope makes everything below a pure function of
   // (world seed, domain): no-op otherwise.
   resolver.BeginDomainScope(domain);
+  obs::DomainTrace* trace = nullptr;
+  if (trace_slot != nullptr) {
+    trace_slot->emplace(domain.ToString(),
+                        options_.obs->traces().config().max_events_per_domain);
+    trace = &trace_slot->value();
+    resolver.set_trace(trace);
+  }
+  // Timed on the transport's logical clock; in engine mode the domain-scope
+  // clock, so the timing is deterministic like everything else in scope.
+  const uint64_t t0 = resolver.now_ms();
   // Charge everything this domain costs — including resolution detours —
   // against one hard budget, and attribute the per-outcome counters to it.
   const ResolverCounters before = resolver.counters();
   resolver.ArmQueryBudget(options_.max_queries_per_domain);
-  MeasureInternal(resolver, result);
+  MeasureInternal(resolver, result, trace);
   result.degraded = resolver.BudgetExhausted();
   resolver.DisarmQueryBudget();
   result.query_stats = resolver.counters() - before;
+  result.logical_ms = resolver.now_ms() - t0;
+  if (trace != nullptr) resolver.set_trace(nullptr);
   resolver.EndDomainScope();
   return result;
 }
 
 void ActiveMeasurer::MeasureInternal(IterativeResolver& resolver,
-                                     MeasurementResult& result) {
+                                     MeasurementResult& result,
+                                     obs::DomainTrace* trace) {
   const dns::Name& domain = result.domain;
 
   // --- Step 1: find and query the parent zone's servers. ------------------
@@ -114,8 +217,17 @@ void ActiveMeasurer::MeasureInternal(IterativeResolver& resolver,
       // server padding unrelated addresses) must not become a nameserver
       // address we measure — or worse, credit to the domain's deployment.
       for (const dns::ResourceRecord& rr : m.additional) {
-        if (rr.type() == dns::RRType::kA && referral_targets.contains(rr.name)) {
+        if (rr.type() != dns::RRType::kA) continue;
+        const uint32_t bits = std::get<dns::ARdata>(rr.rdata).address.bits();
+        if (referral_targets.contains(rr.name)) {
           parent_glue.push_back(rr);
+          if (trace != nullptr) {
+            trace->Record(obs::TraceEventKind::kGlueAccepted,
+                          resolver.now_ms(), bits);
+          }
+        } else if (trace != nullptr) {
+          trace->Record(obs::TraceEventKind::kGlueRejected, resolver.now_ms(),
+                        bits);
         }
       }
     } else if (reply.outcome == QueryOutcome::kAuthAnswer) {
@@ -192,6 +304,9 @@ void ActiveMeasurer::MeasureInternal(IterativeResolver& resolver,
   // --- Round 2 (§III-B): parent had records but no child ever answered. ---
   if (options_.second_round && !result.child_any_authoritative) {
     result.rounds = 2;
+    if (trace != nullptr) {
+      trace->Record(obs::TraceEventKind::kRound2, resolver.now_ms());
+    }
     QueryChildServers(resolver, result);
   }
 }
@@ -278,14 +393,21 @@ void ActiveMeasurer::QueryChildServers(IterativeResolver& resolver,
 
 std::vector<MeasurementResult> ActiveMeasurer::MeasureAll(
     const std::vector<dns::Name>& domains) {
+  obs::Observability* obs = options_.obs;
   if (resolver_ != nullptr) {
     std::vector<MeasurementResult> out;
     out.reserve(domains.size());
     for (const dns::Name& domain : domains) {
-      out.push_back(Measure(domain));
+      out.push_back(Measure(domain));  // folds traces in input order
     }
     merged_counters_ = resolver_->counters();
     merged_queries_sent_ = resolver_->queries_sent();
+    if (obs != nullptr) {
+      const MetricIds ids = MetricIds::Declare(obs->metrics());
+      std::unique_ptr<obs::MetricsShard> shard = obs->metrics().NewShard();
+      for (const MeasurementResult& r : out) ids.Observe(*shard, r);
+      obs->metrics().Absorb(*shard);
+    }
     return out;
   }
 
@@ -301,19 +423,35 @@ std::vector<MeasurementResult> ActiveMeasurer::MeasureAll(
     workers = static_cast<int>(domains.size());
   }
 
+  // Observability mirrors the worker ownership split: each worker updates a
+  // private metrics shard (commutative sums, absorbed post-join) and writes
+  // each sampled domain's trace into its input-index slot, folded into the
+  // ring post-join in input order — both therefore worker-count independent.
+  std::optional<MetricIds> ids;
+  if (obs != nullptr) ids = MetricIds::Declare(obs->metrics());
+  std::vector<std::optional<obs::DomainTrace>> trace_slots(
+      obs != nullptr ? domains.size() : 0);
+  std::vector<std::unique_ptr<obs::MetricsShard>> worker_shards(workers);
+
   std::vector<MeasurementResult> out(domains.size());
   std::atomic<size_t> next{0};
   std::vector<ResolverCounters> worker_counters(workers);
   std::vector<uint64_t> worker_queries(workers, 0);
   auto run = [&](int w) {
     IterativeResolver resolver(transport_, roots_, resolver_options_);
+    std::unique_ptr<obs::MetricsShard> shard =
+        ids.has_value() ? obs->metrics().NewShard() : nullptr;
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= domains.size()) break;
-      out[i] = MeasureWith(resolver, domains[i]);
+      std::optional<obs::DomainTrace>* slot =
+          WantTrace(domains[i]) ? &trace_slots[i] : nullptr;
+      out[i] = MeasureWith(resolver, domains[i], slot);
+      if (shard != nullptr) ids->Observe(*shard, out[i]);
     }
     worker_counters[w] = resolver.counters();
     worker_queries[w] = resolver.queries_sent();
+    worker_shards[w] = std::move(shard);
   };
   if (workers == 1) {
     run(0);
@@ -329,6 +467,15 @@ std::vector<MeasurementResult> ActiveMeasurer::MeasureAll(
   for (int w = 0; w < workers; ++w) {
     merged_counters_ += worker_counters[w];
     merged_queries_sent_ += worker_queries[w];
+  }
+  if (obs != nullptr) {
+    for (auto& shard : worker_shards) {
+      if (shard != nullptr) obs->metrics().Absorb(*shard);
+    }
+    for (std::optional<obs::DomainTrace>& slot : trace_slots) {
+      if (slot.has_value()) obs->traces().Fold(std::move(*slot));
+    }
+    PublishCacheGauges();
   }
   return out;
 }

@@ -33,6 +33,7 @@
 
 #include "core/resolver.h"
 #include "dns/rr.h"
+#include "obs/obs.h"
 
 namespace govdns::core {
 
@@ -79,6 +80,9 @@ struct MeasurementResult {
   // measurement short — a degraded result may under-report live servers.
   ResolverCounters query_stats;
   bool degraded = false;
+  // Logical (transport-clock) time this measurement consumed. In engine
+  // mode a pure function of (world seed, domain), like query_stats.
+  uint64_t logical_ms = 0;
 
   // All distinct addresses of the domain's nameservers (for Table I).
   std::vector<geo::IPv4> NsAddresses() const;
@@ -95,6 +99,12 @@ struct MeasurerOptions {
   // Worker threads used by MeasureAll in pool mode; 0 picks
   // std::thread::hardware_concurrency(). Ignored in legacy serial mode.
   int workers = 0;
+  // Observability sink (not owned; may be null). When set, the measurer
+  // folds per-worker metric shards into obs->metrics(), samples per-domain
+  // traces into obs->traces() (folded in input order, so the retained set
+  // is worker-count independent), and wires the shared cut cache's publish
+  // log to obs->cut_log().
+  obs::Observability* obs = nullptr;
 };
 
 class ActiveMeasurer {
@@ -131,11 +141,22 @@ class ActiveMeasurer {
   const SharedCutCache* shared_cache() const { return shared_cache_.get(); }
 
  private:
+  // Well-known metric ids, declared once per run on the attached registry.
+  struct MetricIds;
+
+  // `trace_slot`, when non-null, receives this domain's event log; the
+  // caller owns folding it into the ring (in input order).
   MeasurementResult MeasureWith(IterativeResolver& resolver,
-                                const dns::Name& domain);
-  void MeasureInternal(IterativeResolver& resolver, MeasurementResult& result);
+                                const dns::Name& domain,
+                                std::optional<obs::DomainTrace>* trace_slot);
+  void MeasureInternal(IterativeResolver& resolver, MeasurementResult& result,
+                       obs::DomainTrace* trace);
   void QueryChildServers(IterativeResolver& resolver,
                          MeasurementResult& result);
+  // True when obs is attached and this domain falls in the trace sample.
+  bool WantTrace(const dns::Name& domain) const;
+  // Post-run bookkeeping: cut-cache gauges on the attached registry.
+  void PublishCacheGauges();
 
   IterativeResolver* resolver_ = nullptr;     // legacy serial mode
   dns::QueryTransport* transport_ = nullptr;  // pool mode

@@ -31,7 +31,15 @@ bool PdnsMiner::LooksDisposable(const dns::Name& name) {
 MinedDataset PdnsMiner::Mine(const std::vector<SeedDomain>& seeds) {
   MinedDataset out;
   out.config = config_;
+  out.stats.seeds = static_cast<int64_t>(seeds.size());
   const int years = config_.year_count();
+
+  // §III-C stability predicate: the first-to-last-seen *gap* must reach the
+  // threshold. Deliberately not LengthDays(), which is one day longer (see
+  // mining.h).
+  auto stable = [this](const pdns::PdnsEntry& entry) {
+    return entry.seen.last - entry.seen.first >= config_.stability_days;
+  };
 
   std::unordered_map<std::string, int32_t> intern;
   auto intern_ns = [&](const std::string& ns) -> int32_t {
@@ -72,10 +80,14 @@ MinedDataset PdnsMiner::Mine(const std::vector<SeedDomain>& seeds) {
 
       for (size_t k = i; k < j; ++k) {
         const pdns::PdnsEntry& entry = entries[k];
-        if (entry.seen.Overlaps(config_.active_window)) {
+        ++out.stats.entries_scanned;
+        const bool is_stable = stable(entry);
+        if (!is_stable) ++out.stats.entries_unstable;
+        if (entry.seen.Overlaps(config_.active_window) &&
+            (is_stable || !config_.require_stable_for_active)) {
           domain.in_active_window = true;
         }
-        if (entry.seen.LengthDays() < config_.stability_days) continue;
+        if (!is_stable) continue;
         for (int y = 0; y < years; ++y) {
           if (entry.seen.last < year_start[y] || entry.seen.first > year_end[y])
             continue;
@@ -90,7 +102,7 @@ MinedDataset PdnsMiner::Mine(const std::vector<SeedDomain>& seeds) {
         std::map<util::CivilDay, int> delta;
         for (size_t k = i; k < j; ++k) {
           const pdns::PdnsEntry& entry = entries[k];
-          if (entry.seen.LengthDays() < config_.stability_days) continue;
+          if (!stable(entry)) continue;
           util::CivilDay from = std::max(entry.seen.first, year_start[y]);
           util::CivilDay to = std::min(entry.seen.last, year_end[y]);
           if (from > to) continue;
@@ -144,6 +156,9 @@ MinedDataset PdnsMiner::Mine(const std::vector<SeedDomain>& seeds) {
         ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
       }
 
+      ++out.stats.domains;
+      if (domain.disposable) ++out.stats.domains_disposable;
+      if (domain.in_active_window) ++out.stats.domains_in_active_window;
       out.domains.push_back(std::move(domain));
       i = j;
     }

@@ -1,12 +1,23 @@
 // Passive-DNS mining (§III-B/C, Figures 2, 3, 6, 7).
 //
 // From each seed d_gov, a left-hand wildcard search discovers every zone in
-// the government namespace. Records are stability-filtered (first-seen to
-// last-seen spans at least `stability_days`, default 7 — the largest
-// resolver cache TTL the paper surveys), and each domain-year is summarized
-// by the mode of its daily nameserver counts (paper Fig. 5). The miner also
-// derives the active-measurement query list: domains seen in the collection
-// window, minus disposable-looking names.
+// the government namespace. Records are stability-filtered, and each
+// domain-year is summarized by the mode of its daily nameserver counts
+// (paper Fig. 5). The miner also derives the active-measurement query list:
+// domains seen in the collection window, minus disposable-looking names.
+//
+// Stability predicate (§III-C): a record is stable when
+//
+//     last_seen − first_seen >= stability_days      (default 7)
+//
+// i.e. the *gap* between first and last sighting must reach the threshold —
+// the paper's own formulation, chosen because 7 days is the largest default
+// cache TTL among the resolvers it surveys. Note this is NOT the inclusive
+// calendar length `DayInterval::LengthDays()` (= last − first + 1): a record
+// seen on day 0 and day 6 spans 7 calendar days but only a 6-day gap, and is
+// dropped. An earlier revision tested `LengthDays() < stability_days`, which
+// let such records through — one day of transient junk per record slipped
+// into every yearly series (see MinerTest.StabilityBoundaryMatchesPaper).
 #pragma once
 
 #include <map>
@@ -27,13 +38,23 @@ enum class YearlyStatistic { kMode, kMin, kMax, kMean };
 struct MiningConfig {
   int first_year = 2011;
   int last_year = 2020;
-  // Minimum record lifetime (inclusive, days) to be considered stable.
+  // Minimum first-seen-to-last-seen gap (days) for a record to be stable:
+  // keep iff last_seen − first_seen >= stability_days (see file comment).
   int stability_days = 7;
   YearlyStatistic statistic = YearlyStatistic::kMode;
   // The active-collection window (paper: 2020-01-01 .. 2021-02).
   util::DayInterval active_window{util::DayFromYmd(2020, 1, 1),
                                   util::DayFromYmd(2021, 2, 15)};
   bool filter_disposable = true;
+  // Whether a PDNS entry must also pass the stability filter to pull its
+  // domain into the active-measurement window. The paper-faithful default is
+  // false: §III-B extracts raw FQDNs seen during the collection window for
+  // querying (transients are then handled by the second round and the
+  // responsiveness funnel), while the §III-C stability filter applies only
+  // to the longitudinal series. Set true to require a stable sighting — an
+  // ablation-style tightening that keeps one-day wonders out of the query
+  // list entirely.
+  bool require_stable_for_active = false;
 
   int year_count() const { return last_year - first_year + 1; }
 };
@@ -59,10 +80,25 @@ struct MinedDomain {
   }
 };
 
+// Deterministic bookkeeping of one Mine() pass. Pure function of (database,
+// seeds, config); the study folds it into the observability metrics so the
+// mining stage is not a black box between selection and measurement.
+struct MiningStats {
+  int64_t seeds = 0;
+  int64_t entries_scanned = 0;     // PDNS entries examined
+  int64_t entries_unstable = 0;    // dropped by the stability filter
+  int64_t domains = 0;             // distinct owner names mined
+  int64_t domains_disposable = 0;  // matching the disposable heuristic
+  int64_t domains_in_active_window = 0;
+
+  friend bool operator==(const MiningStats&, const MiningStats&) = default;
+};
+
 struct MinedDataset {
   MiningConfig config;
   std::vector<MinedDomain> domains;
   std::vector<std::string> ns_names;  // interned hostname table
+  MiningStats stats;
 
   const std::string& NsName(int32_t id) const { return ns_names[id]; }
 };

@@ -17,6 +17,9 @@ ResilienceReport BuildResilienceReport(const ActiveDataset& dataset) {
     report.totals += r.query_stats;
     report.max_queries_one_domain =
         std::max(report.max_queries_one_domain, r.query_stats.queries);
+    report.total_logical_ms += r.logical_ms;
+    report.max_logical_ms_one_domain =
+        std::max(report.max_logical_ms_one_domain, r.logical_ms);
   }
   if (report.domains > 0) {
     report.avg_queries_per_domain =
@@ -44,6 +47,8 @@ std::string ResilienceReport::ToJson() const {
       .Kv("budget_denied", int64_t(totals.budget_denied))
       .Kv("max_queries_one_domain", int64_t(max_queries_one_domain))
       .Kv("avg_queries_per_domain", avg_queries_per_domain)
+      .Kv("total_logical_ms", int64_t(total_logical_ms))
+      .Kv("max_logical_ms_one_domain", int64_t(max_logical_ms_one_domain))
       .EndObject();
   return w.TakeString();
 }
@@ -56,24 +61,60 @@ StudyReport BuildReport(Study& study,
   report.pdns_per_year = CountPerYear(study.mined());
   report.funnel = study.active().ComputeFunnel();
 
-  report.replication = AnalyzeReplication(study.active());
-  report.diversity = AnalyzeDiversity(study.active(), *study.inputs().asn_db,
-                                      diversity_countries);
-  report.d1ns_churn = D1nsChurn(study.mined());
-  report.private_share = PrivateShare(study.mined(), study.seeds());
+  // Analyzers run over in-memory datasets — no transport, so logical time is
+  // structurally zero; each phase still records item counts and (diagnostic)
+  // wall time. `items` is the number of measured domains each analyzer
+  // consumed unless noted.
+  obs::PhaseProfiler prof;
+  const int64_t active_n = static_cast<int64_t>(study.active().results.size());
+  const int64_t mined_n = static_cast<int64_t>(study.mined().domains.size());
+  auto analyze = [&](const char* name, int64_t items, auto&& body) {
+    obs::PhaseProfiler::Scope phase(&prof, name);
+    phase.set_items(items);
+    body();
+  };
+
+  analyze("analyze.replication", active_n, [&] {
+    report.replication = AnalyzeReplication(study.active());
+  });
+  analyze("analyze.diversity", active_n, [&] {
+    report.diversity = AnalyzeDiversity(study.active(), *study.inputs().asn_db,
+                                        diversity_countries);
+  });
+  analyze("analyze.d1ns_churn", mined_n, [&] {
+    report.d1ns_churn = D1nsChurn(study.mined());
+  });
+  analyze("analyze.private_share", mined_n, [&] {
+    report.private_share = PrivateShare(study.mined(), study.seeds());
+  });
 
   static const ProviderMatcher kMatcher(DefaultProviderRules());
   ProviderAnalyzer analyzer(&kMatcher, study.inputs().countries);
-  report.providers_first_year =
-      analyzer.Analyze(study.mined(), study.mined().config.first_year);
-  report.providers_last_year =
-      analyzer.Analyze(study.mined(), study.mined().config.last_year);
+  analyze("analyze.providers", mined_n, [&] {
+    report.providers_first_year =
+        analyzer.Analyze(study.mined(), study.mined().config.first_year);
+    report.providers_last_year =
+        analyzer.Analyze(study.mined(), study.mined().config.last_year);
+  });
 
-  report.delegations = AnalyzeDelegations(study.active());
-  report.hijack = AnalyzeHijackRisk(study.active(), *study.inputs().psl,
-                                    *study.inputs().registrar);
-  report.consistency = AnalyzeConsistency(study.active());
-  report.resilience = BuildResilienceReport(study.active());
+  analyze("analyze.delegations", active_n, [&] {
+    report.delegations = AnalyzeDelegations(study.active());
+  });
+  analyze("analyze.hijack", active_n, [&] {
+    report.hijack = AnalyzeHijackRisk(study.active(), *study.inputs().psl,
+                                      *study.inputs().registrar);
+  });
+  analyze("analyze.consistency", active_n, [&] {
+    report.consistency = AnalyzeConsistency(study.active());
+  });
+  analyze("analyze.resilience", active_n, [&] {
+    report.resilience = BuildResilienceReport(study.active());
+  });
+
+  report.profile = study.profiler().records();
+  for (obs::PhaseRecord& r : prof.records()) {
+    report.profile.push_back(std::move(r));
+  }
   return report;
 }
 
@@ -152,6 +193,23 @@ void PrintReport(const StudyReport& report, std::ostream& os) {
      << ", negative-cache hits: "
      << WithCommas(int64_t(res.totals.negative_cache_hits))
      << ", degraded domains: " << WithCommas(res.degraded_domains) << "\n";
+  os << "logical time: " << WithCommas(int64_t(res.total_logical_ms))
+     << " ms summed over domains (max "
+     << WithCommas(int64_t(res.max_logical_ms_one_domain))
+     << " ms for one domain)\n";
+
+  if (!report.profile.empty()) {
+    // Logical/item columns only: wall_ms is diagnostic and would make this
+    // rendering differ between two same-seed runs.
+    os << "\n-- phase profile --\n";
+    for (const obs::PhaseRecord& r : report.profile) {
+      os << r.name << ": " << WithCommas(r.items) << " items";
+      if (r.logical_ms > 0) {
+        os << ", " << WithCommas(int64_t(r.logical_ms)) << " logical ms";
+      }
+      os << "\n";
+    }
+  }
 }
 
 }  // namespace govdns::core

@@ -6,10 +6,12 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "core/analysis.h"
 #include "core/providers.h"
 #include "core/study.h"
+#include "obs/profile.h"
 
 namespace govdns::core {
 
@@ -24,6 +26,10 @@ struct ResilienceReport {
   ResolverCounters totals;        // summed per-outcome counters
   uint64_t max_queries_one_domain = 0;
   double avg_queries_per_domain = 0.0;
+  // Logical (transport-clock) time: the sum and max of per-domain
+  // measurement durations. Deterministic like the counters.
+  uint64_t total_logical_ms = 0;
+  uint64_t max_logical_ms_one_domain = 0;
 
   std::string ToJson() const;
 
@@ -59,6 +65,10 @@ struct StudyReport {
   // Measurement-infrastructure health (not a paper figure: quantifies the
   // §III-B transient-vs-defective distinction for this run).
   ResilienceReport resilience;
+
+  // Per-phase profile: the study's stages followed by each analyzer run by
+  // BuildReport. Exported with logical_ms only — wall_ms stays diagnostic.
+  std::vector<obs::PhaseRecord> profile;
 };
 
 // Runs every analysis over a completed study (all three stages must have

@@ -92,6 +92,14 @@ void IterativeResolver::RecordFailure(geo::IPv4 server) {
     h.open_until_ms =
         transport_->now_ms() + options_.retry.breaker_cooldown_ms;
     h.consecutive_failures = 0;  // half-open after cooldown: start fresh
+    Trace(obs::TraceEventKind::kBreakerOpen, server.bits());
+  }
+}
+
+void IterativeResolver::Trace(obs::TraceEventKind kind, uint32_t server,
+                              uint8_t aux) {
+  if (trace_ != nullptr) {
+    trace_->Record(kind, transport_->now_ms(), server, aux);
   }
 }
 
@@ -117,23 +125,35 @@ void IterativeResolver::Backoff(int attempt) {
   uint32_t ms = static_cast<uint32_t>(delay);
   counters_.backoff_ms += ms;
   transport_->Delay(ms);
+  Trace(obs::TraceEventKind::kBackoff, 0, static_cast<uint8_t>(attempt));
 }
 
 ServerReply IterativeResolver::QueryServer(geo::IPv4 server,
                                            const dns::Name& name,
                                            dns::RRType type) {
+  ServerReply reply = QueryServerImpl(server, name, type);
+  Trace(obs::TraceEventKind::kOutcome, server.bits(),
+        static_cast<uint8_t>(reply.outcome));
+  return reply;
+}
+
+ServerReply IterativeResolver::QueryServerImpl(geo::IPv4 server,
+                                               const dns::Name& name,
+                                               dns::RRType type) {
   ServerReply reply;
   reply.server = server;
 
   if (budget_remaining_ && *budget_remaining_ == 0) {
     budget_exhausted_ = true;
     ++counters_.budget_denied;
+    Trace(obs::TraceEventKind::kBudgetDenied, server.bits());
     reply.outcome = QueryOutcome::kTimeout;
     return reply;
   }
   if (CircuitOpen(server)) {
     // A server known-dead within the cooldown window: skip without traffic.
     ++counters_.breaker_skips;
+    Trace(obs::TraceEventKind::kBreakerSkip, server.bits());
     reply.outcome = QueryOutcome::kUnreachable;
     return reply;
   }
@@ -144,6 +164,7 @@ ServerReply IterativeResolver::QueryServer(geo::IPv4 server,
     if (budget_remaining_ && *budget_remaining_ == 0) {
       budget_exhausted_ = true;
       ++counters_.budget_denied;
+      Trace(obs::TraceEventKind::kBudgetDenied, server.bits());
       break;
     }
     if (attempt > 0) {
@@ -155,6 +176,8 @@ ServerReply IterativeResolver::QueryServer(geo::IPv4 server,
     dns::Message query = dns::MakeQuery(next_id_++, name, type);
     ++queries_sent_;
     ++counters_.queries;
+    Trace(obs::TraceEventKind::kQuery, server.bits(),
+          static_cast<uint8_t>(attempt));
     if (budget_remaining_) --*budget_remaining_;
 
     auto raw = transport_->Exchange(server, query.Encode());
@@ -280,7 +303,11 @@ IterativeResolver::InfraScope::InfraScope(IterativeResolver& r,
       saved_jitter_state_(r.jitter_state_),
       saved_budget_remaining_(r.budget_remaining_),
       saved_budget_exhausted_(r.budget_exhausted_),
-      saved_health_(std::move(r.health_)) {
+      saved_health_(std::move(r.health_)),
+      saved_trace_(r.trace_) {
+  // Shared-cut computation is never traced into the active domain's log:
+  // whether this step runs at all depends on cache state, i.e. scheduling.
+  r.trace_ = nullptr;
   r.counters_ = ResolverCounters{};
   r.queries_sent_ = 0;
   r.jitter_state_ = util::HashString(zone.ToString(), kCutJitterSalt);
@@ -301,6 +328,7 @@ IterativeResolver::InfraScope::~InfraScope() {
   r_.budget_remaining_ = saved_budget_remaining_;
   r_.budget_exhausted_ = saved_budget_exhausted_;
   r_.health_ = std::move(saved_health_);
+  r_.trace_ = saved_trace_;
 }
 
 void IterativeResolver::BeginDomainScope(const dns::Name& domain) {
@@ -350,6 +378,7 @@ IterativeResolver::WalkToZoneShared(const dns::Name& name, bool stop_above,
     }
     if (transport_->now_ms() < entry->expires_ms) {
       ++counters_.negative_cache_hits;
+      Trace(obs::TraceEventKind::kNegativeCacheHit);
       return util::UnavailableError("cached-unreachable zone at " +
                                     name.Suffix(count).ToString());
     }
@@ -424,6 +453,7 @@ IterativeResolver::WalkToZoneShared(const dns::Name& name, bool stop_above,
       // exactly one negative_cache_hit, so per-domain stats do not depend
       // on which worker got there first.
       ++counters_.negative_cache_hits;
+      Trace(obs::TraceEventKind::kNegativeCacheHit);
       return util::UnavailableError("servers of " + current.zone.ToString() +
                                     " unresponsive");
     }
@@ -440,6 +470,7 @@ IterativeResolver::WalkToZoneShared(const dns::Name& name, bool stop_above,
     if (cut_unresolvable) {
       cache.PublishUnreachable(cut, ns_names, neg_expires);
       ++counters_.negative_cache_hits;
+      Trace(obs::TraceEventKind::kNegativeCacheHit);
       return util::UnavailableError("unresolvable delegation at " +
                                     cut.ToString());
     }
@@ -481,6 +512,7 @@ util::StatusOr<IterativeResolver::ZoneServers> IterativeResolver::WalkToZone(
     }
     if (transport_->now_ms() < it->second.expires_ms) {
       ++counters_.negative_cache_hits;
+      Trace(obs::TraceEventKind::kNegativeCacheHit);
       return util::UnavailableError("cached-unreachable zone at " +
                                     it->first.ToString());
     }

@@ -21,6 +21,7 @@
 #include "dns/message.h"
 #include "dns/transport.h"
 #include "geo/ipv4.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace govdns::core {
@@ -168,6 +169,19 @@ class IterativeResolver {
   void BeginDomainScope(const dns::Name& domain);
   void EndDomainScope();
 
+  // --- Structured tracing --------------------------------------------------
+  // While set, every resolver-level decision (attempt, backoff, breaker
+  // verdict, negative-cache hit, budget denial, outcome) appends one event,
+  // timestamped with the transport's logical clock. Inside a hermetic domain
+  // scope the whole event stream is a pure function of (world seed, domain).
+  // Shared-cut computation is never traced: InfraScope suppresses the
+  // pointer for its extent, because infra interleaving is
+  // scheduling-dependent. Caller keeps the trace alive; nullptr disables.
+  void set_trace(obs::DomainTrace* trace) { trace_ = trace; }
+
+  // The transport's logical clock (for caller-recorded trace events).
+  uint64_t now_ms() const { return transport_->now_ms(); }
+
   // Statistics for the harness.
   uint64_t queries_sent() const { return queries_sent_; }
   const ResolverCounters& counters() const { return counters_; }
@@ -226,6 +240,7 @@ class IterativeResolver {
     std::optional<uint64_t> saved_budget_remaining_;
     bool saved_budget_exhausted_;
     std::map<geo::IPv4, ServerHealth> saved_health_;
+    obs::DomainTrace* saved_trace_;
   };
 
   // Extracts a referral's target cut and NS records from a message.
@@ -241,6 +256,13 @@ class IterativeResolver {
       const dns::Name& name, dns::RRType type, int depth_budget);
   util::StatusOr<std::vector<geo::IPv4>> ResolveAddressesInternal(
       const dns::Name& host, int depth_budget);
+
+  // QueryServer body; the public wrapper appends the kOutcome trace event.
+  ServerReply QueryServerImpl(geo::IPv4 server, const dns::Name& name,
+                              dns::RRType type);
+
+  // Appends a trace event when tracing is active (no-op otherwise).
+  void Trace(obs::TraceEventKind kind, uint32_t server = 0, uint8_t aux = 0);
 
   // Retry/health plumbing.
   bool CircuitOpen(geo::IPv4 server) const;
@@ -261,6 +283,7 @@ class IterativeResolver {
   std::map<dns::Name, CachedCut> cut_cache_;
   std::map<geo::IPv4, ServerHealth> health_;
   bool domain_scope_active_ = false;
+  obs::DomainTrace* trace_ = nullptr;
 };
 
 }  // namespace govdns::core

@@ -12,20 +12,41 @@ Study::Study(StudyInputs inputs)
 }
 
 const std::vector<SeedDomain>& Study::RunSelection() {
+  obs::PhaseProfiler::Scope phase(&profiler_, "selection");
+  const uint64_t t0 = inputs_.transport->now_ms();
   SeedSelector selector(&resolver_, inputs_.psl, inputs_.policy);
   seeds_ = selector.Select(inputs_.knowledge_base, &selection_stats_);
+  phase.set_logical_ms(inputs_.transport->now_ms() - t0);
+  phase.set_items(static_cast<int64_t>(seeds_.size()));
   return seeds_;
 }
 
 const MinedDataset& Study::RunMining() {
   GOVDNS_CHECK(!seeds_.empty());
+  obs::PhaseProfiler::Scope phase(&profiler_, "mining");
   PdnsMiner miner(inputs_.pdns, inputs_.mining);
   mined_ = std::make_unique<MinedDataset>(miner.Mine(seeds_));
+  phase.set_items(mined_->stats.domains);
+  if (obs_ != nullptr) {
+    // Mining is a pure function of (database, seeds, config): its stats are
+    // kStable and land as registry-level counters (no worker shards here).
+    obs::MetricsRegistry& m = obs_->metrics();
+    const MiningStats& s = mined_->stats;
+    m.Add(m.DeclareCounter("mining.seeds"), s.seeds);
+    m.Add(m.DeclareCounter("mining.entries_scanned"), s.entries_scanned);
+    m.Add(m.DeclareCounter("mining.entries_unstable"), s.entries_unstable);
+    m.Add(m.DeclareCounter("mining.domains"), s.domains);
+    m.Add(m.DeclareCounter("mining.domains_disposable"), s.domains_disposable);
+    m.Add(m.DeclareCounter("mining.domains_in_active_window"),
+          s.domains_in_active_window);
+  }
   return *mined_;
 }
 
 const ActiveDataset& Study::RunActiveMeasurement(MeasurerOptions options) {
   GOVDNS_CHECK(mined_ != nullptr);
+  obs::PhaseProfiler::Scope phase(&profiler_, "measurement");
+  if (options.obs == nullptr) options.obs = obs_;
   std::vector<dns::Name> query_list = PdnsMiner::ActiveQueryList(*mined_);
   ActiveMeasurer measurer(inputs_.transport, inputs_.root_hints,
                           ResolverOptions(), options);
@@ -33,6 +54,13 @@ const ActiveDataset& Study::RunActiveMeasurement(MeasurerOptions options) {
   measurement_counters_ = measurer.merged_counters();
   measurement_queries_sent_ = measurer.merged_queries_sent();
   measurement_cache_stats_ = measurer.shared_cache()->stats();
+  // Logical time: the sum of per-domain scope clocks, not the global clock —
+  // domain scopes run on context-local clocks, and the sum is the quantity
+  // that stays deterministic across worker counts.
+  uint64_t logical = 0;
+  for (const MeasurementResult& r : results) logical += r.logical_ms;
+  phase.set_logical_ms(logical);
+  phase.set_items(static_cast<int64_t>(results.size()));
   active_ = std::make_unique<ActiveDataset>(
       ActiveDataset::Build(std::move(results), seeds_, inputs_.countries));
   return *active_;

@@ -16,6 +16,7 @@
 #include "core/resolver.h"
 #include "core/selection.h"
 #include "core/types.h"
+#include "obs/obs.h"
 
 namespace govdns::core {
 
@@ -54,6 +55,18 @@ class Study {
   // Runs all three stages.
   void RunAll();
 
+  // Attaches an observability context (not owned; caller keeps it alive for
+  // the study's lifetime; may be null to detach). Mining folds its
+  // MiningStats into obs->metrics(); active measurement additionally samples
+  // query traces and logs shared-cut publishes. Independent of the study's
+  // own phase profiler, which always runs.
+  void AttachObservability(obs::Observability* obs) { obs_ = obs; }
+
+  // Per-phase profile of every stage run so far (selection, mining,
+  // measurement). logical_ms is deterministic SimClock time; wall_ms is
+  // diagnostic only and never folded into deterministic outputs.
+  const obs::PhaseProfiler& profiler() const { return profiler_; }
+
   // --- Results ------------------------------------------------------------
   const std::vector<SeedDomain>& seeds() const { return seeds_; }
   const SelectionStats& selection_stats() const { return selection_stats_; }
@@ -88,6 +101,8 @@ class Study {
   ResolverCounters measurement_counters_;
   uint64_t measurement_queries_sent_ = 0;
   CutCacheStats measurement_cache_stats_;
+  obs::Observability* obs_ = nullptr;
+  obs::PhaseProfiler profiler_;
 };
 
 }  // namespace govdns::core

@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/status.h"
+
+namespace govdns::obs {
+
+void HistogramData::Observe(uint64_t value) {
+  ++count;
+  sum += value;
+  if (count == 1) {
+    min = max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  int bucket = value == 0 ? 0 : std::bit_width(value);
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  ++buckets[bucket];
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (int i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+bool operator==(const HistogramData& a, const HistogramData& b) {
+  if (a.count != b.count || a.sum != b.sum || a.min != b.min || a.max != b.max)
+    return false;
+  return std::equal(a.buckets, a.buckets + HistogramData::kBuckets, b.buckets);
+}
+
+void MetricsShard::Add(int counter_id, uint64_t delta) {
+  GOVDNS_CHECK(counter_id >= 0 &&
+               static_cast<size_t>(counter_id) < counters_.size());
+  counters_[counter_id] += delta;
+}
+
+void MetricsShard::Observe(int histogram_id, uint64_t value) {
+  GOVDNS_CHECK(histogram_id >= 0 &&
+               static_cast<size_t>(histogram_id) < histograms_.size());
+  histograms_[histogram_id].Observe(value);
+}
+
+int MetricsRegistry::DeclareCounter(std::string_view name, Determinism det) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < counter_decls_.size(); ++i) {
+    if (counter_decls_[i].name == name) return static_cast<int>(i);
+  }
+  counter_decls_.push_back({std::string(name), det});
+  counter_totals_.push_back(0);
+  return static_cast<int>(counter_decls_.size() - 1);
+}
+
+int MetricsRegistry::DeclareHistogram(std::string_view name, Determinism det) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < histogram_decls_.size(); ++i) {
+    if (histogram_decls_[i].name == name) return static_cast<int>(i);
+  }
+  histogram_decls_.push_back({std::string(name), det});
+  histogram_totals_.emplace_back();
+  return static_cast<int>(histogram_decls_.size() - 1);
+}
+
+void MetricsRegistry::Add(int counter_id, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GOVDNS_CHECK(counter_id >= 0 &&
+               static_cast<size_t>(counter_id) < counter_totals_.size());
+  counter_totals_[counter_id] += delta;
+}
+
+void MetricsRegistry::Observe(int histogram_id, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GOVDNS_CHECK(histogram_id >= 0 &&
+               static_cast<size_t>(histogram_id) < histogram_totals_.size());
+  histogram_totals_[histogram_id].Observe(value);
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, int64_t value,
+                               Determinism det) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), std::make_pair(value, det));
+  } else {
+    it->second.first = value;  // original determinism wins, as for counters
+  }
+}
+
+std::unique_ptr<MetricsShard> MetricsRegistry::NewShard() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto shard = std::make_unique<MetricsShard>();
+  shard->counters_.assign(counter_decls_.size(), 0);
+  shard->histograms_.assign(histogram_decls_.size(), HistogramData{});
+  return shard;
+}
+
+void MetricsRegistry::Absorb(MetricsShard& shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GOVDNS_CHECK(shard.counters_.size() <= counter_totals_.size());
+  GOVDNS_CHECK(shard.histograms_.size() <= histogram_totals_.size());
+  for (size_t i = 0; i < shard.counters_.size(); ++i) {
+    counter_totals_[i] += shard.counters_[i];
+    shard.counters_[i] = 0;
+  }
+  for (size_t i = 0; i < shard.histograms_.size(); ++i) {
+    histogram_totals_[i].Merge(shard.histograms_[i]);
+    shard.histograms_[i] = HistogramData{};
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(bool include_diagnostic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (size_t i = 0; i < counter_decls_.size(); ++i) {
+    if (!include_diagnostic &&
+        counter_decls_[i].det == Determinism::kDiagnostic) {
+      continue;
+    }
+    snap.counters.push_back(
+        {counter_decls_[i].name, counter_totals_[i], counter_decls_[i].det});
+  }
+  for (const auto& [name, value_det] : gauges_) {
+    if (!include_diagnostic && value_det.second == Determinism::kDiagnostic) {
+      continue;
+    }
+    snap.gauges.push_back({name, value_det.first, value_det.second});
+  }
+  for (size_t i = 0; i < histogram_decls_.size(); ++i) {
+    if (!include_diagnostic &&
+        histogram_decls_[i].det == Determinism::kDiagnostic) {
+      continue;
+    }
+    snap.histograms.push_back({histogram_decls_[i].name, histogram_totals_[i],
+                               histogram_decls_[i].det});
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+}  // namespace govdns::obs

@@ -1,0 +1,130 @@
+// Metrics registry: counters, gauges, histograms for the measurement
+// pipeline, designed around the same ownership split as the sharded
+// measurer (DESIGN.md §6c/§6d).
+//
+// Concurrency model: a MetricsRegistry holds the declarations and the
+// merged totals; each worker thread owns a private MetricsShard (created by
+// NewShard) it updates without any locking, and hands it back via Absorb
+// after the pool joins. Counters and histograms are commutative sums, so
+// the absorb order cannot change the totals — the merged registry is
+// byte-identical for 1 vs N workers. Gauges are registry-level (point
+// observations like cache sizes, set under the registry lock).
+//
+// Determinism taxonomy: every metric is declared kStable (a pure function
+// of the world seed and inputs — safe to compare byte-for-byte across runs
+// and worker counts) or kDiagnostic (scheduling-dependent, e.g. shared-cut
+// cache hit/miss splits, which depend on which worker warmed the cache).
+// Snapshot(false) excludes diagnostics, producing the stable view the
+// determinism tests pin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace govdns::obs {
+
+enum class Determinism {
+  kStable,      // pure function of (seed, inputs); byte-comparable
+  kDiagnostic,  // scheduling-dependent; excluded from stable snapshots
+};
+
+// Log2-bucketed histogram. Bucket 0 counts zeros; bucket b >= 1 counts
+// values v with 2^(b-1) <= v < 2^b (clamped into the last bucket). Merging
+// is element-wise addition, so shard merges commute.
+struct HistogramData {
+  static constexpr int kBuckets = 33;
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // valid only when count > 0
+  uint64_t max = 0;
+  uint64_t buckets[kBuckets] = {};
+
+  void Observe(uint64_t value);
+  void Merge(const HistogramData& other);
+
+  friend bool operator==(const HistogramData&, const HistogramData&);
+};
+
+// A worker-private slab of counter/histogram cells. No internal locking:
+// exactly one thread updates a shard, and ownership transfers back to the
+// registry through Absorb.
+class MetricsShard {
+ public:
+  void Add(int counter_id, uint64_t delta);
+  void Observe(int histogram_id, uint64_t value);
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<uint64_t> counters_;
+  std::vector<HistogramData> histograms_;
+};
+
+struct MetricsSnapshot {
+  struct Scalar {
+    std::string name;
+    uint64_t value = 0;
+    Determinism determinism = Determinism::kStable;
+  };
+  struct Gauge {
+    std::string name;
+    int64_t value = 0;
+    Determinism determinism = Determinism::kDiagnostic;
+  };
+  struct Hist {
+    std::string name;
+    HistogramData data;
+    Determinism determinism = Determinism::kStable;
+  };
+  // Each section sorted by name (declaration order is an implementation
+  // detail; exports must not depend on it).
+  std::vector<Scalar> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Hist> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  // Idempotent: redeclaring an existing name returns its id (the original
+  // determinism wins). Ids index into shards created *after* the
+  // declaration; Absorb tolerates shorter (older) shards.
+  int DeclareCounter(std::string_view name,
+                     Determinism det = Determinism::kStable);
+  int DeclareHistogram(std::string_view name,
+                       Determinism det = Determinism::kStable);
+
+  // Registry-level updates (locked); for serial callers without a shard.
+  void Add(int counter_id, uint64_t delta);
+  void Observe(int histogram_id, uint64_t value);
+  void SetGauge(std::string_view name, int64_t value,
+                Determinism det = Determinism::kDiagnostic);
+
+  // A shard sized to the current declarations, all cells zero.
+  std::unique_ptr<MetricsShard> NewShard() const;
+
+  // Adds the shard's cells into the totals and zeroes the shard. Summation
+  // commutes, so absorb order across workers is immaterial.
+  void Absorb(MetricsShard& shard);
+
+  MetricsSnapshot Snapshot(bool include_diagnostic = true) const;
+
+ private:
+  struct Decl {
+    std::string name;
+    Determinism det;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Decl> counter_decls_;
+  std::vector<uint64_t> counter_totals_;
+  std::vector<Decl> histogram_decls_;
+  std::vector<HistogramData> histogram_totals_;
+  std::map<std::string, std::pair<int64_t, Determinism>, std::less<>> gauges_;
+};
+
+}  // namespace govdns::obs

@@ -1,0 +1,27 @@
+#include "obs/profile.h"
+
+namespace govdns::obs {
+
+void PhaseProfiler::Record(PhaseRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<PhaseRecord> PhaseProfiler::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+PhaseProfiler::Scope::Scope(PhaseProfiler* profiler, std::string name)
+    : profiler_(profiler), start_(std::chrono::steady_clock::now()) {
+  record_.name = std::move(name);
+}
+
+PhaseProfiler::Scope::~Scope() {
+  record_.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  profiler_->Record(std::move(record_));
+}
+
+}  // namespace govdns::obs

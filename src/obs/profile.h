@@ -1,0 +1,54 @@
+// Per-phase study profiling (DESIGN.md §6d).
+//
+// Each pipeline phase (selection, mining, measurement, each analyzer)
+// records one PhaseRecord. Two time axes are kept strictly apart:
+//   * logical_ms — transport/SimClock time, a pure function of the world
+//     seed and inputs; safe for deterministic outputs and regressions.
+//   * wall_ms — host steady_clock time; diagnostic only, and never written
+//     into any deterministic export (report JSON carries logical time only).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace govdns::obs {
+
+struct PhaseRecord {
+  std::string name;
+  int64_t items = 0;       // units processed (seeds, domains, ...)
+  uint64_t logical_ms = 0; // deterministic logical time, 0 if no transport use
+  double wall_ms = 0.0;    // diagnostic wall time; excluded from exports
+};
+
+class PhaseProfiler {
+ public:
+  void Record(PhaseRecord record);
+  std::vector<PhaseRecord> records() const;
+
+  // RAII phase bracket: measures wall time from construction to
+  // destruction; the caller fills items/logical_ms before scope exit.
+  class Scope {
+   public:
+    Scope(PhaseProfiler* profiler, std::string name);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    void set_items(int64_t items) { record_.items = items; }
+    void set_logical_ms(uint64_t ms) { record_.logical_ms = ms; }
+
+   private:
+    PhaseProfiler* profiler_;
+    PhaseRecord record_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PhaseRecord> records_;
+};
+
+}  // namespace govdns::obs

@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace govdns::obs {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kQuery: return "query";
+    case TraceEventKind::kBackoff: return "backoff";
+    case TraceEventKind::kBreakerSkip: return "breaker_skip";
+    case TraceEventKind::kBreakerOpen: return "breaker_open";
+    case TraceEventKind::kBudgetDenied: return "budget_denied";
+    case TraceEventKind::kNegativeCacheHit: return "negative_cache_hit";
+    case TraceEventKind::kGlueAccepted: return "glue_accepted";
+    case TraceEventKind::kGlueRejected: return "glue_rejected";
+    case TraceEventKind::kRound2: return "round2";
+    case TraceEventKind::kOutcome: return "outcome";
+  }
+  return "unknown";
+}
+
+DomainTrace::DomainTrace(std::string domain, size_t max_events)
+    : domain_(std::move(domain)), max_events_(max_events) {
+  GOVDNS_CHECK(max_events_ > 0);
+}
+
+void DomainTrace::Record(TraceEventKind kind, uint64_t at_ms, uint32_t server,
+                         uint8_t aux) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{kind, aux, server, at_ms});
+}
+
+TraceRing::TraceRing(TraceConfig config) : config_(config) {
+  GOVDNS_CHECK(config_.sample_period > 0);
+  GOVDNS_CHECK(config_.max_domains > 0);
+  GOVDNS_CHECK(config_.max_events_per_domain > 0);
+}
+
+bool TraceRing::Sampled(std::string_view domain) const {
+  if (config_.sample_period == 1) return true;
+  return util::HashString(domain) % config_.sample_period == 0;
+}
+
+void TraceRing::Fold(DomainTrace&& trace) {
+  ++folded_;
+  if (ring_.size() < config_.max_domains) {
+    ring_.push_back(std::move(trace));
+    return;
+  }
+  ring_[next_] = std::move(trace);
+  next_ = (next_ + 1) % ring_.size();
+}
+
+std::vector<const DomainTrace*> TraceRing::Entries() const {
+  std::vector<const DomainTrace*> out;
+  out.reserve(ring_.size());
+  // Once full, next_ points at the oldest entry.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(&ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void CutTraceLog::Record(std::string zone, bool reachable, uint32_t ns_count,
+                         uint32_t addr_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(Entry{std::move(zone), reachable, ns_count, addr_count});
+}
+
+std::vector<CutTraceLog::Entry> CutTraceLog::Snapshot() const {
+  std::vector<Entry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+uint64_t CutTraceLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace govdns::obs

@@ -1,0 +1,142 @@
+// Structured query tracing (DESIGN.md §6d).
+//
+// A DomainTrace is the per-measured-domain event log: every resolver-level
+// decision that shapes the measurement (an attempt sent, a backoff charged,
+// a breaker opening, a negative-cache short-circuit, glue accepted or
+// rejected by the bailiwick filter) appends one fixed-size POD event,
+// timestamped with the *logical* transport clock. Inside a hermetic
+// per-domain chaos scope every event — kind, server, timestamp — is a pure
+// function of (world seed, domain), so a domain's trace is byte-identical
+// no matter how many workers ran the study or which one measured it.
+// Shared-cut (infrastructure) computation is deliberately not traced into
+// domain logs: its interleaving is scheduling-dependent (see
+// IterativeResolver::InfraScope, which suppresses the active trace).
+//
+// TraceRing bounds memory two ways: deterministic sampling (a domain is
+// traced iff a stable hash of its name lands in the sample class) and a
+// fixed-capacity ring over traced domains (oldest evicted first). Fold must
+// be called in input order — the measurer folds post-join, indexed by the
+// query list — which keeps the ring contents independent of worker count.
+//
+// CutTraceLog records what the shared cut cache *published*. Raw publish
+// order and multiplicity are racy (cold-start duplicates), but the entries'
+// content is hermetic per zone, so the sorted, deduplicated snapshot is
+// deterministic; the raw count is exposed separately as a diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace govdns::obs {
+
+enum class TraceEventKind : uint8_t {
+  kQuery,            // one datagram sent (aux = attempt index)
+  kBackoff,          // retry backoff charged to the clock (aux = attempt)
+  kBreakerSkip,      // query suppressed by an open circuit
+  kBreakerOpen,      // a server's circuit breaker tripped open
+  kBudgetDenied,     // query suppressed by the per-domain budget
+  kNegativeCacheHit, // walk cut short by a cached-dead zone
+  kGlueAccepted,     // additional-section A record passed the bailiwick check
+  kGlueRejected,     // additional-section A record failed the bailiwick check
+  kRound2,           // §III-B second round started for this domain
+  kOutcome,          // QueryServer verdict (aux = QueryOutcome ordinal)
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kQuery;
+  uint8_t aux = 0;      // attempt index / outcome ordinal, kind-dependent
+  uint32_t server = 0;  // IPv4 bits; 0 when not applicable
+  uint64_t at_ms = 0;   // logical transport-clock timestamp
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class DomainTrace {
+ public:
+  DomainTrace(std::string domain, size_t max_events);
+
+  // Appends an event; once max_events is reached, further events are
+  // counted in dropped() instead (keep-first: the head of a measurement
+  // explains the tail).
+  void Record(TraceEventKind kind, uint64_t at_ms, uint32_t server = 0,
+              uint8_t aux = 0);
+
+  const std::string& domain() const { return domain_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::string domain_;
+  size_t max_events_;
+  std::vector<TraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+struct TraceConfig {
+  // A domain is traced iff HashString(name) % sample_period == 0.
+  // 1 = trace everything.
+  uint64_t sample_period = 1;
+  // Ring capacity: at most this many traced domains are retained, oldest
+  // evicted first.
+  size_t max_domains = 256;
+  size_t max_events_per_domain = 512;
+};
+
+// Not internally synchronized: traces are built worker-locally and folded
+// from one thread, in input order.
+class TraceRing {
+ public:
+  explicit TraceRing(TraceConfig config = TraceConfig());
+
+  const TraceConfig& config() const { return config_; }
+
+  // Deterministic sampling decision (stable name hash; no global state).
+  bool Sampled(std::string_view domain) const;
+
+  void Fold(DomainTrace&& trace);
+
+  // Retained traces, oldest to newest.
+  std::vector<const DomainTrace*> Entries() const;
+  // Total traces ever folded (≥ Entries().size()).
+  uint64_t folded_total() const { return folded_; }
+
+ private:
+  TraceConfig config_;
+  std::vector<DomainTrace> ring_;
+  size_t next_ = 0;  // overwrite position once the ring is full
+  uint64_t folded_ = 0;
+};
+
+// Thread-safe publish log for the shared cut cache.
+class CutTraceLog {
+ public:
+  struct Entry {
+    std::string zone;
+    bool reachable = true;
+    uint32_t ns_count = 0;
+    uint32_t addr_count = 0;
+
+    friend auto operator<=>(const Entry&, const Entry&) = default;
+  };
+
+  void Record(std::string zone, bool reachable, uint32_t ns_count,
+              uint32_t addr_count);
+
+  // Sorted and deduplicated: deterministic across worker counts because
+  // racing publishers of the same cut carry identical content.
+  std::vector<Entry> Snapshot() const;
+
+  // Raw publish count, duplicates included (diagnostic only).
+  uint64_t recorded() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace govdns::obs

@@ -85,6 +85,56 @@ TEST(MinerTest, StatisticVariants) {
   EXPECT_EQ(mine(YearlyStatistic::kMean), 2);
 }
 
+TEST(MinerTest, StabilityBoundaryMatchesPaper) {
+  // §III-C: stable iff last_seen − first_seen >= 7 (the gap, not the
+  // inclusive calendar length). The 7-calendar-day sighting below has only a
+  // 6-day gap and must be dropped — the old `LengthDays() < stability_days`
+  // predicate kept it.
+  auto mine_span = [](int span_days) {
+    pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+    db.ObserveInterval(Name::FromString("moe.gov.xx"), RRType::kNS, "ns1.x",
+                       {DayFromYmd(2015, 3, 1),
+                        DayFromYmd(2015, 3, 1) + span_days - 1});
+    PdnsMiner miner(&db, MiningConfig());
+    auto dataset = miner.Mine(OneSeed());
+    return dataset.domains.at(0).HasData(2015 - 2011);
+  };
+  EXPECT_FALSE(mine_span(6));  // gap 5: unstable either way
+  EXPECT_FALSE(mine_span(7));  // gap 6: the off-by-one boundary
+  EXPECT_TRUE(mine_span(8));   // gap 7: stable
+}
+
+TEST(MinerTest, StabilityBoundaryCountedInStats) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  Name domain = Name::FromString("moe.gov.xx");
+  db.ObserveInterval(domain, RRType::kNS, "ns1.x",
+                     {DayFromYmd(2015, 3, 1), DayFromYmd(2015, 3, 7)});
+  db.ObserveInterval(domain, RRType::kNS, "ns2.x",
+                     {DayFromYmd(2015, 3, 1), DayFromYmd(2015, 3, 8)});
+  PdnsMiner miner(&db, MiningConfig());
+  auto dataset = miner.Mine(OneSeed());
+  EXPECT_EQ(dataset.stats.seeds, 1);
+  EXPECT_EQ(dataset.stats.entries_scanned, 2);
+  EXPECT_EQ(dataset.stats.entries_unstable, 1);
+  EXPECT_EQ(dataset.stats.domains, 1);
+  EXPECT_EQ(dataset.stats.domains_disposable, 0);
+  EXPECT_EQ(dataset.stats.domains_in_active_window, 0);
+}
+
+TEST(MinerTest, RequireStableForActiveTightensQueryList) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  // A 2-day wonder inside the collection window.
+  db.ObserveInterval(Name::FromString("brief.gov.xx"), RRType::kNS, "ns1.x",
+                     {DayFromYmd(2020, 5, 1), DayFromYmd(2020, 5, 2)});
+  MiningConfig config;
+  config.require_stable_for_active = true;
+  PdnsMiner miner(&db, config);
+  auto dataset = miner.Mine(OneSeed());
+  ASSERT_EQ(dataset.domains.size(), 1u);
+  EXPECT_FALSE(dataset.domains[0].in_active_window);
+  EXPECT_TRUE(PdnsMiner::ActiveQueryList(dataset).empty());
+}
+
 TEST(MinerTest, YearBoundariesRespected) {
   pdns::PdnsDatabase db(/*merge_gap_days=*/0);
   Name domain = Name::FromString("moe.gov.xx");
@@ -97,6 +147,46 @@ TEST(MinerTest, YearBoundariesRespected) {
   EXPECT_TRUE(d.HasData(2015 - 2011));
   EXPECT_FALSE(d.HasData(2016 - 2011));
   EXPECT_FALSE(d.HasData(2013 - 2011));
+}
+
+TEST(MinerTest, ModeSweepCountsYearEndDay) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  Name domain = Name::FromString("moe.gov.xx");
+  // ns1 all year; ns2 Jul 2 .. Dec 31. Inclusive of Dec 31 that is 182 days
+  // at count 1 vs 183 at count 2 -> mode 2. An off-by-one that drops the
+  // year-end day (the sweep's `to+1` delta lands on Jan 1) ties 182/182 and
+  // flips the mode to 1.
+  db.ObserveInterval(domain, RRType::kNS, "ns1.x",
+                     {DayFromYmd(2015, 1, 1), DayFromYmd(2015, 12, 31)});
+  db.ObserveInterval(domain, RRType::kNS, "ns2.x",
+                     {DayFromYmd(2015, 7, 2), DayFromYmd(2015, 12, 31)});
+  PdnsMiner miner(&db, MiningConfig());
+  auto dataset = miner.Mine(OneSeed());
+  EXPECT_EQ(dataset.domains[0].years[2015 - 2011].mode_ns_count, 2);
+  // The Jan 1, 2016 sweep delta must not leak a phantom 2016 sighting.
+  EXPECT_FALSE(dataset.domains[0].HasData(2016 - 2011));
+}
+
+TEST(MinerTest, ModeSweepSplitsCrossYearInterval) {
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  Name domain = Name::FromString("moe.gov.xx");
+  // Dec 1, 2015 .. Jan 31, 2016 clamps to 31 in-year days on each side.
+  db.ObserveInterval(domain, RRType::kNS, "ns1.x",
+                     {DayFromYmd(2015, 12, 1), DayFromYmd(2016, 1, 31)});
+  // A second nameserver only around the new year: Dec 17 .. Jan 15 is 15
+  // days at count 2 in each year — a minority against 16 single-NS days in
+  // December and 16 in January, so both years keep mode 1. Counting the
+  // boundary day twice (or leaking the `to+1` delta across the year edge)
+  // would flip one of them.
+  db.ObserveInterval(domain, RRType::kNS, "ns2.x",
+                     {DayFromYmd(2015, 12, 17), DayFromYmd(2016, 1, 15)});
+  PdnsMiner miner(&db, MiningConfig());
+  auto dataset = miner.Mine(OneSeed());
+  const auto& d = dataset.domains[0];
+  EXPECT_EQ(d.years[2015 - 2011].mode_ns_count, 1);
+  EXPECT_EQ(d.years[2016 - 2011].mode_ns_count, 1);
+  EXPECT_FALSE(d.HasData(2014 - 2011));
+  EXPECT_FALSE(d.HasData(2017 - 2011));
 }
 
 TEST(MinerTest, ActiveWindowUsesUnfilteredSightings) {

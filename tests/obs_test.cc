@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace govdns::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, DeclareIsIdempotent) {
+  MetricsRegistry registry;
+  int a = registry.DeclareCounter("x.count");
+  int b = registry.DeclareCounter("x.count", Determinism::kDiagnostic);
+  EXPECT_EQ(a, b);
+  // The original determinism wins.
+  registry.Add(a, 1);
+  MetricsSnapshot stable = registry.Snapshot(/*include_diagnostic=*/false);
+  ASSERT_EQ(stable.counters.size(), 1u);
+  EXPECT_EQ(stable.counters[0].name, "x.count");
+  EXPECT_EQ(stable.counters[0].value, 1u);
+}
+
+TEST(MetricsTest, ShardAbsorbSumsAndZeroes) {
+  MetricsRegistry registry;
+  int queries = registry.DeclareCounter("queries");
+  int retries = registry.DeclareCounter("retries");
+  auto s1 = registry.NewShard();
+  auto s2 = registry.NewShard();
+  s1->Add(queries, 3);
+  s1->Add(retries, 1);
+  s2->Add(queries, 4);
+  registry.Absorb(*s1);
+  registry.Absorb(*s2);
+  // Absorbing again is a no-op: Absorb zeroed the shard cells.
+  registry.Absorb(*s1);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "queries");
+  EXPECT_EQ(snap.counters[0].value, 7u);
+  EXPECT_EQ(snap.counters[1].value, 1u);
+}
+
+TEST(MetricsTest, AbsorbOrderDoesNotMatter) {
+  auto run = [](bool reverse) {
+    MetricsRegistry registry;
+    int c = registry.DeclareCounter("c");
+    int h = registry.DeclareHistogram("h");
+    auto s1 = registry.NewShard();
+    auto s2 = registry.NewShard();
+    s1->Add(c, 10);
+    s1->Observe(h, 5);
+    s2->Add(c, 20);
+    s2->Observe(h, 1000);
+    if (reverse) {
+      registry.Absorb(*s2);
+      registry.Absorb(*s1);
+    } else {
+      registry.Absorb(*s1);
+      registry.Absorb(*s2);
+    }
+    return core::ExportMetricsJson(registry.Snapshot());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(MetricsTest, AbsorbToleratesOlderShorterShards) {
+  MetricsRegistry registry;
+  int a = registry.DeclareCounter("a");
+  auto old_shard = registry.NewShard();
+  old_shard->Add(a, 5);
+  // A later declaration widens the registry, not the existing shard.
+  int b = registry.DeclareCounter("b");
+  registry.Add(b, 7);
+  registry.Absorb(*old_shard);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].value, 5u);
+  EXPECT_EQ(snap.counters[1].value, 7u);
+}
+
+TEST(MetricsTest, DiagnosticSeriesExcludedFromStableSnapshot) {
+  MetricsRegistry registry;
+  registry.Add(registry.DeclareCounter("stable.c"), 1);
+  registry.Add(registry.DeclareCounter("diag.c", Determinism::kDiagnostic), 2);
+  registry.Observe(registry.DeclareHistogram("diag.h", Determinism::kDiagnostic),
+                   3);
+  registry.SetGauge("diag.g", 4);  // gauges default to diagnostic
+  registry.SetGauge("stable.g", 5, Determinism::kStable);
+
+  MetricsSnapshot all = registry.Snapshot();
+  EXPECT_EQ(all.counters.size(), 2u);
+  EXPECT_EQ(all.gauges.size(), 2u);
+  EXPECT_EQ(all.histograms.size(), 1u);
+
+  MetricsSnapshot stable = registry.Snapshot(/*include_diagnostic=*/false);
+  ASSERT_EQ(stable.counters.size(), 1u);
+  EXPECT_EQ(stable.counters[0].name, "stable.c");
+  ASSERT_EQ(stable.gauges.size(), 1u);
+  EXPECT_EQ(stable.gauges[0].name, "stable.g");
+  EXPECT_EQ(stable.gauges[0].value, 5);
+  EXPECT_TRUE(stable.histograms.empty());
+}
+
+TEST(MetricsTest, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.Add(registry.DeclareCounter("zz"), 1);
+  registry.Add(registry.DeclareCounter("aa"), 1);
+  registry.Add(registry.DeclareCounter("mm"), 1);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "aa");
+  EXPECT_EQ(snap.counters[1].name, "mm");
+  EXPECT_EQ(snap.counters[2].name, "zz");
+}
+
+TEST(HistogramTest, Log2Buckets) {
+  HistogramData h;
+  h.Observe(0);  // bucket 0
+  h.Observe(1);  // bit_width 1
+  h.Observe(2);  // bit_width 2
+  h.Observe(3);  // bit_width 2
+  h.Observe(1024);  // bit_width 11
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum, 1030u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 1024u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[11], 1u);
+}
+
+TEST(HistogramTest, HugeValuesClampIntoLastBucket) {
+  HistogramData h;
+  h.Observe(~uint64_t{0});
+  EXPECT_EQ(h.buckets[HistogramData::kBuckets - 1], 1u);
+  EXPECT_EQ(h.max, ~uint64_t{0});
+}
+
+TEST(HistogramTest, MergeIsElementwiseSum) {
+  HistogramData a, b;
+  a.Observe(4);
+  a.Observe(7);
+  b.Observe(1);
+  b.Observe(100);
+  HistogramData merged = a;
+  merged.Merge(b);
+  HistogramData expect;
+  for (uint64_t v : {4, 7, 1, 100}) expect.Observe(v);
+  EXPECT_EQ(merged, expect);
+  // Merging an empty histogram preserves min/max.
+  HistogramData empty;
+  merged.Merge(empty);
+  EXPECT_EQ(merged, expect);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+TEST(DomainTraceTest, KeepFirstUnderCap) {
+  DomainTrace trace("a.gov.xx", /*max_events=*/2);
+  trace.Record(TraceEventKind::kQuery, 10, 0x01020304, 0);
+  trace.Record(TraceEventKind::kBackoff, 20, 0, 1);
+  trace.Record(TraceEventKind::kQuery, 30);
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].kind, TraceEventKind::kQuery);
+  EXPECT_EQ(trace.events()[0].server, 0x01020304u);
+  EXPECT_EQ(trace.events()[1].at_ms, 20u);
+  EXPECT_EQ(trace.dropped(), 1u);
+}
+
+TEST(TraceRingTest, SamplePeriodOneTracesEverything) {
+  TraceRing ring;
+  EXPECT_TRUE(ring.Sampled("anything.gov.xx"));
+  EXPECT_TRUE(ring.Sampled(""));
+}
+
+TEST(TraceRingTest, SamplingIsDeterministicAndRoughlyProportional) {
+  TraceConfig config;
+  config.sample_period = 4;
+  TraceRing ring(config);
+  TraceRing ring2(config);
+  int sampled = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::string name = "d" + std::to_string(i) + ".gov.xx";
+    bool s = ring.Sampled(name);
+    EXPECT_EQ(s, ring2.Sampled(name));  // no hidden state
+    if (s) ++sampled;
+  }
+  EXPECT_GT(sampled, 150);
+  EXPECT_LT(sampled, 400);
+}
+
+TEST(TraceRingTest, RingEvictsOldestFirst) {
+  TraceConfig config;
+  config.max_domains = 2;
+  TraceRing ring(config);
+  for (const char* name : {"a", "b", "c"}) {
+    DomainTrace t(name, 8);
+    t.Record(TraceEventKind::kQuery, 1);
+    ring.Fold(std::move(t));
+  }
+  EXPECT_EQ(ring.folded_total(), 3u);
+  auto entries = ring.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0]->domain(), "b");  // oldest retained first
+  EXPECT_EQ(entries[1]->domain(), "c");
+}
+
+TEST(CutTraceLogTest, SnapshotSortsAndDeduplicates) {
+  CutTraceLog log;
+  // Racing publishers of the same cut carry identical content; the snapshot
+  // collapses them.
+  log.Record("zone.b", true, 2, 4);
+  log.Record("zone.a", true, 1, 1);
+  log.Record("zone.b", true, 2, 4);
+  log.Record("zone.b", false, 2, 0);
+  EXPECT_EQ(log.recorded(), 4u);
+  auto snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].zone, "zone.a");
+  EXPECT_EQ(snap[1].zone, "zone.b");
+  EXPECT_FALSE(snap[1].reachable);
+  EXPECT_EQ(snap[2].zone, "zone.b");
+  EXPECT_TRUE(snap[2].reachable);
+}
+
+TEST(CutTraceLogTest, ConcurrentRecordsAllLand) {
+  CutTraceLog log;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < 100; ++i) {
+        log.Record("z" + std::to_string(i), true, uint32_t(t), 0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.recorded(), 400u);
+  EXPECT_EQ(log.Snapshot().size(), 400u);  // distinct ns_count per thread
+}
+
+TEST(TraceEventKindTest, AllKindsNamed) {
+  for (int k = 0; k <= int(TraceEventKind::kOutcome); ++k) {
+    EXPECT_STRNE(TraceEventKindName(TraceEventKind(k)), "unknown");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Profiling
+// ---------------------------------------------------------------------------
+
+TEST(PhaseProfilerTest, ScopeRecordsOnExit) {
+  PhaseProfiler profiler;
+  {
+    PhaseProfiler::Scope scope(&profiler, "mining");
+    scope.set_items(42);
+    scope.set_logical_ms(1234);
+    EXPECT_TRUE(profiler.records().empty());  // not recorded until exit
+  }
+  auto records = profiler.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "mining");
+  EXPECT_EQ(records[0].items, 42);
+  EXPECT_EQ(records[0].logical_ms, 1234u);
+  EXPECT_GE(records[0].wall_ms, 0.0);
+}
+
+TEST(PhaseProfilerTest, PhasesKeptInOrder) {
+  PhaseProfiler profiler;
+  { PhaseProfiler::Scope s(&profiler, "selection"); }
+  { PhaseProfiler::Scope s(&profiler, "mining"); }
+  { PhaseProfiler::Scope s(&profiler, "measurement"); }
+  auto records = profiler.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].name, "selection");
+  EXPECT_EQ(records[2].name, "measurement");
+}
+
+// ---------------------------------------------------------------------------
+// Export shapes
+// ---------------------------------------------------------------------------
+
+TEST(ObsExportTest, MetricsJsonShape) {
+  MetricsRegistry registry;
+  registry.Add(registry.DeclareCounter("queries"), 9);
+  registry.Observe(registry.DeclareHistogram("latency"), 3);
+  registry.SetGauge("cache.size", 12);
+  std::string json = core::ExportMetricsJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"counters\":["), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"queries\",\"value\":9,"
+                      "\"determinism\":\"stable\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":["), std::string::npos);
+  EXPECT_NE(json.find("\"determinism\":\"diagnostic\""), std::string::npos);
+  // latency=3 -> bucket index 2; trailing zero buckets elided.
+  EXPECT_NE(json.find("\"buckets\":[0,0,1]"), std::string::npos);
+}
+
+TEST(ObsExportTest, MetricsCsvShape) {
+  MetricsRegistry registry;
+  registry.Add(registry.DeclareCounter("queries"), 9);
+  registry.Observe(registry.DeclareHistogram("latency"), 3);
+  std::string csv = core::ExportMetricsCsv(registry.Snapshot());
+  EXPECT_NE(csv.find("kind,name,determinism,count,sum,min,max\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("counter,queries,stable,9,,,\n"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,latency,stable,1,3,3,3\n"), std::string::npos);
+}
+
+TEST(ObsExportTest, TraceJsonShape) {
+  TraceConfig config;
+  config.sample_period = 2;
+  TraceRing ring(config);
+  DomainTrace t("a.gov.xx", 8);
+  t.Record(TraceEventKind::kQuery, 10, 0x0a000001, 1);
+  t.Record(TraceEventKind::kOutcome, 25);
+  ring.Fold(std::move(t));
+  CutTraceLog log;
+  log.Record("gov.xx", true, 2, 2);
+  std::string json = core::ExportTraceJson(ring, log);
+  EXPECT_NE(json.find("\"sample_period\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"folded_domains\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"domain\":\"a.gov.xx\""), std::string::npos);
+  EXPECT_NE(json.find("{\"kind\":\"query\",\"at_ms\":10,"
+                      "\"server\":167772161,\"aux\":1}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"kind\":\"outcome\",\"at_ms\":25}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"zone\":\"gov.xx\",\"reachable\":true,"
+                      "\"ns\":2,\"addrs\":2}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace govdns::obs

@@ -13,6 +13,7 @@
 #include "core/measure.h"
 #include "core/report.h"
 #include "core/study.h"
+#include "obs/obs.h"
 #include "worldgen/adapter.h"
 
 namespace govdns {
@@ -21,9 +22,13 @@ namespace {
 struct RunOutput {
   std::string resilience_json;
   std::string export_json;
+  std::string metrics_stable_json;  // kStable series only
+  std::string trace_json;           // sampled query traces + cut publish log
   core::ResolverCounters merged;      // Σ per-worker resolver counters
   core::ResolverCounters per_domain;  // Σ per-domain query_stats
   uint64_t queries_sent = 0;
+  uint64_t traced_domains = 0;
+  size_t diagnostic_gauges = 0;
   core::CutCacheStats cache;
 };
 
@@ -36,6 +41,12 @@ RunOutput RunStudy(int workers) {
   auto world = worldgen::BuildWorld(config);
   auto bound = worldgen::MakeStudy(*world);
   core::Study& study = *bound.study;
+
+  obs::ObservabilityConfig obs_config;
+  obs_config.trace.sample_period = 4;
+  obs::Observability observability(obs_config);
+  study.AttachObservability(&observability);
+
   study.RunSelection();
   study.RunMining();
 
@@ -48,6 +59,12 @@ RunOutput RunStudy(int workers) {
       core::BuildResilienceReport(study.active()).ToJson();
   out.export_json =
       core::ExportReportJson(core::BuildReport(study, {"cn", "br"}));
+  out.metrics_stable_json = core::ExportMetricsJson(
+      observability.metrics().Snapshot(/*include_diagnostic=*/false));
+  out.trace_json = core::ExportTraceJson(observability.traces(),
+                                         observability.cut_log());
+  out.traced_domains = observability.traces().folded_total();
+  out.diagnostic_gauges = observability.metrics().Snapshot().gauges.size();
   out.merged = study.measurement_counters();
   out.queries_sent = study.measurement_queries_sent();
   out.cache = study.measurement_cache_stats();
@@ -65,6 +82,17 @@ TEST(ParallelMeasureTest, FourWorkersMatchSerialByteForByte) {
   // report are byte-identical — no analysis can tell the runs apart.
   EXPECT_EQ(serial.resilience_json, parallel.resilience_json);
   EXPECT_EQ(serial.export_json, parallel.export_json);
+
+  // The observability layer obeys the same contract: the stable metrics
+  // snapshot and the full trace document (sampled per-domain event logs,
+  // timestamps included, plus the deduplicated cut publish log) are
+  // byte-identical across worker counts.
+  EXPECT_EQ(serial.metrics_stable_json, parallel.metrics_stable_json);
+  EXPECT_EQ(serial.trace_json, parallel.trace_json);
+  EXPECT_GT(serial.traced_domains, 0u);
+  EXPECT_GT(serial.diagnostic_gauges, 0u);  // cut-cache gauges were published
+  EXPECT_NE(serial.metrics_stable_json.find("\"measure.queries\""),
+            std::string::npos);
 
   // Counter reconciliation: the merged per-worker counters are exactly the
   // sum of the per-domain attributions, in both runs — nothing the workers
@@ -92,6 +120,8 @@ TEST(ParallelMeasureTest, RepeatedParallelRunsAreDeterministic) {
   EXPECT_EQ(a.resilience_json, b.resilience_json);
   EXPECT_EQ(a.export_json, b.export_json);
   EXPECT_EQ(a.merged, b.merged);
+  EXPECT_EQ(a.metrics_stable_json, b.metrics_stable_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
 }
 
 TEST(ParallelMeasureTest, DefaultWorkerCountRuns) {

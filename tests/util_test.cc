@@ -253,6 +253,46 @@ TEST(DayIntervalTest, ContainsAndOverlaps) {
   EXPECT_EQ((DayInterval{5, 5}).LengthDays(), 1);
 }
 
+TEST(DayIntervalTest, LengthVersusGap) {
+  // The §III-C stability filter compares the first-to-last *gap*
+  // (last - first), which is one less than the inclusive LengthDays(). A
+  // sighting on 7 consecutive calendar days spans only a 6-day gap.
+  DayInterval week{DayFromYmd(2015, 3, 1), DayFromYmd(2015, 3, 7)};
+  EXPECT_EQ(week.LengthDays(), 7);
+  EXPECT_EQ(week.last - week.first, 6);
+  DayInterval single{100, 100};
+  EXPECT_EQ(single.last - single.first, 0);
+  EXPECT_EQ(single.LengthDays(), 1);
+}
+
+TEST(DayIntervalTest, OverlapsIsSymmetricAndSelfInclusive) {
+  DayInterval a{10, 20};
+  EXPECT_TRUE(a.Overlaps(a));
+  // Single-day touching at each endpoint, both directions.
+  EXPECT_TRUE(a.Overlaps({10, 10}));
+  EXPECT_TRUE(a.Overlaps({20, 20}));
+  EXPECT_TRUE((DayInterval{20, 20}).Overlaps(a));
+  EXPECT_FALSE(a.Overlaps({9, 9}));
+  EXPECT_FALSE(a.Overlaps({21, 21}));
+  // Containment in both nestings.
+  EXPECT_TRUE(a.Overlaps({0, 30}));
+  EXPECT_TRUE((DayInterval{0, 30}).Overlaps(a));
+}
+
+TEST(DayIntervalTest, YearBoundaryAdjacency) {
+  // Dec 31 and Jan 1 are adjacent, not overlapping — the mining sweep
+  // depends on year intervals partitioning the timeline exactly.
+  DayInterval y2015{YearStart(2015), YearEnd(2015)};
+  DayInterval y2016{YearStart(2016), YearEnd(2016)};
+  EXPECT_EQ(y2015.last + 1, y2016.first);
+  EXPECT_FALSE(y2015.Overlaps(y2016));
+  EXPECT_EQ(y2015.LengthDays(), 365);
+  EXPECT_EQ((DayInterval{YearStart(2012), YearEnd(2012)}).LengthDays(), 366);
+  DayInterval crossing{DayFromYmd(2015, 12, 31), DayFromYmd(2016, 1, 1)};
+  EXPECT_TRUE(crossing.Overlaps(y2015));
+  EXPECT_TRUE(crossing.Overlaps(y2016));
+}
+
 // ---------------------------------------------------------------------------
 // Strings
 // ---------------------------------------------------------------------------

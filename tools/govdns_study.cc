@@ -2,11 +2,15 @@
 // the results.
 //
 //   govdns_study [--scale S] [--seed N] [--json out.json] [--csv table[,table...]]
-//                [--report]
+//                [--metrics out.json] [--trace out.json]
+//                [--trace-sample N] [--report]
 //
 // Builds a world at the requested scale, runs selection -> mining -> active
 // measurement, and then prints the consolidated report (--report, default)
-// and/or writes machine-readable exports.
+// and/or writes machine-readable exports. --metrics and --trace attach the
+// observability layer and dump the metrics snapshot / sampled query traces
+// (DESIGN.md §6d); both documents are deterministic for a given seed except
+// for series tagged "diagnostic".
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +19,7 @@
 
 #include "core/export.h"
 #include "core/report.h"
+#include "obs/obs.h"
 #include "util/strings.h"
 #include "worldgen/adapter.h"
 
@@ -25,6 +30,9 @@ int main(int argc, char** argv) {
   config.scale = 0.05;
   std::string json_path;
   std::string csv_tables;
+  std::string metrics_path;
+  std::string trace_path;
+  uint64_t trace_sample = 16;
   bool print_report = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -40,6 +48,12 @@ int main(int argc, char** argv) {
       if (const char* v = next()) json_path = v;
     } else if (arg == "--csv") {
       if (const char* v = next()) csv_tables = v;
+    } else if (arg == "--metrics") {
+      if (const char* v = next()) metrics_path = v;
+    } else if (arg == "--trace") {
+      if (const char* v = next()) trace_path = v;
+    } else if (arg == "--trace-sample") {
+      if (const char* v = next()) trace_sample = std::strtoull(v, nullptr, 10);
     } else if (arg == "--report") {
       print_report = true;
     } else if (arg == "--no-report") {
@@ -47,7 +61,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--seed N] [--json out.json] "
-                   "[--csv t1,t2] [--no-report]\n",
+                   "[--csv t1,t2] [--metrics out.json] [--trace out.json] "
+                   "[--trace-sample N] [--no-report]\n",
                    argv[0]);
       return 2;
     }
@@ -57,6 +72,13 @@ int main(int argc, char** argv) {
                config.scale, static_cast<unsigned long long>(config.seed));
   auto world = worldgen::BuildWorld(config);
   auto bound = worldgen::MakeStudy(*world);
+
+  obs::ObservabilityConfig obs_config;
+  obs_config.trace.sample_period = trace_sample == 0 ? 1 : trace_sample;
+  obs::Observability observability(obs_config);
+  const bool want_obs = !metrics_path.empty() || !trace_path.empty();
+  if (want_obs) bound.study->AttachObservability(&observability);
+
   std::fprintf(stderr, "running study...\n");
   bound.study->RunAll();
 
@@ -89,6 +111,25 @@ int main(int argc, char** argv) {
       out << csv;
       std::fprintf(stderr, "wrote %s\n", path.c_str());
     }
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    out << core::ExportMetricsJson(observability.metrics().Snapshot()) << "\n";
+    std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    out << core::ExportTraceJson(observability.traces(), observability.cut_log())
+        << "\n";
+    std::fprintf(stderr, "wrote %s\n", trace_path.c_str());
   }
   return 0;
 }

@@ -13,10 +13,40 @@ cmake --preset release >/dev/null
 cmake --build --preset release -j "${JOBS}"
 ctest --preset release -j "${JOBS}"
 
+echo "==> smoke: govdns_study observability exports parse"
+# The release binary must produce valid JSON from --json/--metrics/--trace
+# on a small world, and the metrics document must carry the measurement
+# counters — a cheap end-to-end check that the obs layer is actually wired.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+./build/tools/govdns_study --scale 0.01 --no-report \
+  --json "${SMOKE_DIR}/report.json" \
+  --metrics "${SMOKE_DIR}/metrics.json" \
+  --trace "${SMOKE_DIR}/trace.json" 2>/dev/null
+python3 - "${SMOKE_DIR}" <<'EOF'
+import json, pathlib, sys
+d = pathlib.Path(sys.argv[1])
+report = json.loads((d / "report.json").read_text())
+assert "resilience" in report and "profile" in report, sorted(report)
+assert any(p["name"] == "measurement" for p in report["profile"])
+metrics = json.loads((d / "metrics.json").read_text())
+counters = {c["name"] for c in metrics["counters"]}
+assert "measure.queries" in counters, sorted(counters)
+assert "mining.domains" in counters, sorted(counters)
+trace = json.loads((d / "trace.json").read_text())
+assert trace["folded_domains"] >= len(trace["domains"])
+print("smoke: report/metrics/trace exports parse OK")
+EOF
+
 echo "==> tier-1: asan/ubsan build + ctest"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}"
+
+echo "==> tier-1: ubsan-only build + ctest (hard-fail on UB)"
+cmake --preset ubsan >/dev/null
+cmake --build --preset ubsan -j "${JOBS}"
+ctest --preset ubsan -j "${JOBS}"
 
 echo "==> tier-1: tsan build + concurrency suites"
 # The sharded measurement pool (shared cut cache, SimNetwork striping,
@@ -33,4 +63,4 @@ for t in simnet_test resolver_test measure_test parallel_measure_test \
   "./build-tsan/tests/${t}"
 done
 
-echo "==> verify OK (release + sanitized + tsan)"
+echo "==> verify OK (release + smoke + asan + ubsan + tsan)"
