@@ -1,0 +1,139 @@
+// Scaling bench: the sharded PDNS miner vs worker count.
+//
+// Measures wall-clock seeds/sec and domains/sec of PdnsMiner::Mine at
+// 1/2/4/8 workers over the shared BenchEnv world, and verifies on the way
+// that the MinedDataset — domains, ns_names order, stats — is invariant to
+// the worker count (parallel mining must be a pure optimization). The
+// artifact records the sweep as a table, one machine-readable
+// `[bench] mining` JSON line for the stats scraper, and a BENCH_mining.json
+// document (path overridable via GOVDNS_MINING_JSON) so the perf trajectory
+// of the mining stage is kept on disk run over run.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/mining.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using govdns::bench::BenchEnv;
+
+govdns::core::MinedDataset MinePoint(int workers, double* seconds) {
+  auto& env = BenchEnv::Get();
+  const auto& inputs = env.study().inputs();
+  govdns::core::MinerOptions opts;
+  opts.workers = workers;
+  govdns::core::PdnsMiner miner(inputs.pdns, inputs.mining, opts);
+  const auto start = std::chrono::steady_clock::now();
+  auto dataset = miner.Mine(env.seeds());
+  const auto stop = std::chrono::steady_clock::now();
+  if (seconds != nullptr) {
+    *seconds = std::chrono::duration<double>(stop - start).count();
+  }
+  return dataset;
+}
+
+void BM_MineWorkers(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto dataset = MinePoint(workers, nullptr);
+    benchmark::DoNotOptimize(dataset);
+  }
+}
+BENCHMARK(BM_MineWorkers)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+struct SweepPoint {
+  int workers = 0;
+  double seconds = 0.0;
+  double domains_per_sec = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+void PrintArtifact() {
+  auto& env = BenchEnv::Get();
+  const size_t seed_count = env.seeds().size();
+
+  double serial_seconds = 0.0;
+  const auto serial = MinePoint(1, &serial_seconds);
+
+  std::vector<SweepPoint> sweep;
+  for (int workers : {1, 2, 4, 8}) {
+    SweepPoint point;
+    point.workers = workers;
+    const auto dataset = MinePoint(workers, &point.seconds);
+    point.identical = dataset == serial;
+    point.domains_per_sec =
+        point.seconds > 0.0 ? double(dataset.domains.size()) / point.seconds
+                            : 0.0;
+    point.speedup = (serial_seconds > 0.0 && point.seconds > 0.0)
+                        ? serial_seconds / point.seconds
+                        : 0.0;
+    sweep.push_back(point);
+  }
+
+  govdns::util::TextTable table(
+      {"Workers", "Seconds", "Domains/sec", "Speedup", "Identical"});
+  govdns::util::JsonWriter w;
+  w.BeginObject();
+  w.Kv("scale", env.scale());
+  w.Kv("seeds", int64_t(seed_count));
+  w.Kv("domains", int64_t(serial.domains.size()));
+  w.Kv("ns_names", int64_t(serial.ns_names.size()));
+  w.Kv("entries_scanned", serial.stats.entries_scanned);
+  w.Kv("serial_seconds", serial_seconds);
+  w.Key("sweep").BeginArray();
+  for (const SweepPoint& p : sweep) {
+    char seconds[32], rate[32], speedup[32];
+    std::snprintf(seconds, sizeof seconds, "%.3f", p.seconds);
+    std::snprintf(rate, sizeof rate, "%.0f", p.domains_per_sec);
+    std::snprintf(speedup, sizeof speedup, "%.2fx", p.speedup);
+    table.AddRow({std::to_string(p.workers), seconds, rate, speedup,
+                  p.identical ? "yes" : "NO"});
+    w.BeginObject()
+        .Kv("workers", int64_t(p.workers))
+        .Kv("seconds", p.seconds)
+        .Kv("domains_per_sec", p.domains_per_sec)
+        .Kv("speedup_vs_serial", p.speedup)
+        .Kv("identical_to_serial", p.identical)
+        .EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  const std::string json = w.TakeString();
+
+  std::printf("\nScaling — sharded PDNS miner vs worker count\n");
+  std::printf("(same world seed and seed list at every point; 'Identical'\n");
+  std::printf(" checks the MinedDataset is equal to the 1-worker run —\n");
+  std::printf(" the pool may only change speed, never results)\n");
+  table.Print(std::cout);
+  std::fprintf(stderr, "[bench] mining %s\n", json.c_str());
+
+  const char* path = std::getenv("GOVDNS_MINING_JSON");
+  const std::string out_path = path != nullptr ? path : "BENCH_mining.json";
+  std::ofstream out(out_path);
+  if (out) {
+    out << json << "\n";
+    std::fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "[bench] cannot write %s\n", out_path.c_str());
+  }
+}
+
+}  // namespace
+
+GOVDNS_BENCH_MAIN(PrintArtifact)

@@ -1,16 +1,23 @@
 #include "core/mining.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <functional>
+#include <optional>
 #include <set>
+#include <span>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "util/stats.h"
 
 namespace govdns::core {
 
-PdnsMiner::PdnsMiner(const pdns::PdnsDatabase* db, MiningConfig config)
-    : db_(db), config_(config) {
+PdnsMiner::PdnsMiner(const pdns::PdnsDatabase* db, MiningConfig config,
+                     MinerOptions options)
+    : db_(db), config_(config), options_(options) {
   GOVDNS_CHECK(db != nullptr);
   GOVDNS_CHECK(config.first_year <= config.last_year);
 }
@@ -28,140 +35,305 @@ bool PdnsMiner::LooksDisposable(const dns::Name& name) {
   return true;
 }
 
+namespace {
+
+// Per-worker reusable scratch for the Fig. 5 mode sweep: the +1/-1 deltas of
+// each stable entry's in-year interval and the aggregated (count -> days)
+// histogram. Sorted flat vectors stand in for the two std::maps an earlier
+// revision allocated per domain-year; cleared (capacity kept) between uses,
+// so a worker's whole sweep load runs allocation-free after warm-up.
+struct SweepScratch {
+  std::vector<std::pair<util::CivilDay, int>> delta;
+  std::vector<std::pair<int, int64_t>> days_at_count;
+};
+
+// Output of mining one seed. ns ids are local to this shard's intern table;
+// the fold remaps them onto the canonical global table.
+struct SeedShard {
+  std::vector<MinedDomain> domains;
+  std::vector<std::string> ns_names;  // local table, first-appearance order
+  MiningStats stats;                  // partial sums (seeds field unused)
+};
+
+// The yearly statistic over the aggregated, count-ascending histogram.
+// Identical outcomes to the old std::map walk: ties pick the smaller count.
+int YearlyValue(YearlyStatistic statistic,
+                const std::vector<std::pair<int, int64_t>>& days_at_count) {
+  int value = 0;
+  switch (statistic) {
+    case YearlyStatistic::kMode: {
+      int64_t best_days = 0;
+      for (const auto& [count, day_total] : days_at_count) {
+        if (day_total > best_days) {  // ties -> smaller (ascending order)
+          best_days = day_total;
+          value = count;
+        }
+      }
+      break;
+    }
+    case YearlyStatistic::kMin:
+      if (!days_at_count.empty()) value = days_at_count.front().first;
+      break;
+    case YearlyStatistic::kMax:
+      if (!days_at_count.empty()) value = days_at_count.back().first;
+      break;
+    case YearlyStatistic::kMean: {
+      int64_t days = 0, weighted = 0;
+      for (const auto& [count, day_total] : days_at_count) {
+        days += day_total;
+        weighted += count * day_total;
+      }
+      if (days > 0) {
+        value = static_cast<int>(std::lround(double(weighted) / double(days)));
+      }
+      break;
+    }
+  }
+  return value;
+}
+
+// Mines one seed against the frozen snapshot. Reads only shared immutable
+// state and writes only `shard`/`scratch`, so any worker may run any seed.
+void MineSeed(const MiningConfig& config, const pdns::PdnsSnapshot& snapshot,
+              const SeedDomain& seed, int seed_index,
+              const std::vector<util::CivilDay>& year_start,
+              const std::vector<util::CivilDay>& year_end, SeedShard& shard,
+              SweepScratch& scratch) {
+  const int years = config.year_count();
+
+  // §III-C stability predicate: the first-to-last-seen *gap* must reach the
+  // threshold. Deliberately not LengthDays(), which is one day longer (see
+  // mining.h).
+  auto stable = [&config](const pdns::PdnsEntry& entry) {
+    return entry.seen.last - entry.seen.first >= config.stability_days;
+  };
+  auto is_ns = [](const pdns::PdnsEntry& entry) {
+    return entry.type == dns::RRType::kNS;
+  };
+
+  std::unordered_map<std::string, int32_t> intern;
+  auto intern_ns = [&](const std::string& ns) -> int32_t {
+    auto [it, inserted] =
+        intern.emplace(ns, static_cast<int32_t>(shard.ns_names.size()));
+    if (inserted) shard.ns_names.push_back(ns);
+    return it->second;
+  };
+
+  // One zero-copy owner walk over the subtree; entries of an owner are a
+  // contiguous span (no per-seed result vector as the map-backed search
+  // returned). All NS entries are considered (unfiltered: the active-window
+  // check uses raw sightings, as the paper's FQDN extraction did).
+  const auto [name_lo, name_hi] = snapshot.WildcardNameRange(seed.d_gov);
+  for (size_t n = name_lo; n < name_hi; ++n) {
+    const std::span<const pdns::PdnsEntry> entries = snapshot.entries(n);
+    if (std::none_of(entries.begin(), entries.end(), is_ns)) continue;
+
+    MinedDomain domain;
+    domain.name = snapshot.name(n);
+    domain.country = seed.country;
+    domain.seed_index = seed_index;
+    domain.disposable = PdnsMiner::LooksDisposable(domain.name);
+    domain.years.resize(years);
+
+    for (const pdns::PdnsEntry& entry : entries) {
+      if (!is_ns(entry)) continue;
+      ++shard.stats.entries_scanned;
+      const bool is_stable = stable(entry);
+      if (!is_stable) ++shard.stats.entries_unstable;
+      if (entry.seen.Overlaps(config.active_window) &&
+          (is_stable || !config.require_stable_for_active)) {
+        domain.in_active_window = true;
+      }
+      if (!is_stable) continue;
+      for (int y = 0; y < years; ++y) {
+        if (entry.seen.last < year_start[y] || entry.seen.first > year_end[y])
+          continue;
+        domain.years[y].ns_ids.push_back(intern_ns(entry.rdata));
+      }
+    }
+
+    // Mode of daily counts, per year (paper Fig. 5). A sweep over the
+    // +1/-1 deltas of each stable entry's in-year interval.
+    for (int y = 0; y < years; ++y) {
+      if (domain.years[y].ns_ids.empty()) continue;
+      scratch.delta.clear();
+      for (const pdns::PdnsEntry& entry : entries) {
+        if (!is_ns(entry) || !stable(entry)) continue;
+        util::CivilDay from = std::max(entry.seen.first, year_start[y]);
+        util::CivilDay to = std::min(entry.seen.last, year_end[y]);
+        if (from > to) continue;
+        scratch.delta.emplace_back(from, 1);
+        scratch.delta.emplace_back(to + 1, -1);
+      }
+      std::sort(scratch.delta.begin(), scratch.delta.end());
+
+      // Walk the sweep, collecting (count, days) runs; then aggregate equal
+      // counts so the histogram is count-ascending with unique keys.
+      scratch.days_at_count.clear();
+      int current = 0;
+      util::CivilDay prev = year_start[y];
+      size_t p = 0;
+      while (p < scratch.delta.size()) {
+        const util::CivilDay day = scratch.delta[p].first;
+        int d = 0;
+        while (p < scratch.delta.size() && scratch.delta[p].first == day) {
+          d += scratch.delta[p].second;
+          ++p;
+        }
+        if (current > 0) scratch.days_at_count.emplace_back(current, day - prev);
+        current += d;
+        prev = day;
+      }
+      std::sort(scratch.days_at_count.begin(), scratch.days_at_count.end());
+      size_t w = 0;
+      for (size_t r = 0; r < scratch.days_at_count.size(); ++r) {
+        if (w > 0 &&
+            scratch.days_at_count[w - 1].first == scratch.days_at_count[r].first) {
+          scratch.days_at_count[w - 1].second += scratch.days_at_count[r].second;
+        } else {
+          scratch.days_at_count[w++] = scratch.days_at_count[r];
+        }
+      }
+      scratch.days_at_count.resize(w);
+
+      domain.years[y].mode_ns_count =
+          YearlyValue(config.statistic, scratch.days_at_count);
+      // Dedupe by local id; the fold re-sorts after remapping to global ids.
+      auto& ids = domain.years[y].ns_ids;
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    }
+
+    ++shard.stats.domains;
+    if (domain.disposable) ++shard.stats.domains_disposable;
+    if (domain.in_active_window) ++shard.stats.domains_in_active_window;
+    shard.domains.push_back(std::move(domain));
+  }
+}
+
+// Runs `body` on `workers` threads (inline when workers == 1).
+void RunOnPool(int workers, const std::function<void()>& body) {
+  if (workers <= 1) {
+    body();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(body);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
 MinedDataset PdnsMiner::Mine(const std::vector<SeedDomain>& seeds) {
   MinedDataset out;
   out.config = config_;
   out.stats.seeds = static_cast<int64_t>(seeds.size());
   const int years = config_.year_count();
 
-  // §III-C stability predicate: the first-to-last-seen *gap* must reach the
-  // threshold. Deliberately not LengthDays(), which is one day longer (see
-  // mining.h).
-  auto stable = [this](const pdns::PdnsEntry& entry) {
-    return entry.seen.last - entry.seen.first >= config_.stability_days;
-  };
-
-  std::unordered_map<std::string, int32_t> intern;
-  auto intern_ns = [&](const std::string& ns) -> int32_t {
-    auto [it, inserted] =
-        intern.emplace(ns, static_cast<int32_t>(out.ns_names.size()));
-    if (inserted) out.ns_names.push_back(ns);
-    return it->second;
-  };
-
-  // Precomputed year boundaries.
+  // Precomputed year boundaries (shared, immutable).
   std::vector<util::CivilDay> year_start(years), year_end(years);
   for (int y = 0; y < years; ++y) {
     year_start[y] = util::YearStart(config_.first_year + y);
     year_end[y] = util::YearEnd(config_.first_year + y);
   }
 
-  for (size_t s = 0; s < seeds.size(); ++s) {
-    // All NS entries (unfiltered: the active-window check uses raw
-    // sightings, as the paper's FQDN extraction did).
-    pdns::Query query;
-    query.type = dns::RRType::kNS;
-    query.min_duration_days = 1;
-    auto entries = db_->WildcardSearch(seeds[s].d_gov, query);
+  int workers = options_.workers > 0
+                    ? options_.workers
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  if (static_cast<size_t>(workers) > seeds.size() && !seeds.empty()) {
+    workers = static_cast<int>(seeds.size());
+  }
 
-    // Group contiguous runs by owner (WildcardSearch returns canonical
-    // order, so equal names are adjacent).
-    size_t i = 0;
-    while (i < entries.size()) {
-      size_t j = i;
-      while (j < entries.size() && entries[j].rrname == entries[i].rrname) ++j;
-
-      MinedDomain domain;
-      domain.name = entries[i].rrname;
-      domain.country = seeds[s].country;
-      domain.seed_index = static_cast<int>(s);
-      domain.disposable = LooksDisposable(domain.name);
-      domain.years.resize(years);
-
-      for (size_t k = i; k < j; ++k) {
-        const pdns::PdnsEntry& entry = entries[k];
-        ++out.stats.entries_scanned;
-        const bool is_stable = stable(entry);
-        if (!is_stable) ++out.stats.entries_unstable;
-        if (entry.seen.Overlaps(config_.active_window) &&
-            (is_stable || !config_.require_stable_for_active)) {
-          domain.in_active_window = true;
-        }
-        if (!is_stable) continue;
-        for (int y = 0; y < years; ++y) {
-          if (entry.seen.last < year_start[y] || entry.seen.first > year_end[y])
-            continue;
-          domain.years[y].ns_ids.push_back(intern_ns(entry.rdata));
-        }
-      }
-
-      // Mode of daily counts, per year (paper Fig. 5). A sweep over the
-      // +1/-1 deltas of each stable entry's in-year interval.
-      for (int y = 0; y < years; ++y) {
-        if (domain.years[y].ns_ids.empty()) continue;
-        std::map<util::CivilDay, int> delta;
-        for (size_t k = i; k < j; ++k) {
-          const pdns::PdnsEntry& entry = entries[k];
-          if (!stable(entry)) continue;
-          util::CivilDay from = std::max(entry.seen.first, year_start[y]);
-          util::CivilDay to = std::min(entry.seen.last, year_end[y]);
-          if (from > to) continue;
-          ++delta[from];
-          --delta[to + 1];
-        }
-        // Walk the sweep, collecting (count, days) runs; mode over days
-        // with at least one active record.
-        std::map<int, int64_t> days_at_count;
-        int current = 0;
-        util::CivilDay prev = year_start[y];
-        for (const auto& [day, d] : delta) {
-          if (current > 0) days_at_count[current] += day - prev;
-          current += d;
-          prev = day;
-        }
-        int value = 0;
-        switch (config_.statistic) {
-          case YearlyStatistic::kMode: {
-            int64_t best_days = 0;
-            for (const auto& [count, day_total] : days_at_count) {
-              if (day_total > best_days) {  // ties -> smaller (map order)
-                best_days = day_total;
-                value = count;
-              }
-            }
-            break;
-          }
-          case YearlyStatistic::kMin:
-            if (!days_at_count.empty()) value = days_at_count.begin()->first;
-            break;
-          case YearlyStatistic::kMax:
-            if (!days_at_count.empty()) value = days_at_count.rbegin()->first;
-            break;
-          case YearlyStatistic::kMean: {
-            int64_t days = 0, weighted = 0;
-            for (const auto& [count, day_total] : days_at_count) {
-              days += day_total;
-              weighted += count * day_total;
-            }
-            if (days > 0) {
-              value = static_cast<int>(
-                  std::lround(double(weighted) / double(days)));
-            }
-            break;
-          }
-        }
-        domain.years[y].mode_ns_count = value;
-        auto& ids = domain.years[y].ns_ids;
-        std::sort(ids.begin(), ids.end());
-        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-      }
-
-      ++out.stats.domains;
-      if (domain.disposable) ++out.stats.domains_disposable;
-      if (domain.in_active_window) ++out.stats.domains_in_active_window;
-      out.domains.push_back(std::move(domain));
-      i = j;
+  // --- Phase 1: freeze. One O(entries) flattening buys every seed a
+  // binary-searched zero-copy subtree scan instead of a copied vector.
+  pdns::PdnsSnapshot snapshot;
+  {
+    std::optional<obs::PhaseProfiler::Scope> scope;
+    if (options_.profiler != nullptr) {
+      scope.emplace(options_.profiler, "mining.freeze");
     }
+    snapshot = db_->Freeze();
+    if (scope) scope->set_items(static_cast<int64_t>(snapshot.entry_count()));
+  }
+
+  // --- Phase 2: shard. An atomic dispenser hands whole seeds to workers;
+  // each seed's output lands in its own slot with shard-local ns ids, so
+  // which worker mined it cannot leave a trace in the data.
+  std::vector<SeedShard> shards(seeds.size());
+  {
+    std::optional<obs::PhaseProfiler::Scope> scope;
+    if (options_.profiler != nullptr) {
+      scope.emplace(options_.profiler, "mining.shard");
+      scope->set_items(static_cast<int64_t>(seeds.size()));
+    }
+    std::atomic<size_t> next{0};
+    RunOnPool(workers, [&]() {
+      SweepScratch scratch;
+      for (;;) {
+        const size_t s = next.fetch_add(1, std::memory_order_relaxed);
+        if (s >= seeds.size()) break;
+        MineSeed(config_, snapshot, seeds[s], static_cast<int>(s), year_start,
+                 year_end, shards[s], scratch);
+      }
+    });
+  }
+
+  // --- Phase 3: fold, in seed order. Replaying each shard's local intern
+  // table builds the canonical global table in exactly the order a serial
+  // entry-major traversal would have produced — first appearance wins — so
+  // ns_names is byte-identical for any worker count (and to the pre-pool
+  // serial miner).
+  {
+    std::optional<obs::PhaseProfiler::Scope> scope;
+    if (options_.profiler != nullptr) {
+      scope.emplace(options_.profiler, "mining.fold");
+    }
+    std::unordered_map<std::string, int32_t> intern;
+    intern.reserve(db_->name_count());
+    out.ns_names.reserve(db_->name_count());
+    std::vector<std::vector<int32_t>> remap(shards.size());
+    for (size_t s = 0; s < shards.size(); ++s) {
+      remap[s].reserve(shards[s].ns_names.size());
+      for (std::string& ns : shards[s].ns_names) {
+        auto [it, inserted] =
+            intern.emplace(ns, static_cast<int32_t>(out.ns_names.size()));
+        if (inserted) out.ns_names.push_back(std::move(ns));
+        remap[s].push_back(it->second);
+      }
+    }
+
+    // Rewrite shard-local ids to global ids and restore per-year sorted
+    // order. Independent per seed, so the pool is reused; the result is
+    // canonical regardless of scheduling.
+    std::atomic<size_t> next{0};
+    RunOnPool(workers, [&]() {
+      for (;;) {
+        const size_t s = next.fetch_add(1, std::memory_order_relaxed);
+        if (s >= shards.size()) break;
+        for (MinedDomain& domain : shards[s].domains) {
+          for (YearState& year : domain.years) {
+            for (int32_t& id : year.ns_ids) id = remap[s][id];
+            std::sort(year.ns_ids.begin(), year.ns_ids.end());
+          }
+        }
+      }
+    });
+
+    out.domains.reserve(db_->name_count());
+    for (SeedShard& shard : shards) {
+      out.stats.entries_scanned += shard.stats.entries_scanned;
+      out.stats.entries_unstable += shard.stats.entries_unstable;
+      out.stats.domains += shard.stats.domains;
+      out.stats.domains_disposable += shard.stats.domains_disposable;
+      out.stats.domains_in_active_window +=
+          shard.stats.domains_in_active_window;
+      for (MinedDomain& domain : shard.domains) {
+        out.domains.push_back(std::move(domain));
+      }
+    }
+    if (scope) scope->set_items(static_cast<int64_t>(out.ns_names.size()));
   }
   return out;
 }

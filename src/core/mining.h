@@ -6,6 +6,14 @@
 // (paper Fig. 5). The miner also derives the active-measurement query list:
 // domains seen in the collection window, minus disposable-looking names.
 //
+// Mine() shards the seed list over a worker pool (MinerOptions::workers)
+// mirroring the measurement engine (DESIGN.md §6c/§6e): the database is
+// frozen once into a flat PdnsSnapshot, each worker mines whole seeds
+// against zero-copy entry spans with per-seed NS-name interning and reused
+// sweep scratch, and a deterministic fold remaps the shard-local intern
+// tables onto one canonical global table. The MinedDataset — domains,
+// ns_names order, and stats — is byte-identical for any worker count.
+//
 // Stability predicate (§III-C): a record is stable when
 //
 //     last_seen − first_seen >= stability_days      (default 7)
@@ -20,11 +28,11 @@
 // into every yearly series (see MinerTest.StabilityBoundaryMatchesPaper).
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "core/types.h"
+#include "obs/profile.h"
 #include "pdns/db.h"
 #include "util/civil_time.h"
 
@@ -57,6 +65,21 @@ struct MiningConfig {
   bool require_stable_for_active = false;
 
   int year_count() const { return last_year - first_year + 1; }
+
+  friend bool operator==(const MiningConfig&, const MiningConfig&) = default;
+};
+
+// Execution knobs of one Mine() pass. Deliberately NOT part of MiningConfig:
+// the config travels inside the MinedDataset, and nothing about how the work
+// was scheduled may appear in the dataset (byte-identical across worker
+// counts is the pool's contract).
+struct MinerOptions {
+  // Worker threads sharding the seed list; 0 picks
+  // std::thread::hardware_concurrency(), clamped to the seed count.
+  int workers = 0;
+  // Optional sub-phase profiling sink (not owned; may be null): records
+  // "mining.freeze", "mining.shard", and "mining.fold" wall-time phases.
+  obs::PhaseProfiler* profiler = nullptr;
 };
 
 // One domain-year summary.
@@ -65,6 +88,8 @@ struct YearState {
   int mode_ns_count = 0;
   // Interned ids of the distinct NS hostnames seen (stable records only).
   std::vector<int32_t> ns_ids;
+
+  friend bool operator==(const YearState&, const YearState&) = default;
 };
 
 struct MinedDomain {
@@ -78,6 +103,8 @@ struct MinedDomain {
   bool HasData(int year_offset) const {
     return years[year_offset].mode_ns_count > 0;
   }
+
+  friend bool operator==(const MinedDomain&, const MinedDomain&) = default;
 };
 
 // Deterministic bookkeeping of one Mine() pass. Pure function of (database,
@@ -101,12 +128,18 @@ struct MinedDataset {
   MiningStats stats;
 
   const std::string& NsName(int32_t id) const { return ns_names[id]; }
+
+  friend bool operator==(const MinedDataset&, const MinedDataset&) = default;
 };
 
 class PdnsMiner {
  public:
-  PdnsMiner(const pdns::PdnsDatabase* db, MiningConfig config = MiningConfig());
+  PdnsMiner(const pdns::PdnsDatabase* db, MiningConfig config = MiningConfig(),
+            MinerOptions options = MinerOptions());
 
+  // Pure function of (database, seeds, config): the worker count and every
+  // other MinerOptions knob may change only the wall time, never the bytes
+  // (pinned by ParallelMineTest).
   MinedDataset Mine(const std::vector<SeedDomain>& seeds);
 
   // The heuristic the pipeline uses in place of the paper's manual
@@ -119,6 +152,7 @@ class PdnsMiner {
  private:
   const pdns::PdnsDatabase* db_;
   MiningConfig config_;
+  MinerOptions options_;
 };
 
 // ---- Longitudinal aggregates over a mined dataset -------------------------

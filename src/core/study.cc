@@ -21,15 +21,17 @@ const std::vector<SeedDomain>& Study::RunSelection() {
   return seeds_;
 }
 
-const MinedDataset& Study::RunMining() {
+const MinedDataset& Study::RunMining(MinerOptions options) {
   GOVDNS_CHECK(!seeds_.empty());
   obs::PhaseProfiler::Scope phase(&profiler_, "mining");
-  PdnsMiner miner(inputs_.pdns, inputs_.mining);
+  if (options.profiler == nullptr) options.profiler = &profiler_;
+  PdnsMiner miner(inputs_.pdns, inputs_.mining, options);
   mined_ = std::make_unique<MinedDataset>(miner.Mine(seeds_));
   phase.set_items(mined_->stats.domains);
   if (obs_ != nullptr) {
-    // Mining is a pure function of (database, seeds, config): its stats are
-    // kStable and land as registry-level counters (no worker shards here).
+    // Mining is a pure function of (database, seeds, config) — the worker
+    // count may not change a byte of it — so its stats are kStable and land
+    // as registry-level counters (no worker shards here).
     obs::MetricsRegistry& m = obs_->metrics();
     const MiningStats& s = mined_->stats;
     m.Add(m.DeclareCounter("mining.seeds"), s.seeds);
@@ -39,6 +41,8 @@ const MinedDataset& Study::RunMining() {
     m.Add(m.DeclareCounter("mining.domains_disposable"), s.domains_disposable);
     m.Add(m.DeclareCounter("mining.domains_in_active_window"),
           s.domains_in_active_window);
+    m.Add(m.DeclareCounter("mining.ns_names"),
+          static_cast<int64_t>(mined_->ns_names.size()));
   }
   return *mined_;
 }

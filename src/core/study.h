@@ -43,8 +43,11 @@ class Study {
 
   // §III-A. Must run first.
   const std::vector<SeedDomain>& RunSelection();
-  // §III-B/C (requires selection).
-  const MinedDataset& RunMining();
+  // §III-B/C (requires selection). Runs the sharded miner: options.workers
+  // threads (0 = all cores) over a frozen PDNS snapshot; the MinedDataset is
+  // byte-identical for any worker count. The study's phase profiler is
+  // wired in as the default sub-phase sink.
+  const MinedDataset& RunMining(MinerOptions options = MinerOptions());
   // Fig. 1 measurements over the mined query list (requires mining). Runs
   // the sharded pool measurer: options.workers threads (0 = all cores), a
   // shared zone-cut cache, results and per-domain stats independent of the

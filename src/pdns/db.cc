@@ -1,5 +1,7 @@
 #include "pdns/db.h"
 
+#include <algorithm>
+
 namespace govdns::pdns {
 
 PdnsDatabase::PdnsDatabase(int merge_gap_days)
@@ -68,10 +70,13 @@ void PdnsDatabase::ObserveInterval(const dns::Name& rrname, dns::RRType type,
   }
 }
 
-bool PdnsDatabase::Matches(const PdnsEntry& entry, const Query& query) const {
+bool EntryMatches(const PdnsEntry& entry, const Query& query) {
   if (query.type && entry.type != *query.type) return false;
   if (query.window && !entry.seen.Overlaps(*query.window)) return false;
-  if (entry.seen.LengthDays() < query.min_duration_days) return false;
+  // Gap semantics, matching the §III-C stability filter (see db.h).
+  if (entry.seen.last - entry.seen.first < query.min_seen_gap_days) {
+    return false;
+  }
   return true;
 }
 
@@ -81,7 +86,7 @@ std::vector<PdnsEntry> PdnsDatabase::WildcardSearch(const dns::Name& suffix,
   for (auto it = by_name_.lower_bound(suffix); it != by_name_.end(); ++it) {
     if (!it->first.IsSubdomainOf(suffix)) break;
     for (const PdnsEntry& entry : it->second) {
-      if (Matches(entry, query)) out.push_back(entry);
+      if (EntryMatches(entry, query)) out.push_back(entry);
     }
   }
   return out;
@@ -93,8 +98,52 @@ std::vector<PdnsEntry> PdnsDatabase::Lookup(const dns::Name& rrname,
   auto it = by_name_.find(rrname);
   if (it == by_name_.end()) return out;
   for (const PdnsEntry& entry : it->second) {
-    if (Matches(entry, query)) out.push_back(entry);
+    if (EntryMatches(entry, query)) out.push_back(entry);
   }
+  return out;
+}
+
+PdnsSnapshot PdnsDatabase::Freeze() const {
+  PdnsSnapshot snap;
+  snap.names_.reserve(by_name_.size());
+  snap.offsets_.reserve(by_name_.size() + 1);
+  snap.entries_.reserve(entry_count_);
+  snap.offsets_.push_back(0);
+  // The map already iterates in canonical order; per-owner entry order is
+  // preserved so snapshot searches are entry-for-entry identical to the
+  // map-backed path.
+  for (const auto& [name, entries] : by_name_) {
+    snap.names_.push_back(name);
+    snap.entries_.insert(snap.entries_.end(), entries.begin(), entries.end());
+    snap.offsets_.push_back(static_cast<uint32_t>(snap.entries_.size()));
+  }
+  return snap;
+}
+
+std::pair<size_t, size_t> PdnsSnapshot::WildcardNameRange(
+    const dns::Name& suffix) const {
+  auto lo = std::lower_bound(names_.begin(), names_.end(), suffix);
+  // Within [lo, end) the subtree of `suffix` is a prefix (see header), so
+  // its end is a partition point rather than a linear scan.
+  auto hi = std::partition_point(lo, names_.end(), [&](const dns::Name& n) {
+    return n.IsSubdomainOf(suffix);
+  });
+  return {static_cast<size_t>(lo - names_.begin()),
+          static_cast<size_t>(hi - names_.begin())};
+}
+
+std::span<const PdnsEntry> PdnsSnapshot::WildcardSpan(
+    const dns::Name& suffix) const {
+  if (names_.empty()) return {};  // incl. default-constructed snapshots
+  auto [lo, hi] = WildcardNameRange(suffix);
+  return {entries_.data() + offsets_[lo], offsets_[hi] - offsets_[lo]};
+}
+
+std::vector<PdnsEntry> PdnsSnapshot::WildcardSearch(const dns::Name& suffix,
+                                                    const Query& query) const {
+  std::vector<PdnsEntry> out;
+  VisitWildcard(suffix, query,
+                [&](const PdnsEntry& entry) { out.push_back(entry); });
   return out;
 }
 

@@ -6,11 +6,22 @@
 // ("*.gov.au" -> every record whose owner ends in gov.au) and time-window
 // filtering. The world generator populates it by replaying ten years of
 // synthetic zone history through Observe().
+//
+// Two read paths exist:
+//   * the mutable, map-backed PdnsDatabase, used while the history is being
+//     ingested; and
+//   * a frozen PdnsSnapshot (from Freeze()), which lowers the node-based map
+//     into one flat, canonically sorted entry array with a per-owner offset
+//     index. Wildcard search on a snapshot is a binary-searched contiguous
+//     range returning non-owning spans — no per-query copies — which is what
+//     the sharded miner iterates at paper scale.
 #pragma once
 
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dns/name.h"
@@ -34,9 +45,73 @@ struct PdnsEntry {
 struct Query {
   std::optional<dns::RRType> type;          // filter by type
   std::optional<util::DayInterval> window;  // keep entries overlapping it
-  // Minimum inclusive length of the seen interval, in days. This is the
-  // paper's stability filter (§III-C, 7 days).
-  int min_duration_days = 1;
+  // Minimum first-seen-to-last-seen *gap* in days: keep iff
+  //
+  //     seen.last − seen.first >= min_seen_gap_days
+  //
+  // This is the same gap semantics as the §III-C stability filter in
+  // core/mining.h (stable iff the gap reaches `stability_days`), so the two
+  // filters cannot drift apart. It is deliberately NOT the inclusive
+  // calendar length `DayInterval::LengthDays()` (= gap + 1); an earlier
+  // revision compared LengthDays() here while mining used the gap, letting
+  // one-day-longer records through on this path only. 0 keeps everything.
+  int min_seen_gap_days = 0;
+};
+
+// True when `entry` passes `query`. One predicate shared by the map-backed
+// database and the frozen snapshot, so the paths cannot disagree.
+bool EntryMatches(const PdnsEntry& entry, const Query& query);
+
+// Immutable flat-index view of a database at Freeze() time. Owner names are
+// held in one canonically sorted array (canonical order clusters a suffix's
+// subtree into a contiguous run) and all entries live in one flat array
+// grouped by owner, so a wildcard search is two binary searches plus a
+// contiguous scan, and callers can iterate entries as non-owning spans.
+// Later Observe() calls on the source database do not affect a snapshot.
+class PdnsSnapshot {
+ public:
+  PdnsSnapshot() = default;
+
+  size_t entry_count() const { return entries_.size(); }
+  size_t name_count() const { return names_.size(); }
+
+  const dns::Name& name(size_t i) const { return names_[i]; }
+  // Entries owned by name(i), in the source database's per-owner order.
+  std::span<const PdnsEntry> entries(size_t i) const {
+    return {entries_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+
+  // Owner-index half-open range [lo, hi) of names equal to or under
+  // `suffix`. Valid because canonical order keeps the subtree contiguous:
+  // any name >= suffix that is not in the subtree differs from suffix in
+  // one of its rightmost LabelCount(suffix) labels and therefore sorts
+  // after every subtree member.
+  std::pair<size_t, size_t> WildcardNameRange(const dns::Name& suffix) const;
+
+  // All entries of the subtree under `suffix`, unfiltered, zero-copy.
+  std::span<const PdnsEntry> WildcardSpan(const dns::Name& suffix) const;
+
+  // Allocation-free wildcard search: invokes `visit(entry)` for every
+  // subtree entry matching `query`, in canonical order.
+  template <typename Visitor>
+  void VisitWildcard(const dns::Name& suffix, const Query& query,
+                     Visitor&& visit) const {
+    for (const PdnsEntry& entry : WildcardSpan(suffix)) {
+      if (EntryMatches(entry, query)) visit(entry);
+    }
+  }
+
+  // Thin copying wrapper over VisitWildcard for existing callers; returns
+  // exactly what the map-backed PdnsDatabase::WildcardSearch returns.
+  std::vector<PdnsEntry> WildcardSearch(const dns::Name& suffix,
+                                        const Query& query = Query()) const;
+
+ private:
+  friend class PdnsDatabase;
+
+  std::vector<dns::Name> names_;     // canonical order
+  std::vector<uint32_t> offsets_;    // names_.size() + 1 fenceposts
+  std::vector<PdnsEntry> entries_;   // flat, grouped by owner
 };
 
 class PdnsDatabase {
@@ -66,12 +141,15 @@ class PdnsDatabase {
   std::vector<PdnsEntry> Lookup(const dns::Name& rrname,
                                 const Query& query = Query()) const;
 
+  // Lowers the current contents into a flat, canonically sorted snapshot.
+  // O(entries); amortized across the many wildcard searches a mining pass
+  // performs. Entry-for-entry identical to the map-backed search results.
+  PdnsSnapshot Freeze() const;
+
   size_t entry_count() const { return entry_count_; }
   size_t name_count() const { return by_name_.size(); }
 
  private:
-  bool Matches(const PdnsEntry& entry, const Query& query) const;
-
   int merge_gap_days_;
   size_t entry_count_ = 0;
   // Canonical name order clusters subdomains behind their ancestor, which

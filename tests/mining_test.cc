@@ -220,6 +220,52 @@ TEST(MinerTest, QueryListExcludesDisposablesAndStale) {
   EXPECT_EQ(list[0].ToString(), "real.gov.xx");
 }
 
+TEST(MinerTest, WorkerCountCannotChangeTheDataset) {
+  // Multi-seed database with NS hostnames shared across seeds, so the
+  // worker-local intern tables genuinely disagree before the fold remaps
+  // them. Any worker count must produce the byte-identical MinedDataset —
+  // ns_names order and stats included.
+  pdns::PdnsDatabase db(/*merge_gap_days=*/0);
+  std::vector<SeedDomain> seeds;
+  for (int c = 0; c < 5; ++c) {
+    std::string cc = std::string("a") + char('a' + c);
+    seeds.push_back({c, Name::FromString("gov." + cc),
+                     SeedVerification::kRegistryPolicy, false});
+    for (int d = 0; d < 4; ++d) {
+      Name domain = Name::FromString("d" + std::to_string(d) + ".gov." + cc);
+      // "shared.host.zz" appears under every seed; the rest are seed-local.
+      db.ObserveInterval(domain, RRType::kNS, "shared.host.zz",
+                         {DayFromYmd(2012 + c, 1, 1), DayFromYmd(2019, 6, 1)});
+      db.ObserveInterval(domain, RRType::kNS,
+                         "ns" + std::to_string(d) + ".gov." + cc,
+                         {DayFromYmd(2013, 1, 1), DayFromYmd(2020, 6, 1)});
+      db.ObserveInterval(domain, RRType::kNS, "flaky.host.zz",
+                         {DayFromYmd(2016, 5, 1), DayFromYmd(2016, 5, 3)});
+    }
+  }
+  auto mine = [&](int workers) {
+    MinerOptions options;
+    options.workers = workers;
+    PdnsMiner miner(&db, MiningConfig(), options);
+    return miner.Mine(seeds);
+  };
+  const MinedDataset serial = mine(1);
+  EXPECT_EQ(serial.stats.seeds, 5);
+  EXPECT_EQ(serial.stats.domains, 20);
+  EXPECT_GT(serial.stats.entries_unstable, 0);
+  // First-appearance intern order: seed 0's first domain sees the shared
+  // host first, then its own ns0.
+  ASSERT_GE(serial.ns_names.size(), 2u);
+  EXPECT_EQ(serial.ns_names[0], "shared.host.zz");
+  EXPECT_EQ(serial.ns_names[1], "ns0.gov.aa");
+  for (int workers : {2, 3, 7, 16}) {
+    const MinedDataset pooled = mine(workers);
+    EXPECT_TRUE(pooled == serial) << "workers=" << workers;
+    EXPECT_EQ(pooled.ns_names, serial.ns_names) << "workers=" << workers;
+    EXPECT_EQ(pooled.stats, serial.stats) << "workers=" << workers;
+  }
+}
+
 TEST(AggregatesTest, CountPerYearAndChurn) {
   pdns::PdnsDatabase db(/*merge_gap_days=*/0);
   // One domain 2011-2020 with a single NS; a second domain appears in 2015

@@ -107,13 +107,29 @@ TEST(PdnsTest, QueryFiltersByWindowOverlap) {
 TEST(PdnsTest, StabilityFilterDropsShortLived) {
   PdnsDatabase db(/*merge_gap_days=*/0);
   Name name = Name::FromString("moe.gov.cn");
-  db.ObserveInterval(name, RRType::kNS, "junk", {100, 102});     // 3 days
-  db.ObserveInterval(name, RRType::kNS, "stable", {100, 300});   // 201 days
+  db.ObserveInterval(name, RRType::kNS, "junk", {100, 102});     // gap 2
+  db.ObserveInterval(name, RRType::kNS, "stable", {100, 300});   // gap 200
   Query q;
-  q.min_duration_days = 7;
+  q.min_seen_gap_days = 7;
   auto hits = db.Lookup(name, q);
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0].rdata, "stable");
+}
+
+TEST(PdnsTest, MinSeenGapUsesGapSemantics) {
+  // Gap semantics, like the §III-C miner filter: keep iff last − first >= 7.
+  // The {100, 106} sighting spans 7 calendar days but only a 6-day gap and
+  // must be dropped — the old `LengthDays() < min_duration_days` predicate
+  // kept it, letting the two filters drift apart.
+  PdnsDatabase db(/*merge_gap_days=*/0);
+  Name name = Name::FromString("moe.gov.cn");
+  db.ObserveInterval(name, RRType::kNS, "gap6", {100, 106});
+  db.ObserveInterval(name, RRType::kNS, "gap7", {100, 107});
+  Query q;
+  q.min_seen_gap_days = 7;
+  auto hits = db.Lookup(name, q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].rdata, "gap7");
 }
 
 TEST(PdnsTest, ZeroGapMergesOnlyAdjacent) {
@@ -125,6 +141,105 @@ TEST(PdnsTest, ZeroGapMergesOnlyAdjacent) {
   db.Observe(name, RRType::kNS, "x", 103);  // one-day hole: new entry
   EXPECT_EQ(db.entry_count(), 2u);
 }
+
+// ---------------------------------------------------------------------------
+// Frozen flat-index snapshot
+// ---------------------------------------------------------------------------
+
+TEST(PdnsSnapshotTest, WildcardRangeExcludesLookalikeNeighbors) {
+  PdnsDatabase db;
+  // notgov.au and xgov.au are string-suffix lookalikes that sit adjacent to
+  // the gov.au subtree in canonical order; the binary-searched range must
+  // exclude them on label boundaries.
+  db.Observe(Name::FromString("gov.au"), RRType::kNS, "a", 100);
+  db.Observe(Name::FromString("health.gov.au"), RRType::kNS, "b", 100);
+  db.Observe(Name::FromString("notgov.au"), RRType::kNS, "c", 100);
+  db.Observe(Name::FromString("xgov.au"), RRType::kNS, "d", 100);
+  db.Observe(Name::FromString("gov.aux"), RRType::kNS, "e", 100);
+  PdnsSnapshot snap = db.Freeze();
+  EXPECT_EQ(snap.entry_count(), 5u);
+  EXPECT_EQ(snap.name_count(), 5u);
+
+  auto [lo, hi] = snap.WildcardNameRange(Name::FromString("gov.au"));
+  EXPECT_EQ(hi - lo, 2u);
+  auto hits = snap.WildcardSearch(Name::FromString("gov.au"));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].rdata, "a");
+  EXPECT_EQ(hits[1].rdata, "b");
+  EXPECT_EQ(snap.WildcardSpan(Name::FromString("gov.au")).size(), 2u);
+  EXPECT_TRUE(snap.WildcardSearch(Name::FromString("gov.zz")).empty());
+  EXPECT_TRUE(snap.WildcardSpan(Name::FromString("gov.zz")).empty());
+}
+
+TEST(PdnsSnapshotTest, SnapshotIsImmutableAfterLaterObserves) {
+  PdnsDatabase db;
+  db.Observe(Name::FromString("a.gov.xx"), RRType::kNS, "ns1", 100);
+  PdnsSnapshot snap = db.Freeze();
+  db.Observe(Name::FromString("b.gov.xx"), RRType::kNS, "ns2", 100);
+  EXPECT_EQ(snap.entry_count(), 1u);
+  EXPECT_EQ(db.entry_count(), 2u);
+  EXPECT_EQ(snap.WildcardSearch(Name::FromString("gov.xx")).size(), 1u);
+  EXPECT_EQ(db.WildcardSearch(Name::FromString("gov.xx")).size(), 2u);
+}
+
+TEST(PdnsSnapshotTest, EmptyAndDefaultSnapshotsAreSafe) {
+  PdnsSnapshot defaulted;
+  EXPECT_TRUE(defaulted.WildcardSearch(Name::FromString("gov.xx")).empty());
+  PdnsDatabase db;
+  PdnsSnapshot empty = db.Freeze();
+  EXPECT_EQ(empty.entry_count(), 0u);
+  EXPECT_TRUE(empty.WildcardSpan(Name::FromString("gov.xx")).empty());
+}
+
+// Property: the frozen path agrees entry-for-entry with the map-backed path
+// across random databases and queries, including filters.
+class PdnsSnapshotOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(PdnsSnapshotOracle, FreezeMatchesMapBackedSearch) {
+  util::Rng rng(GetParam() * 7717);
+  static const char* kSuffixes[] = {"gov.au", "notgov.au", "xgov.au",
+                                    "gov.aux", "go.au"};
+  static const char* kLabels[] = {"health", "tax", "portal"};
+
+  PdnsDatabase db(/*merge_gap_days=*/10);
+  for (int i = 0; i < 400; ++i) {
+    Name name = Name::FromString(kSuffixes[rng.UniformU64(5)]);
+    int depth = static_cast<int>(rng.UniformU64(3));
+    for (int d = 0; d < depth; ++d) {
+      name = name.Child(kLabels[rng.UniformU64(3)]);
+    }
+    RRType type = rng.Bernoulli(0.8) ? RRType::kNS : RRType::kA;
+    std::string rdata = "ns" + std::to_string(rng.UniformU64(4)) + ".h.cc";
+    util::CivilDay start = static_cast<util::CivilDay>(rng.UniformU64(1000));
+    util::CivilDay len = static_cast<util::CivilDay>(rng.UniformU64(50));
+    db.ObserveInterval(name, type, rdata, {start, start + len});
+  }
+  PdnsSnapshot snap = db.Freeze();
+  EXPECT_EQ(snap.entry_count(), db.entry_count());
+  EXPECT_EQ(snap.name_count(), db.name_count());
+
+  std::vector<Query> queries(4);
+  queries[1].type = RRType::kNS;
+  queries[2].window = util::DayInterval{200, 600};
+  queries[3].type = RRType::kNS;
+  queries[3].window = util::DayInterval{100, 800};
+  queries[3].min_seen_gap_days = 7;
+
+  for (const char* suffix_text : kSuffixes) {
+    Name suffix = Name::FromString(suffix_text);
+    for (const Query& query : queries) {
+      auto expected = db.WildcardSearch(suffix, query);
+      // Copying wrapper and allocation-free visitor both match exactly.
+      EXPECT_EQ(snap.WildcardSearch(suffix, query), expected);
+      std::vector<PdnsEntry> visited;
+      snap.VisitWildcard(suffix, query,
+                         [&](const PdnsEntry& e) { visited.push_back(e); });
+      EXPECT_EQ(visited, expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PdnsSnapshotOracle, ::testing::Range(1, 7));
 
 // Property: same-rdata entries never overlap, regardless of insert order.
 class PdnsMergeProperty : public ::testing::TestWithParam<int> {};

@@ -3,7 +3,7 @@
 //
 //   govdns_study [--scale S] [--seed N] [--json out.json] [--csv table[,table...]]
 //                [--metrics out.json] [--trace out.json]
-//                [--trace-sample N] [--report]
+//                [--trace-sample N] [--mine-workers N] [--report]
 //
 // Builds a world at the requested scale, runs selection -> mining -> active
 // measurement, and then prints the consolidated report (--report, default)
@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "core/export.h"
+#include "core/mining.h"
 #include "core/report.h"
 #include "obs/obs.h"
 #include "util/strings.h"
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   uint64_t trace_sample = 16;
+  int mine_workers = 0;  // 0 = all cores (results are worker-count invariant)
   bool print_report = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -54,6 +56,8 @@ int main(int argc, char** argv) {
       if (const char* v = next()) trace_path = v;
     } else if (arg == "--trace-sample") {
       if (const char* v = next()) trace_sample = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--mine-workers") {
+      if (const char* v = next()) mine_workers = std::atoi(v);
     } else if (arg == "--report") {
       print_report = true;
     } else if (arg == "--no-report") {
@@ -62,7 +66,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--seed N] [--json out.json] "
                    "[--csv t1,t2] [--metrics out.json] [--trace out.json] "
-                   "[--trace-sample N] [--no-report]\n",
+                   "[--trace-sample N] [--mine-workers N] [--no-report]\n",
                    argv[0]);
       return 2;
     }
@@ -80,7 +84,11 @@ int main(int argc, char** argv) {
   if (want_obs) bound.study->AttachObservability(&observability);
 
   std::fprintf(stderr, "running study...\n");
-  bound.study->RunAll();
+  bound.study->RunSelection();
+  core::MinerOptions mine_options;
+  mine_options.workers = mine_workers;
+  bound.study->RunMining(mine_options);
+  bound.study->RunActiveMeasurement();
 
   std::vector<std::string> top10;
   for (const char* code : worldgen::Top10CountryCodes()) {

@@ -38,6 +38,21 @@ assert trace["folded_domains"] >= len(trace["domains"])
 print("smoke: report/metrics/trace exports parse OK")
 EOF
 
+echo "==> smoke: bench_parallel_mine (1 vs 4 workers, results identical)"
+# The mining pool is only allowed to change wall-clock time, never bytes.
+# Run the bench artifact at a small scale and assert every point in the
+# worker sweep reproduced the serial dataset exactly.
+GOVDNS_SCALE=0.05 GOVDNS_MINING_JSON="${SMOKE_DIR}/BENCH_mining.json" \
+  ./build/bench/bench_parallel_mine --benchmark_filter='^$' >/dev/null 2>&1
+python3 - "${SMOKE_DIR}/BENCH_mining.json" <<'EOF'
+import json, sys
+doc = json.loads(open(sys.argv[1]).read())
+sweep = {p["workers"]: p for p in doc["sweep"]}
+assert 1 in sweep and 4 in sweep, sorted(sweep)
+assert all(p["identical_to_serial"] for p in doc["sweep"]), doc
+print("smoke: bench_parallel_mine sweep identical across worker counts OK")
+EOF
+
 echo "==> tier-1: asan/ubsan build + ctest"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"
@@ -49,16 +64,17 @@ cmake --build --preset ubsan -j "${JOBS}"
 ctest --preset ubsan -j "${JOBS}"
 
 echo "==> tier-1: tsan build + concurrency suites"
-# The sharded measurement pool (shared cut cache, SimNetwork striping,
-# per-worker merges) must be race-free, not just correct-when-lucky. Run the
-# suites that exercise the parallel path under ThreadSanitizer; the binaries
-# are invoked directly so gtest filters stay simple and reliable.
+# The sharded measurement and mining pools (shared cut cache, SimNetwork
+# striping, frozen PDNS snapshot, per-worker merges) must be race-free, not
+# just correct-when-lucky. Run the suites that exercise the parallel paths
+# under ThreadSanitizer; the binaries are invoked directly so gtest filters
+# stay simple and reliable.
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target \
   simnet_test resolver_test measure_test parallel_measure_test \
-  chaos_resilience_test
+  chaos_resilience_test pdns_test mining_test parallel_mine_test
 for t in simnet_test resolver_test measure_test parallel_measure_test \
-         chaos_resilience_test; do
+         chaos_resilience_test pdns_test mining_test parallel_mine_test; do
   echo "==> tsan: ${t}"
   "./build-tsan/tests/${t}"
 done
