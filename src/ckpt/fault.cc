@@ -1,0 +1,24 @@
+#include "ckpt/fault.h"
+
+namespace govdns::ckpt {
+
+std::string_view KillModeName(KillMode mode) {
+  switch (mode) {
+    case KillMode::kBeforeWrite: return "before-write";
+    case KillMode::kAfterTemp: return "after-temp";
+    case KillMode::kTruncate: return "truncate";
+    case KillMode::kCorrupt: return "corrupt";
+    case KillMode::kAfterCommit: return "after-commit";
+  }
+  return "unknown";
+}
+
+KillPointReached::KillPointReached(uint64_t write_index, KillMode mode,
+                                   const std::string& file)
+    : std::runtime_error("ckpt kill-point at write " +
+                         std::to_string(write_index) + " (" +
+                         std::string(KillModeName(mode)) + ", " + file + ")"),
+      write_index_(write_index),
+      mode_(mode) {}
+
+}  // namespace govdns::ckpt

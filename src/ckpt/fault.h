@@ -1,0 +1,57 @@
+// Kill-point fault injection for the checkpoint journal.
+//
+// A CkptFaultPlan deterministically kills the process (or the current call
+// stack) at the Nth journal write, optionally damaging the in-flight file
+// first. The resume tests drive a study through *every* write index under
+// every mode and assert the resumed report is byte-identical to an
+// uninterrupted run — the checkpoint analogue of the simnet chaos model.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace govdns::ckpt {
+
+// Process exit status used when a fault plan fires with exit_process set;
+// distinct from ordinary failure codes so harnesses can tell a planned
+// kill from a genuine crash.
+inline constexpr int kKillExitCode = 42;
+
+// Where, relative to the write-to-temp / fsync / rename protocol, the kill
+// lands. Every mode must leave the journal in a state resume recovers from.
+enum class KillMode : uint8_t {
+  kBeforeWrite,  // die before a single byte reaches disk
+  kAfterTemp,    // temp file written, atomic rename never happened
+  kTruncate,     // commit completed, then the file is cut to half its size
+  kCorrupt,      // commit completed, then one payload byte is flipped
+  kAfterCommit,  // die immediately after a fully durable commit
+};
+
+std::string_view KillModeName(KillMode mode);
+
+struct CkptFaultPlan {
+  // 1-based index of the journal write (Journal::Commit call) to kill at;
+  // 0 disables the plan.
+  uint64_t kill_at_write = 0;
+  KillMode mode = KillMode::kAfterCommit;
+  // true: _exit(kKillExitCode) like a real crash — the CLI harness mode.
+  // false: throw KillPointReached so in-process tests catch and resume.
+  bool exit_process = false;
+};
+
+// Thrown when a fault plan with exit_process == false fires.
+class KillPointReached : public std::runtime_error {
+ public:
+  KillPointReached(uint64_t write_index, KillMode mode,
+                   const std::string& file);
+  uint64_t write_index() const { return write_index_; }
+  KillMode mode() const { return mode_; }
+
+ private:
+  uint64_t write_index_;
+  KillMode mode_;
+};
+
+}  // namespace govdns::ckpt

@@ -1,0 +1,108 @@
+#include "ckpt/serial.h"
+
+#include <cstring>
+
+namespace govdns::ckpt {
+
+void Writer::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void Writer::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void Writer::F64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  U64(bits);
+}
+
+void Writer::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s);
+}
+
+const char* Reader::Take(size_t n) {
+  if (!ok_ || n > buf_.size() - pos_) {
+    ok_ = false;
+    return nullptr;
+  }
+  const char* p = buf_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+bool Reader::U8(uint8_t* v) {
+  const char* p = Take(1);
+  if (p == nullptr) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool Reader::U32(uint32_t* v) {
+  const char* p = Take(4);
+  if (p == nullptr) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool Reader::U64(uint64_t* v) {
+  const char* p = Take(8);
+  if (p == nullptr) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool Reader::I32(int32_t* v) {
+  uint32_t u = 0;
+  if (!U32(&u)) return false;
+  *v = static_cast<int32_t>(u);
+  return true;
+}
+
+bool Reader::I64(int64_t* v) {
+  uint64_t u = 0;
+  if (!U64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool Reader::Bool(bool* v) {
+  uint8_t u = 0;
+  if (!U8(&u)) return false;
+  // Any non-{0,1} byte is corruption, not a creative truthy value.
+  if (u > 1) {
+    ok_ = false;
+    return false;
+  }
+  *v = u != 0;
+  return true;
+}
+
+bool Reader::F64(double* v) {
+  uint64_t bits = 0;
+  if (!U64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof bits);
+  return true;
+}
+
+bool Reader::Str(std::string* s) {
+  uint32_t len = 0;
+  if (!U32(&len)) return false;
+  const char* p = Take(len);
+  if (p == nullptr) return false;
+  s->assign(p, len);
+  return true;
+}
+
+}  // namespace govdns::ckpt

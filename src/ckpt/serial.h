@@ -1,0 +1,69 @@
+// Byte-level serialization for checkpoint payloads.
+//
+// Fixed-width little-endian primitives plus length-prefixed strings: the
+// format must be byte-identical across runs and platforms because frame
+// CRCs — and therefore the journal chain — are computed over these bytes.
+// The Reader is fully bounds-checked and latches the first failure instead
+// of throwing or aborting: a truncated or corrupted payload must always
+// decode to a clean "reject this frame" decision, never to UB (the chaos
+// model's rule for wire parsers, applied to our own on-disk format).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace govdns::ckpt {
+
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  // IEEE-754 bit pattern; used only for diagnostic fields (wall times).
+  void F64(double v);
+  // u32 length prefix followed by the raw bytes.
+  void Str(std::string_view s);
+  void Raw(std::string_view bytes) { out_.append(bytes); }
+
+  size_t size() const { return out_.size(); }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view buf) : buf_(buf) {}
+
+  // Each getter returns false (leaving *v untouched) once the buffer is
+  // exhausted or a prior read failed; ok() stays false from then on.
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I32(int32_t* v);
+  bool I64(int64_t* v);
+  bool Bool(bool* v);
+  bool F64(double* v);
+  bool Str(std::string* s);
+
+  bool ok() const { return ok_; }
+  // True when every byte was consumed cleanly — trailing garbage is as much
+  // a corruption signal as a short read.
+  bool AtEnd() const { return ok_ && pos_ == buf_.size(); }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  // Claims n bytes or latches failure.
+  const char* Take(size_t n);
+
+  std::string_view buf_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace govdns::ckpt

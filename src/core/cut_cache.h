@@ -42,6 +42,7 @@ struct CutCacheStats {
   uint64_t negative_hits = 0;    // unexpired dead-subtree entries served
   uint64_t publishes = 0;
   uint64_t negative_publishes = 0;
+  uint64_t negative_evictions = 0;  // negatives dropped by the per-stripe bound
   // Query effort spent computing shared entries (cold walks, glueless NS
   // resolution, dead-subtree probing). Reported as a diagnostic alongside —
   // never inside — the per-domain resilience totals: cold-start races make
@@ -58,7 +59,15 @@ class SharedCutCache {
     uint64_t expires_ms = 0;  // unreachable entries only: retry-after time
   };
 
-  explicit SharedCutCache(size_t stripes = 16);
+  // `max_negatives_per_stripe` bounds how many dead-subtree entries a stripe
+  // retains; publishing past the bound evicts expired negatives first, then
+  // the earliest-expiring one. The bound keeps a resumed run (or a very long
+  // one) from accumulating stale negatives without limit. Eviction is
+  // outcome-neutral for per-domain results: re-probing an evicted dead
+  // subtree costs infra-charged queries and one negative_cache_hit per
+  // domain, exactly like a warm negative (uniform accounting, DESIGN.md §6e).
+  explicit SharedCutCache(size_t stripes = 16,
+                          size_t max_negatives_per_stripe = 256);
 
   // Copies the entry out under the stripe lock; counts a hit/miss.
   std::optional<Entry> Lookup(const dns::Name& cut) const;
@@ -66,10 +75,19 @@ class SharedCutCache {
   // Publishes (or overwrites) an entry. Racing publishers of the same cut
   // carry identical content by construction, so ordering is immaterial.
   void Publish(const dns::Name& cut, Entry entry);
+  // `now_ms` drives expired-first eviction under the negative bound; expiry
+  // itself is judged against the logical clock by the resolver on lookup.
   void PublishUnreachable(const dns::Name& cut, std::vector<dns::Name> ns_names,
-                          uint64_t expires_ms);
+                          uint64_t expires_ms, uint64_t now_ms);
 
   void ChargeInfra(const ResolverCounters& effort);
+
+  // Checkpoint support: a deterministic (name-sorted) snapshot of all
+  // entries, and bulk restore into an empty-or-warm cache. Restore skips
+  // unreachable entries — negatives must never outlive the run that observed
+  // them — and returns the number of entries actually inserted.
+  std::vector<std::pair<dns::Name, Entry>> Export() const;
+  size_t Restore(const std::vector<std::pair<dns::Name, Entry>>& entries);
 
   // Wires a publish log (not owned; may be null). Raw publish order and
   // multiplicity are scheduling-dependent, but entry *content* is hermetic
@@ -84,11 +102,16 @@ class SharedCutCache {
   struct Stripe {
     mutable std::mutex mu;
     std::map<dns::Name, Entry> entries;
+    size_t negatives = 0;  // unreachable entries currently held
   };
 
   Stripe& StripeFor(const dns::Name& cut) const;
+  // Under the stripe lock: make room for one more negative. Returns the
+  // number of negatives evicted (expired-first, then earliest expiry).
+  size_t EvictNegativesLocked(Stripe& stripe, uint64_t now_ms);
 
   std::vector<std::unique_ptr<Stripe>> stripes_;
+  size_t max_negatives_per_stripe_;
   mutable std::mutex stats_mu_;
   mutable CutCacheStats stats_;
   obs::CutTraceLog* trace_log_ = nullptr;

@@ -52,6 +52,8 @@ struct NsHostResult {
   NsHostStatus status = NsHostStatus::kUnresolvable;
   bool in_parent_set = false;
   bool in_child_set = false;
+
+  friend bool operator==(const NsHostResult&, const NsHostResult&) = default;
 };
 
 struct MeasurementResult {
@@ -88,6 +90,11 @@ struct MeasurementResult {
   std::vector<geo::IPv4> NsAddresses() const;
   // Convenience: the union P ∪ C.
   std::vector<dns::Name> AllNs() const;
+
+  // Full-field equality: used by the checkpoint tests to prove a journaled
+  // result decodes back bit-for-bit.
+  friend bool operator==(const MeasurementResult&,
+                         const MeasurementResult&) = default;
 };
 
 struct MeasurerOptions {
@@ -137,8 +144,10 @@ class ActiveMeasurer {
   // caller resolver's cumulative counters.
   const ResolverCounters& merged_counters() const { return merged_counters_; }
   uint64_t merged_queries_sent() const { return merged_queries_sent_; }
-  // Pool mode only (nullptr otherwise).
+  // Pool mode only (nullptr otherwise). The mutable overload exists for
+  // checkpoint warm-start (SharedCutCache::Restore before MeasureAll).
   const SharedCutCache* shared_cache() const { return shared_cache_.get(); }
+  SharedCutCache* shared_cache() { return shared_cache_.get(); }
 
  private:
   // Well-known metric ids, declared once per run on the attached registry.

@@ -11,9 +11,28 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace govdns::core {
+
+uint64_t MiningConfigFingerprint(const MiningConfig& config) {
+  uint64_t state = 0x676f76646e73636bull;  // arbitrary non-zero start
+  auto mix = [&state](uint64_t v) {
+    state ^= v + 0x9E3779B97F4A7C15ull + (state << 6) + (state >> 2);
+    uint64_t s = state;
+    state = util::SplitMix64(s);
+  };
+  mix(static_cast<uint64_t>(config.first_year));
+  mix(static_cast<uint64_t>(config.last_year));
+  mix(static_cast<uint64_t>(config.stability_days));
+  mix(static_cast<uint64_t>(config.statistic));
+  mix(static_cast<uint64_t>(config.active_window.first));
+  mix(static_cast<uint64_t>(config.active_window.last));
+  mix(config.filter_disposable ? 1 : 2);
+  mix(config.require_stable_for_active ? 1 : 2);
+  return state;
+}
 
 PdnsMiner::PdnsMiner(const pdns::PdnsDatabase* db, MiningConfig config,
                      MinerOptions options)

@@ -69,6 +69,11 @@ struct MiningConfig {
   friend bool operator==(const MiningConfig&, const MiningConfig&) = default;
 };
 
+// Stable 64-bit digest of every MiningConfig field. Folded into the study's
+// checkpoint fingerprint so a journal mined under a different config is
+// rejected at frame-load time, before any payload is trusted.
+uint64_t MiningConfigFingerprint(const MiningConfig& config);
+
 // Execution knobs of one Mine() pass. Deliberately NOT part of MiningConfig:
 // the config travels inside the MinedDataset, and nothing about how the work
 // was scheduled may appear in the dataset (byte-identical across worker

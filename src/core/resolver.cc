@@ -288,10 +288,37 @@ util::StatusOr<std::vector<geo::IPv4>> IterativeResolver::AddressesForNs(
 
 void IterativeResolver::CacheUnreachable(const dns::Name& cut,
                                          std::vector<dns::Name> ns_names) {
+  const uint64_t now = transport_->now_ms();
+  if (options_.max_negative_cuts > 0 && cut_cache_.count(cut) == 0) {
+    size_t negatives = 0;
+    for (const auto& [name, cached] : cut_cache_) {
+      if (!cached.reachable) ++negatives;
+    }
+    // Evict expired negatives first; if every negative is still live, drop
+    // the earliest-expiring one. Map order makes the tie-break (first in
+    // name order) deterministic.
+    while (negatives >= options_.max_negative_cuts) {
+      auto victim = cut_cache_.end();
+      for (auto it = cut_cache_.begin(); it != cut_cache_.end(); ++it) {
+        if (it->second.reachable) continue;
+        if (it->second.expires_ms <= now) {
+          victim = it;
+          break;
+        }
+        if (victim == cut_cache_.end() ||
+            it->second.expires_ms < victim->second.expires_ms) {
+          victim = it;
+        }
+      }
+      if (victim == cut_cache_.end()) break;
+      cut_cache_.erase(victim);
+      --negatives;
+    }
+  }
   CachedCut entry;
   entry.ns_names = std::move(ns_names);
   entry.reachable = false;
-  entry.expires_ms = transport_->now_ms() + options_.negative_cache_ttl_ms;
+  entry.expires_ms = now + options_.negative_cache_ttl_ms;
   cut_cache_[cut] = std::move(entry);
 }
 
@@ -446,7 +473,8 @@ IterativeResolver::WalkToZoneShared(const dns::Name& name, bool stop_above,
       // Never negatively cache the root: a transiently dark root would
       // poison every later walk, for every worker, for the whole cooldown.
       if (!current.zone.IsRoot()) {
-        cache.PublishUnreachable(current.zone, current.ns_names, neg_expires);
+        cache.PublishUnreachable(current.zone, current.ns_names, neg_expires,
+                                 transport_->now_ms());
       }
       // Uniform accounting: the domain whose walk probed the dead subtree
       // and the domains that later hit the cached negative each record
@@ -468,7 +496,8 @@ IterativeResolver::WalkToZoneShared(const dns::Name& name, bool stop_above,
       return current;
     }
     if (cut_unresolvable) {
-      cache.PublishUnreachable(cut, ns_names, neg_expires);
+      cache.PublishUnreachable(cut, ns_names, neg_expires,
+                               transport_->now_ms());
       ++counters_.negative_cache_hits;
       Trace(obs::TraceEventKind::kNegativeCacheHit);
       return util::UnavailableError("unresolvable delegation at " +

@@ -101,7 +101,15 @@ struct ResolverOptions {
   RetryPolicy retry;       // per-server-query retry/backoff/health policy
   // How long a zone cut discovered to be unreachable stays negatively
   // cached (transport-clock ms) before the resolver will try it again.
+  // Every negative carries an explicit expiry derived from the transport's
+  // logical clock at discovery time — never a wall clock, and never persisted
+  // across runs (checkpoint restore drops negatives, DESIGN.md §6f).
   uint32_t negative_cache_ttl_ms = 120000;
+  // Bound on negative entries the private cut cache retains. Past the bound
+  // CacheUnreachable evicts expired negatives first, then the
+  // earliest-expiring live one, so a long or resumed run cannot accumulate
+  // stale dead-subtree verdicts without limit. 0 disables the bound.
+  size_t max_negative_cuts = 512;
 
   // Engine mode: when set, zone cuts are resolved through this shared
   // thread-safe cache instead of the resolver's private one, every cut

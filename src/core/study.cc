@@ -1,5 +1,9 @@
 #include "core/study.h"
 
+#include <algorithm>
+
+#include "core/study_ckpt.h"
+
 namespace govdns::core {
 
 Study::Study(StudyInputs inputs)
@@ -11,39 +15,105 @@ Study::Study(StudyInputs inputs)
   GOVDNS_CHECK(inputs_.policy != nullptr);
 }
 
+void Study::AttachCheckpoint(StudyCheckpoint* ckpt) {
+  GOVDNS_CHECK(seeds_.empty() && mined_ == nullptr && active_ == nullptr);
+  ckpt_ = ckpt;
+  if (ckpt_ == nullptr) return;
+  // The study-side identity the journal must match: the mining config plus
+  // the shape of the research inputs. The world/config side (seed, scale) is
+  // mixed in by the harness when it constructs the StudyCheckpoint.
+  uint64_t fp = MiningConfigFingerprint(inputs_.mining);
+  fp = ckpt::MixFingerprint(fp, inputs_.knowledge_base.size());
+  fp = ckpt::MixFingerprint(fp, inputs_.countries.size());
+  fp = ckpt::MixFingerprint(fp, inputs_.root_hints.size());
+  ckpt_->Bind(fp);
+}
+
+void Study::CheckInterrupt(const char* phase) const {
+  if (interrupt_flag_ != nullptr &&
+      interrupt_flag_->load(std::memory_order_relaxed)) {
+    throw PipelineError(phase, "interrupted");
+  }
+}
+
 const std::vector<SeedDomain>& Study::RunSelection() {
-  obs::PhaseProfiler::Scope phase(&profiler_, "selection");
-  const uint64_t t0 = inputs_.transport->now_ms();
-  SeedSelector selector(&resolver_, inputs_.psl, inputs_.policy);
-  seeds_ = selector.Select(inputs_.knowledge_base, &selection_stats_);
-  phase.set_logical_ms(inputs_.transport->now_ms() - t0);
-  phase.set_items(static_cast<int64_t>(seeds_.size()));
+  if (ckpt_ != nullptr) {
+    if (auto snap = ckpt_->TryLoadSelection()) {
+      seeds_ = std::move(snap->seeds);
+      selection_stats_ = snap->stats;
+      // Replay the journaled profile rows so a resumed run exports the same
+      // profile[] as the uninterrupted one (wall_ms rides along but is never
+      // exported; logical_ms could not be recomputed without re-running).
+      for (const obs::PhaseRecord& r : snap->profile) profiler_.Record(r);
+      return seeds_;
+    }
+  }
+  CheckInterrupt("selection");
+  const size_t profile_mark = profiler_.records().size();
+  {
+    obs::PhaseProfiler::Scope phase(&profiler_, "selection");
+    const uint64_t t0 = inputs_.transport->now_ms();
+    SeedSelector selector(&resolver_, inputs_.psl, inputs_.policy);
+    seeds_ = selector.Select(inputs_.knowledge_base, &selection_stats_);
+    phase.set_logical_ms(inputs_.transport->now_ms() - t0);
+    phase.set_items(static_cast<int64_t>(seeds_.size()));
+  }
+  if (ckpt_ != nullptr) {
+    StudyCheckpoint::SelectionSnapshot snap;
+    snap.seeds = seeds_;
+    snap.stats = selection_stats_;
+    const std::vector<obs::PhaseRecord> records = profiler_.records();
+    snap.profile.assign(records.begin() + profile_mark, records.end());
+    ckpt_->SaveSelection(snap);
+  }
   return seeds_;
+}
+
+void Study::FoldMiningObs() const {
+  if (obs_ == nullptr) return;
+  // Mining is a pure function of (database, seeds, config) — the worker
+  // count may not change a byte of it — so its stats are kStable and land
+  // as registry-level counters (no worker shards here).
+  obs::MetricsRegistry& m = obs_->metrics();
+  const MiningStats& s = mined_->stats;
+  m.Add(m.DeclareCounter("mining.seeds"), s.seeds);
+  m.Add(m.DeclareCounter("mining.entries_scanned"), s.entries_scanned);
+  m.Add(m.DeclareCounter("mining.entries_unstable"), s.entries_unstable);
+  m.Add(m.DeclareCounter("mining.domains"), s.domains);
+  m.Add(m.DeclareCounter("mining.domains_disposable"), s.domains_disposable);
+  m.Add(m.DeclareCounter("mining.domains_in_active_window"),
+        s.domains_in_active_window);
+  m.Add(m.DeclareCounter("mining.ns_names"),
+        static_cast<int64_t>(mined_->ns_names.size()));
 }
 
 const MinedDataset& Study::RunMining(MinerOptions options) {
   GOVDNS_CHECK(!seeds_.empty());
-  obs::PhaseProfiler::Scope phase(&profiler_, "mining");
-  if (options.profiler == nullptr) options.profiler = &profiler_;
-  PdnsMiner miner(inputs_.pdns, inputs_.mining, options);
-  mined_ = std::make_unique<MinedDataset>(miner.Mine(seeds_));
-  phase.set_items(mined_->stats.domains);
-  if (obs_ != nullptr) {
-    // Mining is a pure function of (database, seeds, config) — the worker
-    // count may not change a byte of it — so its stats are kStable and land
-    // as registry-level counters (no worker shards here).
-    obs::MetricsRegistry& m = obs_->metrics();
-    const MiningStats& s = mined_->stats;
-    m.Add(m.DeclareCounter("mining.seeds"), s.seeds);
-    m.Add(m.DeclareCounter("mining.entries_scanned"), s.entries_scanned);
-    m.Add(m.DeclareCounter("mining.entries_unstable"), s.entries_unstable);
-    m.Add(m.DeclareCounter("mining.domains"), s.domains);
-    m.Add(m.DeclareCounter("mining.domains_disposable"), s.domains_disposable);
-    m.Add(m.DeclareCounter("mining.domains_in_active_window"),
-          s.domains_in_active_window);
-    m.Add(m.DeclareCounter("mining.ns_names"),
-          static_cast<int64_t>(mined_->ns_names.size()));
+  if (ckpt_ != nullptr) {
+    if (auto snap = ckpt_->TryLoadMining(inputs_.mining)) {
+      mined_ = std::make_unique<MinedDataset>(std::move(snap->dataset));
+      for (const obs::PhaseRecord& r : snap->profile) profiler_.Record(r);
+      FoldMiningObs();
+      return *mined_;
+    }
   }
+  CheckInterrupt("mining");
+  const size_t profile_mark = profiler_.records().size();
+  {
+    obs::PhaseProfiler::Scope phase(&profiler_, "mining");
+    if (options.profiler == nullptr) options.profiler = &profiler_;
+    PdnsMiner miner(inputs_.pdns, inputs_.mining, options);
+    mined_ = std::make_unique<MinedDataset>(miner.Mine(seeds_));
+    phase.set_items(mined_->stats.domains);
+  }
+  if (ckpt_ != nullptr) {
+    StudyCheckpoint::MiningSnapshot snap;
+    snap.dataset = *mined_;
+    const std::vector<obs::PhaseRecord> records = profiler_.records();
+    snap.profile.assign(records.begin() + profile_mark, records.end());
+    ckpt_->SaveMining(snap);
+  }
+  FoldMiningObs();
   return *mined_;
 }
 
@@ -54,20 +124,73 @@ const ActiveDataset& Study::RunActiveMeasurement(MeasurerOptions options) {
   std::vector<dns::Name> query_list = PdnsMiner::ActiveQueryList(*mined_);
   ActiveMeasurer measurer(inputs_.transport, inputs_.root_hints,
                           ResolverOptions(), options);
-  std::vector<MeasurementResult> results = measurer.MeasureAll(query_list);
-  measurement_counters_ = measurer.merged_counters();
-  measurement_queries_sent_ = measurer.merged_queries_sent();
+  std::vector<MeasurementResult> results;
+  if (ckpt_ == nullptr) {
+    results = measurer.MeasureAll(query_list);
+    measurement_counters_ = measurer.merged_counters();
+    measurement_queries_sent_ = measurer.merged_queries_sent();
+  } else {
+    results = ckpt_->LoadActiveBatches(query_list.size());
+    if (!results.empty() && results.size() < query_list.size() &&
+        ckpt_->options().snapshot_cut_cache) {
+      // Warm start: skip re-deriving infrastructure the finished batches
+      // already paid for. Purely advisory — per-domain results are hermetic
+      // either way — and positives-only, so no stale negative can replay.
+      ckpt_->RestoreCutCache(measurer.shared_cache());
+    }
+    const size_t batch_size = ckpt_->options().batch_size;
+    while (results.size() < query_list.size()) {
+      CheckInterrupt("measurement");
+      const size_t begin = results.size();
+      const size_t count = std::min(batch_size, query_list.size() - begin);
+      const std::vector<dns::Name> chunk(
+          query_list.begin() + static_cast<ptrdiff_t>(begin),
+          query_list.begin() + static_cast<ptrdiff_t>(begin + count));
+      std::vector<MeasurementResult> part = measurer.MeasureAll(chunk);
+      ckpt_->AppendActiveBatch(begin, part);
+      if (ckpt_->options().snapshot_cut_cache) {
+        ckpt_->SaveCutCacheSnapshot(*measurer.shared_cache());
+      }
+      for (MeasurementResult& r : part) results.push_back(std::move(r));
+    }
+    // Derived, not merged: per-domain query_stats sum to exactly the pool's
+    // merged counters (uniform accounting), and unlike the live merge the
+    // sum is also available for batches restored from the journal.
+    measurement_counters_ = ResolverCounters{};
+    for (const MeasurementResult& r : results) {
+      measurement_counters_ += r.query_stats;
+    }
+    measurement_queries_sent_ = measurement_counters_.queries;
+  }
   measurement_cache_stats_ = measurer.shared_cache()->stats();
   // Logical time: the sum of per-domain scope clocks, not the global clock —
   // domain scopes run on context-local clocks, and the sum is the quantity
-  // that stays deterministic across worker counts.
+  // that stays deterministic across worker counts (and across resumes).
   uint64_t logical = 0;
   for (const MeasurementResult& r : results) logical += r.logical_ms;
   phase.set_logical_ms(logical);
   phase.set_items(static_cast<int64_t>(results.size()));
   active_ = std::make_unique<ActiveDataset>(
       ActiveDataset::Build(std::move(results), seeds_, inputs_.countries));
+  PublishCheckpointGauges();
   return *active_;
+}
+
+void Study::PublishCheckpointGauges() const {
+  if (ckpt_ == nullptr || obs_ == nullptr) return;
+  // Diagnostic by nature: how much was recovered depends on where the
+  // previous run died, so none of this may feed a deterministic export.
+  obs::MetricsRegistry& m = obs_->metrics();
+  const StudyCheckpointStats& s = ckpt_->stats();
+  const ckpt::JournalStats& js = ckpt_->journal_stats();
+  m.SetGauge("ckpt.phases_loaded", s.phases_loaded);
+  m.SetGauge("ckpt.batches_loaded", s.batches_loaded);
+  m.SetGauge("ckpt.results_loaded", s.results_loaded);
+  m.SetGauge("ckpt.cache_entries_restored", s.cache_entries_restored);
+  m.SetGauge("ckpt.decode_rejects", s.decode_rejects);
+  m.SetGauge("ckpt.commits", static_cast<int64_t>(js.commits));
+  m.SetGauge("ckpt.bytes_written", static_cast<int64_t>(js.bytes_written));
+  m.SetGauge("ckpt.frame_rejections", static_cast<int64_t>(js.Rejections()));
 }
 
 void Study::RunAll() {

@@ -4,8 +4,11 @@
 // independently for partial studies.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/analysis.h"
@@ -19,6 +22,27 @@
 #include "obs/obs.h"
 
 namespace govdns::core {
+
+class StudyCheckpoint;
+
+// A pipeline stage failed (or was interrupted) in a way the study cannot
+// recover from internally. Carries which phase died and why, so the CLI can
+// exit non-zero with a structured {phase, cause} diagnostic instead of an
+// anonymous what() string.
+class PipelineError : public std::runtime_error {
+ public:
+  PipelineError(std::string phase, std::string cause)
+      : std::runtime_error(phase + ": " + cause),
+        phase_(std::move(phase)),
+        cause_(std::move(cause)) {}
+
+  const std::string& phase() const { return phase_; }
+  const std::string& cause() const { return cause_; }
+
+ private:
+  std::string phase_;
+  std::string cause_;
+};
 
 struct StudyInputs {
   // Substrates (a simulated world, or the real Internet via sockets).
@@ -65,6 +89,23 @@ class Study {
   // own phase profiler, which always runs.
   void AttachObservability(obs::Observability* obs) { obs_ = obs; }
 
+  // Attaches a checkpoint (not owned; caller keeps it alive for the study's
+  // lifetime; may be null to detach). Binds the checkpoint to this study's
+  // config identity (mining-config digest + input shape), then each phase
+  // commits a snapshot on completion and, when the checkpoint is in resume
+  // mode, loads from the journal instead of recomputing. Active measurement
+  // runs in journaled batches of options().batch_size domains. Must be
+  // attached before the first Run* call.
+  void AttachCheckpoint(StudyCheckpoint* ckpt);
+
+  // Cooperative interruption (not owned; may be null). Checked between
+  // phases and between measurement batches: when *flag becomes true the
+  // current batch finishes, its checkpoint commits, and the pipeline throws
+  // PipelineError(phase, "interrupted") — the signal-flush path of the CLI.
+  void set_interrupt_flag(const std::atomic<bool>* flag) {
+    interrupt_flag_ = flag;
+  }
+
   // Per-phase profile of every stage run so far (selection, mining,
   // measurement). logical_ms is deterministic SimClock time; wall_ms is
   // diagnostic only and never folded into deterministic outputs.
@@ -95,6 +136,14 @@ class Study {
   }
 
  private:
+  // Throws PipelineError(phase, "interrupted") when the interrupt flag is up.
+  void CheckInterrupt(const char* phase) const;
+  // Folds mining stats into the attached observability registry (runs for
+  // both computed and checkpoint-restored datasets).
+  void FoldMiningObs() const;
+  // Diagnostic ckpt.* gauges on the attached registry (no-op without obs).
+  void PublishCheckpointGauges() const;
+
   StudyInputs inputs_;
   IterativeResolver resolver_;
   std::vector<SeedDomain> seeds_;
@@ -106,6 +155,8 @@ class Study {
   CutCacheStats measurement_cache_stats_;
   obs::Observability* obs_ = nullptr;
   obs::PhaseProfiler profiler_;
+  StudyCheckpoint* ckpt_ = nullptr;
+  const std::atomic<bool>* interrupt_flag_ = nullptr;
 };
 
 }  // namespace govdns::core

@@ -1,0 +1,597 @@
+#include "core/study_ckpt.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "ckpt/serial.h"
+#include "core/study.h"
+#include "util/json.h"
+
+namespace govdns::core {
+
+namespace {
+
+// Payload kind tags: a frame renamed on disk (or a name collision) must
+// decode as a clean reject, not as a different phase's data.
+constexpr uint8_t kKindSelection = 1;
+constexpr uint8_t kKindMining = 2;
+constexpr uint8_t kKindBatch = 3;
+constexpr uint8_t kKindCutCache = 4;
+constexpr uint8_t kKindReport = 5;
+
+constexpr char kSelectionFrame[] = "selection";
+constexpr char kMiningFrame[] = "mining";
+constexpr char kCutCacheFrame[] = "cutcache";
+constexpr char kReportFrame[] = "report";
+
+std::string BatchFrameName(size_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "active_%06zu", seq);
+  return buf;
+}
+
+// --- field codecs ----------------------------------------------------------
+
+void PutName(ckpt::Writer& w, const dns::Name& name) {
+  w.U8(static_cast<uint8_t>(name.LabelCount()));
+  for (const std::string& label : name.labels()) w.Str(label);
+}
+
+bool GetName(ckpt::Reader& r, dns::Name* out) {
+  uint8_t count = 0;
+  if (!r.U8(&count)) return false;
+  std::vector<std::string> labels(count);
+  for (uint8_t i = 0; i < count; ++i) {
+    if (!r.Str(&labels[i])) return false;
+  }
+  auto name = dns::Name::FromLabels(std::move(labels));
+  if (!name.ok()) return false;
+  *out = *std::move(name);
+  return true;
+}
+
+void PutNameList(ckpt::Writer& w, const std::vector<dns::Name>& names) {
+  w.U32(static_cast<uint32_t>(names.size()));
+  for (const dns::Name& n : names) PutName(w, n);
+}
+
+bool GetNameList(ckpt::Reader& r, std::vector<dns::Name>* out) {
+  uint32_t count = 0;
+  if (!r.U32(&count)) return false;
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!GetName(r, &(*out)[i])) return false;
+  }
+  return true;
+}
+
+void PutAddrList(ckpt::Writer& w, const std::vector<geo::IPv4>& addrs) {
+  w.U32(static_cast<uint32_t>(addrs.size()));
+  for (const geo::IPv4 a : addrs) w.U32(a.bits());
+}
+
+bool GetAddrList(ckpt::Reader& r, std::vector<geo::IPv4>* out) {
+  uint32_t count = 0;
+  if (!r.U32(&count)) return false;
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t bits = 0;
+    if (!r.U32(&bits)) return false;
+    out->push_back(geo::IPv4(bits));
+  }
+  return true;
+}
+
+void PutCounters(ckpt::Writer& w, const ResolverCounters& c) {
+  w.U64(c.queries);
+  w.U64(c.retries);
+  w.U64(c.timeouts);
+  w.U64(c.unreachable);
+  w.U64(c.refused);
+  w.U64(c.malformed);
+  w.U64(c.wrong_id);
+  w.U64(c.truncated);
+  w.U64(c.backoff_ms);
+  w.U64(c.breaker_skips);
+  w.U64(c.negative_cache_hits);
+  w.U64(c.budget_denied);
+}
+
+bool GetCounters(ckpt::Reader& r, ResolverCounters* c) {
+  return r.U64(&c->queries) && r.U64(&c->retries) && r.U64(&c->timeouts) &&
+         r.U64(&c->unreachable) && r.U64(&c->refused) && r.U64(&c->malformed) &&
+         r.U64(&c->wrong_id) && r.U64(&c->truncated) && r.U64(&c->backoff_ms) &&
+         r.U64(&c->breaker_skips) && r.U64(&c->negative_cache_hits) &&
+         r.U64(&c->budget_denied);
+}
+
+void PutProfile(ckpt::Writer& w, const std::vector<obs::PhaseRecord>& records) {
+  w.U32(static_cast<uint32_t>(records.size()));
+  for (const obs::PhaseRecord& rec : records) {
+    w.Str(rec.name);
+    w.I64(rec.items);
+    w.U64(rec.logical_ms);
+    w.F64(rec.wall_ms);
+  }
+}
+
+bool GetProfile(ckpt::Reader& r, std::vector<obs::PhaseRecord>* out) {
+  uint32_t count = 0;
+  if (!r.U32(&count)) return false;
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::PhaseRecord& rec = (*out)[i];
+    if (!r.Str(&rec.name) || !r.I64(&rec.items) || !r.U64(&rec.logical_ms) ||
+        !r.F64(&rec.wall_ms)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PutMiningConfig(ckpt::Writer& w, const MiningConfig& c) {
+  w.I32(c.first_year);
+  w.I32(c.last_year);
+  w.I32(c.stability_days);
+  w.U8(static_cast<uint8_t>(c.statistic));
+  w.I32(c.active_window.first);
+  w.I32(c.active_window.last);
+  w.Bool(c.filter_disposable);
+  w.Bool(c.require_stable_for_active);
+}
+
+bool GetMiningConfig(ckpt::Reader& r, MiningConfig* c) {
+  uint8_t statistic = 0;
+  if (!r.I32(&c->first_year) || !r.I32(&c->last_year) ||
+      !r.I32(&c->stability_days) || !r.U8(&statistic) ||
+      !r.I32(&c->active_window.first) || !r.I32(&c->active_window.last) ||
+      !r.Bool(&c->filter_disposable) ||
+      !r.Bool(&c->require_stable_for_active)) {
+    return false;
+  }
+  if (statistic > static_cast<uint8_t>(YearlyStatistic::kMean)) return false;
+  c->statistic = static_cast<YearlyStatistic>(statistic);
+  return true;
+}
+
+void PutResult(ckpt::Writer& w, const MeasurementResult& res) {
+  PutName(w, res.domain);
+  w.Bool(res.parent_located);
+  PutName(w, res.parent_zone);
+  w.Bool(res.parent_responded);
+  w.Bool(res.parent_has_records);
+  w.Bool(res.parent_answered_authoritatively);
+  PutNameList(w, res.parent_ns);
+  PutNameList(w, res.child_ns);
+  w.Bool(res.child_any_authoritative);
+  w.U32(static_cast<uint32_t>(res.hosts.size()));
+  for (const NsHostResult& host : res.hosts) {
+    PutName(w, host.host);
+    PutAddrList(w, host.addresses);
+    w.U8(static_cast<uint8_t>(host.status));
+    w.Bool(host.in_parent_set);
+    w.Bool(host.in_child_set);
+  }
+  w.Bool(res.soa.has_value());
+  if (res.soa.has_value()) {
+    PutName(w, res.soa->mname);
+    PutName(w, res.soa->rname);
+    w.U32(res.soa->serial);
+    w.U32(res.soa->refresh);
+    w.U32(res.soa->retry);
+    w.U32(res.soa->expire);
+    w.U32(res.soa->minimum);
+  }
+  w.I32(res.rounds);
+  PutCounters(w, res.query_stats);
+  w.Bool(res.degraded);
+  w.U64(res.logical_ms);
+}
+
+bool GetResult(ckpt::Reader& r, MeasurementResult* res) {
+  if (!GetName(r, &res->domain) || !r.Bool(&res->parent_located) ||
+      !GetName(r, &res->parent_zone) || !r.Bool(&res->parent_responded) ||
+      !r.Bool(&res->parent_has_records) ||
+      !r.Bool(&res->parent_answered_authoritatively) ||
+      !GetNameList(r, &res->parent_ns) || !GetNameList(r, &res->child_ns) ||
+      !r.Bool(&res->child_any_authoritative)) {
+    return false;
+  }
+  uint32_t host_count = 0;
+  if (!r.U32(&host_count)) return false;
+  res->hosts.resize(host_count);
+  for (uint32_t i = 0; i < host_count; ++i) {
+    NsHostResult& host = res->hosts[i];
+    uint8_t status = 0;
+    if (!GetName(r, &host.host) || !GetAddrList(r, &host.addresses) ||
+        !r.U8(&status) || !r.Bool(&host.in_parent_set) ||
+        !r.Bool(&host.in_child_set)) {
+      return false;
+    }
+    if (status > static_cast<uint8_t>(NsHostStatus::kUnresolvable)) {
+      return false;
+    }
+    host.status = static_cast<NsHostStatus>(status);
+  }
+  bool has_soa = false;
+  if (!r.Bool(&has_soa)) return false;
+  if (has_soa) {
+    dns::SoaRdata soa;
+    if (!GetName(r, &soa.mname) || !GetName(r, &soa.rname) ||
+        !r.U32(&soa.serial) || !r.U32(&soa.refresh) || !r.U32(&soa.retry) ||
+        !r.U32(&soa.expire) || !r.U32(&soa.minimum)) {
+      return false;
+    }
+    res->soa = std::move(soa);
+  } else {
+    res->soa.reset();
+  }
+  return r.I32(&res->rounds) && GetCounters(r, &res->query_stats) &&
+         r.Bool(&res->degraded) && r.U64(&res->logical_ms);
+}
+
+}  // namespace
+
+StudyCheckpoint::StudyCheckpoint(std::string dir, uint64_t config_fingerprint,
+                                 StudyCheckpointOptions options)
+    : journal_(std::move(dir), config_fingerprint),
+      options_(options),
+      base_fingerprint_(config_fingerprint) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+}
+
+void StudyCheckpoint::Bind(uint64_t study_fingerprint) {
+  GOVDNS_CHECK(!bound_);
+  bound_ = true;
+  journal_.set_fingerprint(
+      ckpt::MixFingerprint(base_fingerprint_, study_fingerprint));
+  if (!options_.resume) journal_.WipeAll();
+}
+
+void StudyCheckpoint::set_fault_plan(const ckpt::CkptFaultPlan& plan) {
+  journal_.set_fault_plan(plan);
+}
+
+std::optional<StudyCheckpoint::SelectionSnapshot>
+StudyCheckpoint::TryLoadSelection() {
+  GOVDNS_CHECK(bound_);
+  if (!options_.resume) return std::nullopt;
+  auto frame = journal_.Load(kSelectionFrame, /*parent_crc=*/0);
+  if (!frame.ok()) return std::nullopt;
+  ckpt::Reader r(frame->payload);
+  uint8_t kind = 0;
+  SelectionSnapshot snap;
+  uint32_t seed_count = 0;
+  bool ok = r.U8(&kind) && kind == kKindSelection && r.U32(&seed_count);
+  if (ok) {
+    snap.seeds.resize(seed_count);
+    for (uint32_t i = 0; ok && i < seed_count; ++i) {
+      SeedDomain& seed = snap.seeds[i];
+      uint8_t verification = 0;
+      ok = r.I32(&seed.country) && GetName(r, &seed.d_gov) &&
+           r.U8(&verification) && r.Bool(&seed.used_msq_fallback) &&
+           verification <= static_cast<uint8_t>(SeedVerification::kMsqCrossCheck);
+      if (ok) seed.verification = static_cast<SeedVerification>(verification);
+    }
+  }
+  ok = ok && r.I32(&snap.stats.total) && r.I32(&snap.stats.broken_links) &&
+       r.I32(&snap.stats.squatted_links) && r.I32(&snap.stats.msq_fallbacks) &&
+       r.I32(&snap.stats.registered_domain_fallbacks) &&
+       GetProfile(r, &snap.profile) && r.AtEnd();
+  if (!ok) {
+    ++stats_.decode_rejects;
+    return std::nullopt;
+  }
+  have_selection_ = true;
+  selection_crc_ = frame->crc;
+  ++stats_.phases_loaded;
+  return snap;
+}
+
+void StudyCheckpoint::SaveSelection(const SelectionSnapshot& snap) {
+  GOVDNS_CHECK(bound_);
+  ckpt::Writer w;
+  w.U8(kKindSelection);
+  w.U32(static_cast<uint32_t>(snap.seeds.size()));
+  for (const SeedDomain& seed : snap.seeds) {
+    w.I32(seed.country);
+    PutName(w, seed.d_gov);
+    w.U8(static_cast<uint8_t>(seed.verification));
+    w.Bool(seed.used_msq_fallback);
+  }
+  w.I32(snap.stats.total);
+  w.I32(snap.stats.broken_links);
+  w.I32(snap.stats.squatted_links);
+  w.I32(snap.stats.msq_fallbacks);
+  w.I32(snap.stats.registered_domain_fallbacks);
+  PutProfile(w, snap.profile);
+  auto crc = journal_.Commit(kSelectionFrame, w.Take(), /*parent_crc=*/0);
+  if (!crc.ok()) {
+    throw PipelineError("checkpoint", "selection: " + crc.status().ToString());
+  }
+  have_selection_ = true;
+  selection_crc_ = *crc;
+  ++stats_.phases_saved;
+}
+
+std::optional<StudyCheckpoint::MiningSnapshot> StudyCheckpoint::TryLoadMining(
+    const MiningConfig& expected_config) {
+  GOVDNS_CHECK(bound_);
+  if (!options_.resume || !have_selection_) return std::nullopt;
+  auto frame = journal_.Load(kMiningFrame, selection_crc_);
+  if (!frame.ok()) return std::nullopt;
+  ckpt::Reader r(frame->payload);
+  uint8_t kind = 0;
+  MiningSnapshot snap;
+  bool ok = r.U8(&kind) && kind == kKindMining &&
+            GetMiningConfig(r, &snap.dataset.config);
+  uint32_t ns_count = 0;
+  ok = ok && r.U32(&ns_count);
+  if (ok) {
+    snap.dataset.ns_names.resize(ns_count);
+    for (uint32_t i = 0; ok && i < ns_count; ++i) {
+      ok = r.Str(&snap.dataset.ns_names[i]);
+    }
+  }
+  uint32_t domain_count = 0;
+  ok = ok && r.U32(&domain_count);
+  if (ok) {
+    snap.dataset.domains.resize(domain_count);
+    for (uint32_t i = 0; ok && i < domain_count; ++i) {
+      MinedDomain& dom = snap.dataset.domains[i];
+      uint32_t year_count = 0;
+      ok = GetName(r, &dom.name) && r.I32(&dom.country) &&
+           r.I32(&dom.seed_index) && r.U32(&year_count);
+      if (ok) {
+        dom.years.resize(year_count);
+        for (uint32_t y = 0; ok && y < year_count; ++y) {
+          YearState& ys = dom.years[y];
+          uint32_t id_count = 0;
+          ok = r.I32(&ys.mode_ns_count) && r.U32(&id_count);
+          if (ok) {
+            ys.ns_ids.resize(id_count);
+            for (uint32_t k = 0; ok && k < id_count; ++k) {
+              ok = r.I32(&ys.ns_ids[k]);
+            }
+          }
+        }
+      }
+      ok = ok && r.Bool(&dom.disposable) && r.Bool(&dom.in_active_window);
+    }
+  }
+  MiningStats& s = snap.dataset.stats;
+  ok = ok && r.I64(&s.seeds) && r.I64(&s.entries_scanned) &&
+       r.I64(&s.entries_unstable) && r.I64(&s.domains) &&
+       r.I64(&s.domains_disposable) && r.I64(&s.domains_in_active_window) &&
+       GetProfile(r, &snap.profile) && r.AtEnd();
+  // A decoded dataset mined under a different MiningConfig is stale data,
+  // even though the frame itself validated.
+  ok = ok && snap.dataset.config == expected_config;
+  if (!ok) {
+    ++stats_.decode_rejects;
+    return std::nullopt;
+  }
+  have_mining_ = true;
+  mining_crc_ = frame->crc;
+  chain_crc_ = frame->crc;
+  ++stats_.phases_loaded;
+  return snap;
+}
+
+void StudyCheckpoint::SaveMining(const MiningSnapshot& snap) {
+  GOVDNS_CHECK(bound_);
+  GOVDNS_CHECK(have_selection_);
+  ckpt::Writer w;
+  w.U8(kKindMining);
+  PutMiningConfig(w, snap.dataset.config);
+  w.U32(static_cast<uint32_t>(snap.dataset.ns_names.size()));
+  for (const std::string& name : snap.dataset.ns_names) w.Str(name);
+  w.U32(static_cast<uint32_t>(snap.dataset.domains.size()));
+  for (const MinedDomain& dom : snap.dataset.domains) {
+    PutName(w, dom.name);
+    w.I32(dom.country);
+    w.I32(dom.seed_index);
+    w.U32(static_cast<uint32_t>(dom.years.size()));
+    for (const YearState& ys : dom.years) {
+      w.I32(ys.mode_ns_count);
+      w.U32(static_cast<uint32_t>(ys.ns_ids.size()));
+      for (const int32_t id : ys.ns_ids) w.I32(id);
+    }
+    w.Bool(dom.disposable);
+    w.Bool(dom.in_active_window);
+  }
+  const MiningStats& s = snap.dataset.stats;
+  w.I64(s.seeds);
+  w.I64(s.entries_scanned);
+  w.I64(s.entries_unstable);
+  w.I64(s.domains);
+  w.I64(s.domains_disposable);
+  w.I64(s.domains_in_active_window);
+  PutProfile(w, snap.profile);
+  auto crc = journal_.Commit(kMiningFrame, w.Take(), selection_crc_);
+  if (!crc.ok()) {
+    throw PipelineError("checkpoint", "mining: " + crc.status().ToString());
+  }
+  have_mining_ = true;
+  mining_crc_ = *crc;
+  chain_crc_ = *crc;
+  ++stats_.phases_saved;
+}
+
+std::vector<MeasurementResult> StudyCheckpoint::LoadActiveBatches(
+    size_t expected_total) {
+  GOVDNS_CHECK(bound_);
+  GOVDNS_CHECK(have_mining_);
+  chain_crc_ = mining_crc_;
+  next_batch_ = 0;
+  results_journaled_ = 0;
+  std::vector<MeasurementResult> out;
+  if (!options_.resume) return out;
+  while (out.size() < expected_total) {
+    auto frame = journal_.Load(BatchFrameName(next_batch_), chain_crc_);
+    if (!frame.ok()) break;
+    ckpt::Reader r(frame->payload);
+    uint8_t kind = 0;
+    uint64_t begin = 0;
+    uint32_t count = 0;
+    if (!r.U8(&kind) || kind != kKindBatch || !r.U64(&begin) ||
+        !r.U32(&count) || begin != out.size() || count == 0 ||
+        begin + count > expected_total) {
+      ++stats_.decode_rejects;
+      break;
+    }
+    std::vector<MeasurementResult> part(count);
+    bool ok = true;
+    for (uint32_t i = 0; ok && i < count; ++i) {
+      ok = GetResult(r, &part[i]);
+    }
+    if (!ok || !r.AtEnd()) {
+      ++stats_.decode_rejects;
+      break;
+    }
+    for (MeasurementResult& res : part) out.push_back(std::move(res));
+    chain_crc_ = frame->crc;
+    ++next_batch_;
+    ++stats_.batches_loaded;
+    stats_.results_loaded += count;
+  }
+  results_journaled_ = out.size();
+  return out;
+}
+
+void StudyCheckpoint::AppendActiveBatch(
+    size_t begin_index, const std::vector<MeasurementResult>& results) {
+  GOVDNS_CHECK(bound_);
+  GOVDNS_CHECK(have_mining_);
+  GOVDNS_CHECK(begin_index == results_journaled_);
+  ckpt::Writer w;
+  w.U8(kKindBatch);
+  w.U64(begin_index);
+  w.U32(static_cast<uint32_t>(results.size()));
+  for (const MeasurementResult& res : results) PutResult(w, res);
+  auto crc = journal_.Commit(BatchFrameName(next_batch_), w.Take(), chain_crc_);
+  if (!crc.ok()) {
+    throw PipelineError("checkpoint",
+                        BatchFrameName(next_batch_) + ": " +
+                            crc.status().ToString());
+  }
+  chain_crc_ = *crc;
+  ++next_batch_;
+  ++stats_.batches_saved;
+  results_journaled_ += results.size();
+}
+
+void StudyCheckpoint::SaveCutCacheSnapshot(const SharedCutCache& cache) {
+  GOVDNS_CHECK(bound_);
+  GOVDNS_CHECK(have_mining_);
+  std::vector<std::pair<dns::Name, SharedCutCache::Entry>> entries =
+      cache.Export();
+  // Reachable entries only: negatives must re-expire on the resumed run's
+  // logical clock, never replay from disk (see header comment).
+  std::erase_if(entries, [](const auto& e) { return !e.second.reachable; });
+  ckpt::Writer w;
+  w.U8(kKindCutCache);
+  w.U32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [cut, entry] : entries) {
+    PutName(w, cut);
+    PutNameList(w, entry.ns_names);
+    PutAddrList(w, entry.addresses);
+  }
+  // Chained to mining, not to the batch chain: the warm start is valid
+  // whenever the mined query list is, regardless of how many batches landed.
+  auto crc = journal_.Commit(kCutCacheFrame, w.Take(), mining_crc_);
+  if (!crc.ok()) {
+    throw PipelineError("checkpoint", "cutcache: " + crc.status().ToString());
+  }
+}
+
+size_t StudyCheckpoint::RestoreCutCache(SharedCutCache* cache) {
+  GOVDNS_CHECK(bound_);
+  GOVDNS_CHECK(have_mining_);
+  if (!options_.resume) return 0;
+  auto frame = journal_.Load(kCutCacheFrame, mining_crc_);
+  if (!frame.ok()) return 0;
+  ckpt::Reader r(frame->payload);
+  uint8_t kind = 0;
+  uint32_t count = 0;
+  if (!r.U8(&kind) || kind != kKindCutCache || !r.U32(&count)) {
+    ++stats_.decode_rejects;
+    return 0;
+  }
+  std::vector<std::pair<dns::Name, SharedCutCache::Entry>> entries(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!GetName(r, &entries[i].first) ||
+        !GetNameList(r, &entries[i].second.ns_names) ||
+        !GetAddrList(r, &entries[i].second.addresses)) {
+      ++stats_.decode_rejects;
+      return 0;
+    }
+    entries[i].second.reachable = true;
+  }
+  if (!r.AtEnd()) {
+    ++stats_.decode_rejects;
+    return 0;
+  }
+  const size_t restored = cache->Restore(entries);
+  stats_.cache_entries_restored += static_cast<int64_t>(restored);
+  return restored;
+}
+
+void StudyCheckpoint::SaveReportJson(const std::string& json) {
+  GOVDNS_CHECK(bound_);
+  GOVDNS_CHECK(have_mining_);
+  ckpt::Writer w;
+  w.U8(kKindReport);
+  w.Str(json);
+  auto crc = journal_.Commit(kReportFrame, w.Take(), chain_crc_);
+  if (!crc.ok()) {
+    throw PipelineError("checkpoint", "report: " + crc.status().ToString());
+  }
+}
+
+std::optional<std::string> StudyCheckpoint::TryLoadReportJson() {
+  GOVDNS_CHECK(bound_);
+  if (!options_.resume || !have_mining_) return std::nullopt;
+  auto frame = journal_.Load(kReportFrame, chain_crc_);
+  if (!frame.ok()) return std::nullopt;
+  ckpt::Reader r(frame->payload);
+  uint8_t kind = 0;
+  std::string json;
+  if (!r.U8(&kind) || kind != kKindReport || !r.Str(&json) || !r.AtEnd()) {
+    ++stats_.decode_rejects;
+    return std::nullopt;
+  }
+  return json;
+}
+
+std::string StudyCheckpoint::StatsJson() const {
+  const ckpt::JournalStats& js = journal_.stats();
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Kv("commits", static_cast<int64_t>(js.commits));
+  w.Kv("bytes_written", static_cast<int64_t>(js.bytes_written));
+  w.Kv("loads_ok", static_cast<int64_t>(js.loads_ok));
+  w.Kv("rejections", static_cast<int64_t>(js.Rejections()));
+  w.Key("rejected").BeginObject();
+  w.Kv("missing", static_cast<int64_t>(js.rejected_missing));
+  w.Kv("truncated", static_cast<int64_t>(js.rejected_truncated));
+  w.Kv("magic", static_cast<int64_t>(js.rejected_magic));
+  w.Kv("version", static_cast<int64_t>(js.rejected_version));
+  w.Kv("fingerprint", static_cast<int64_t>(js.rejected_fingerprint));
+  w.Kv("crc", static_cast<int64_t>(js.rejected_crc));
+  w.Kv("chain", static_cast<int64_t>(js.rejected_chain));
+  w.EndObject();
+  w.Kv("phases_loaded", stats_.phases_loaded);
+  w.Kv("phases_saved", stats_.phases_saved);
+  w.Kv("batches_loaded", stats_.batches_loaded);
+  w.Kv("batches_saved", stats_.batches_saved);
+  w.Kv("results_loaded", stats_.results_loaded);
+  w.Kv("cache_entries_restored", stats_.cache_entries_restored);
+  w.Kv("decode_rejects", stats_.decode_rejects);
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace govdns::core

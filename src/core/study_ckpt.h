@@ -1,0 +1,129 @@
+// Study-level checkpoint/resume over the ckpt journal (DESIGN.md §6f).
+//
+// One StudyCheckpoint owns the journal of one study run. The chain:
+//
+//   selection.ck  (parent 0)
+//     -> mining.ck
+//       -> active_000000.ck -> active_000001.ck -> ...   (batched results)
+//       -> cutcache.ck   (advisory warm-start, chained to mining)
+//     -> report.ck       (final JSON, chained to the last batch)
+//
+// Phase snapshots carry the phase's outputs *and* the PhaseProfiler records
+// it produced, so a resumed run replays the profile rows and the exported
+// report JSON stays byte-identical to an uninterrupted run. The cut-cache
+// snapshot is purely advisory — positives only, never required for
+// correctness — because per-domain measurement is hermetic: a cold cache is
+// recomputed to identical content, and negatives are deliberately NOT
+// restored so a resumed run can never replay a stale dead-subtree verdict
+// past its logical-clock expiry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/journal.h"
+#include "core/cut_cache.h"
+#include "core/measure.h"
+#include "core/mining.h"
+#include "core/selection.h"
+#include "core/types.h"
+#include "obs/profile.h"
+
+namespace govdns::core {
+
+struct StudyCheckpointOptions {
+  // Measurement results are journaled every `batch_size` domains; a kill
+  // mid-round loses at most one batch of work.
+  size_t batch_size = 1024;
+  // false: fresh-run semantics — existing frames are wiped at Bind time.
+  // true: resume — phases load from the journal where the chain validates.
+  bool resume = false;
+  // Snapshot the shared cut cache after each batch (warm start on resume).
+  bool snapshot_cut_cache = true;
+};
+
+// Resume/recovery bookkeeping, beyond the journal's own frame stats.
+struct StudyCheckpointStats {
+  int64_t phases_loaded = 0;  // selection/mining restored from the journal
+  int64_t phases_saved = 0;
+  int64_t batches_loaded = 0;
+  int64_t batches_saved = 0;
+  int64_t results_loaded = 0;  // measured domains restored
+  int64_t cache_entries_restored = 0;
+  int64_t decode_rejects = 0;  // frame valid but payload failed to decode
+};
+
+class StudyCheckpoint {
+ public:
+  // `config_fingerprint` identifies the world/config the journal belongs to
+  // (the harness mixes in world seed, scale, and years); Bind() later mixes
+  // in the study's own config identity. A journal written under a different
+  // fingerprint is rejected wholesale on load.
+  StudyCheckpoint(std::string dir, uint64_t config_fingerprint,
+                  StudyCheckpointOptions options = StudyCheckpointOptions());
+
+  // Called by Study::AttachCheckpoint before any journal IO: finalizes the
+  // fingerprint and applies fresh-run wiping when resume is off.
+  void Bind(uint64_t study_fingerprint);
+
+  void set_fault_plan(const ckpt::CkptFaultPlan& plan);
+
+  // --- Phase snapshots -----------------------------------------------------
+  struct SelectionSnapshot {
+    std::vector<SeedDomain> seeds;
+    SelectionStats stats;
+    std::vector<obs::PhaseRecord> profile;
+  };
+  std::optional<SelectionSnapshot> TryLoadSelection();
+  void SaveSelection(const SelectionSnapshot& snap);
+
+  struct MiningSnapshot {
+    MinedDataset dataset;
+    std::vector<obs::PhaseRecord> profile;
+  };
+  // `expected_config` guards against a stale journal whose fingerprint
+  // happens to collide: the deserialized dataset must carry it verbatim.
+  std::optional<MiningSnapshot> TryLoadMining(const MiningConfig& expected_config);
+  void SaveMining(const MiningSnapshot& snap);
+
+  // --- Intra-phase journal for active measurement --------------------------
+  // Loads the longest valid prefix of batch frames; the returned results
+  // cover query-list indices [0, size) contiguously. Stops (cleanly) at the
+  // first missing/invalid/discontiguous frame.
+  std::vector<MeasurementResult> LoadActiveBatches(size_t expected_total);
+  // Journals one completed batch starting at `begin_index`.
+  void AppendActiveBatch(size_t begin_index,
+                         const std::vector<MeasurementResult>& results);
+
+  void SaveCutCacheSnapshot(const SharedCutCache& cache);
+  // Restores reachable entries only; returns the count restored.
+  size_t RestoreCutCache(SharedCutCache* cache);
+
+  void SaveReportJson(const std::string& json);
+  std::optional<std::string> TryLoadReportJson();
+
+  const StudyCheckpointOptions& options() const { return options_; }
+  const ckpt::JournalStats& journal_stats() const { return journal_.stats(); }
+  const StudyCheckpointStats& stats() const { return stats_; }
+  // One-line JSON stats document (journal + resume counters) for the CLI.
+  std::string StatsJson() const;
+
+ private:
+  ckpt::Journal journal_;
+  StudyCheckpointOptions options_;
+  StudyCheckpointStats stats_;
+  uint64_t base_fingerprint_;
+  bool bound_ = false;
+  // Chain state: CRCs of the last accepted/committed frame per phase.
+  bool have_selection_ = false;
+  bool have_mining_ = false;
+  uint32_t selection_crc_ = 0;
+  uint32_t mining_crc_ = 0;
+  uint32_t chain_crc_ = 0;  // last batch (or mining, before any batch)
+  size_t next_batch_ = 0;
+  size_t results_journaled_ = 0;
+};
+
+}  // namespace govdns::core

@@ -22,6 +22,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "FAILED_PRECONDITION";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

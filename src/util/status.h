@@ -25,6 +25,7 @@ enum class ErrorCode {
   kUnavailable,       // endpoint unreachable / not registered
   kFailedPrecondition,
   kInternal,
+  kDataLoss,          // stored data is missing, truncated, or corrupt
 };
 
 std::string_view ErrorCodeName(ErrorCode code);
@@ -76,6 +77,9 @@ inline Status FailedPreconditionError(std::string msg) {
 }
 inline Status InternalError(std::string msg) {
   return {ErrorCode::kInternal, std::move(msg)};
+}
+inline Status DataLossError(std::string msg) {
+  return {ErrorCode::kDataLoss, std::move(msg)};
 }
 
 // Holds either a T or a non-OK Status. Accessing value() on error aborts,

@@ -1,0 +1,622 @@
+// Unit tests for the checkpoint layer: serialization, frame CRCs, the
+// journal's atomic-commit/validated-load protocol, every corruption
+// rejection mode, the kill-point fault injector's on-disk effects, and the
+// cut cache's export/restore + negative bound (DESIGN.md §6f).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/fault.h"
+#include "ckpt/journal.h"
+#include "ckpt/serial.h"
+#include "core/cut_cache.h"
+#include "core/mining.h"
+#include "core/resolver.h"
+#include "core/study_ckpt.h"
+
+namespace govdns {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& tag) {
+  std::string dir =
+      (fs::temp_directory_path() / ("govdns_ckpt_" + tag)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// ---- serialization --------------------------------------------------------
+
+TEST(CkptSerialTest, RoundTripsEveryPrimitive) {
+  ckpt::Writer w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.I32(-42);
+  w.I64(-9e15);
+  w.Bool(true);
+  w.Bool(false);
+  w.F64(3.25);
+  w.Str("hello");
+  w.Str("");
+  const std::string bytes = w.Take();
+
+  ckpt::Reader r(bytes);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  int64_t i64 = 0;
+  bool b1 = false, b2 = true;
+  double f = 0;
+  std::string s1, s2;
+  EXPECT_TRUE(r.U8(&u8));
+  EXPECT_TRUE(r.U32(&u32));
+  EXPECT_TRUE(r.U64(&u64));
+  EXPECT_TRUE(r.I32(&i32));
+  EXPECT_TRUE(r.I64(&i64));
+  EXPECT_TRUE(r.Bool(&b1));
+  EXPECT_TRUE(r.Bool(&b2));
+  EXPECT_TRUE(r.F64(&f));
+  EXPECT_TRUE(r.Str(&s1));
+  EXPECT_TRUE(r.Str(&s2));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(i64, static_cast<int64_t>(-9e15));
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_EQ(f, 3.25);
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+}
+
+TEST(CkptSerialTest, TruncationLatchesFailure) {
+  ckpt::Writer w;
+  w.U32(7);
+  std::string bytes = w.Take();
+  bytes.pop_back();
+
+  ckpt::Reader r(bytes);
+  uint32_t v = 99;
+  EXPECT_FALSE(r.U32(&v));
+  EXPECT_EQ(v, 99u);  // untouched on failure
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.AtEnd());
+  // Latched: even a 1-byte read fails now.
+  uint8_t b = 0;
+  EXPECT_FALSE(r.U8(&b));
+}
+
+TEST(CkptSerialTest, StringLengthBeyondBufferIsRejected) {
+  ckpt::Writer w;
+  w.U32(1000);  // claims 1000 bytes that are not there
+  w.Raw("abc");
+  const std::string bytes = w.Take();
+  ckpt::Reader r(bytes);
+  std::string s;
+  EXPECT_FALSE(r.Str(&s));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CkptSerialTest, BoolRejectsOutOfRangeByte) {
+  ckpt::Writer w;
+  w.U8(2);
+  const std::string bytes = w.Take();
+  ckpt::Reader r(bytes);
+  bool b = false;
+  EXPECT_FALSE(r.Bool(&b));
+}
+
+TEST(CkptSerialTest, TrailingGarbageFailsAtEnd) {
+  ckpt::Writer w;
+  w.U8(1);
+  w.U8(2);
+  const std::string bytes = w.Take();
+  ckpt::Reader r(bytes);
+  uint8_t b = 0;
+  EXPECT_TRUE(r.U8(&b));
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.AtEnd());  // one byte left over
+}
+
+// ---- CRC / fingerprint ----------------------------------------------------
+
+TEST(CkptCrcTest, MatchesKnownVector) {
+  // The IEEE CRC-32 check value.
+  EXPECT_EQ(ckpt::Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(ckpt::Crc32(""), 0x00000000u);
+  EXPECT_NE(ckpt::Crc32("a"), ckpt::Crc32("b"));
+}
+
+TEST(CkptCrcTest, MixFingerprintIsOrderSensitive) {
+  EXPECT_NE(ckpt::MixFingerprint(1, 2), ckpt::MixFingerprint(2, 1));
+  EXPECT_NE(ckpt::MixFingerprint(1, 2), ckpt::MixFingerprint(1, 3));
+}
+
+TEST(CkptCrcTest, MiningConfigFingerprintSeesEveryField) {
+  core::MiningConfig base;
+  const uint64_t fp = core::MiningConfigFingerprint(base);
+  core::MiningConfig changed = base;
+  changed.stability_days = 9;
+  EXPECT_NE(core::MiningConfigFingerprint(changed), fp);
+  changed = base;
+  changed.statistic = core::YearlyStatistic::kMean;
+  EXPECT_NE(core::MiningConfigFingerprint(changed), fp);
+  changed = base;
+  changed.require_stable_for_active = true;
+  EXPECT_NE(core::MiningConfigFingerprint(changed), fp);
+  EXPECT_EQ(core::MiningConfigFingerprint(base), fp);  // stable
+}
+
+// ---- journal: commit/load protocol ---------------------------------------
+
+TEST(CkptJournalTest, CommitThenLoadRoundTripsChainedFrames) {
+  const std::string dir = TempDir("roundtrip");
+  ckpt::Journal journal(dir, /*fingerprint=*/0x1234);
+
+  auto crc1 = journal.Commit("alpha", "first payload", /*parent_crc=*/0);
+  ASSERT_TRUE(crc1.ok());
+  auto crc2 = journal.Commit("beta", "second payload", *crc1);
+  ASSERT_TRUE(crc2.ok());
+
+  auto f1 = journal.Load("alpha", 0);
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(f1->payload, "first payload");
+  EXPECT_EQ(f1->crc, *crc1);
+  auto f2 = journal.Load("beta", *crc1);
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(f2->payload, "second payload");
+
+  EXPECT_EQ(journal.stats().commits, 2u);
+  EXPECT_EQ(journal.stats().loads_ok, 2u);
+  EXPECT_EQ(journal.stats().Rejections(), 0u);
+  // No temp files linger after a clean commit.
+  EXPECT_FALSE(fs::exists(dir + "/alpha.tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(CkptJournalTest, MissingFrameIsCountedNotFatal) {
+  const std::string dir = TempDir("missing");
+  ckpt::Journal journal(dir, 1);
+  auto frame = journal.Load("nope", 0);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), util::ErrorCode::kNotFound);
+  EXPECT_EQ(journal.stats().rejected_missing, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CkptJournalTest, TruncatedFrameRejected) {
+  const std::string dir = TempDir("trunc");
+  ckpt::Journal journal(dir, 1);
+  ASSERT_TRUE(journal.Commit("f", "some payload bytes", 0).ok());
+  std::string raw = ReadFile(dir + "/f.ck");
+  WriteFile(dir + "/f.ck", raw.substr(0, raw.size() / 2));
+  auto frame = journal.Load("f", 0);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), util::ErrorCode::kDataLoss);
+  EXPECT_EQ(journal.stats().rejected_truncated, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CkptJournalTest, FlippedPayloadByteRejectedByCrc) {
+  const std::string dir = TempDir("crcflip");
+  ckpt::Journal journal(dir, 1);
+  ASSERT_TRUE(journal.Commit("f", "some payload bytes", 0).ok());
+  std::string raw = ReadFile(dir + "/f.ck");
+  raw[ckpt::kFrameHeaderSize + 3] ^= 0x01;  // one payload bit
+  WriteFile(dir + "/f.ck", raw);
+  auto frame = journal.Load("f", 0);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(journal.stats().rejected_crc, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CkptJournalTest, WrongFormatVersionRejected) {
+  const std::string dir = TempDir("version");
+  ckpt::Journal journal(dir, 1);
+  ASSERT_TRUE(journal.Commit("f", "payload", 0).ok());
+  std::string raw = ReadFile(dir + "/f.ck");
+  raw[4] = static_cast<char>(ckpt::kFrameVersion + 1);  // version u32 LSB
+  WriteFile(dir + "/f.ck", raw);
+  auto frame = journal.Load("f", 0);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(journal.stats().rejected_version, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CkptJournalTest, BadMagicRejected) {
+  const std::string dir = TempDir("magic");
+  ckpt::Journal journal(dir, 1);
+  ASSERT_TRUE(journal.Commit("f", "payload", 0).ok());
+  std::string raw = ReadFile(dir + "/f.ck");
+  raw[0] = 'X';
+  WriteFile(dir + "/f.ck", raw);
+  auto frame = journal.Load("f", 0);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(journal.stats().rejected_magic, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CkptJournalTest, FingerprintMismatchRejected) {
+  const std::string dir = TempDir("fp");
+  {
+    ckpt::Journal writer(dir, /*fingerprint=*/0xAAAA);
+    ASSERT_TRUE(writer.Commit("f", "payload", 0).ok());
+  }
+  ckpt::Journal reader(dir, /*fingerprint=*/0xBBBB);
+  auto frame = reader.Load("f", 0);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(reader.stats().rejected_fingerprint, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CkptJournalTest, ChainParentMismatchRejected) {
+  const std::string dir = TempDir("chain");
+  ckpt::Journal journal(dir, 1);
+  ASSERT_TRUE(journal.Commit("f", "payload", 0).ok());
+  auto frame = journal.Load("f", /*parent_crc=*/0x12345678);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(journal.stats().rejected_chain, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CkptJournalTest, WipeAllRemovesFramesAndTemps) {
+  const std::string dir = TempDir("wipe");
+  ckpt::Journal journal(dir, 1);
+  ASSERT_TRUE(journal.Commit("f", "payload", 0).ok());
+  WriteFile(dir + "/stale.tmp", "partial");
+  journal.WipeAll();
+  EXPECT_FALSE(journal.Exists("f"));
+  EXPECT_FALSE(fs::exists(dir + "/stale.tmp"));
+  fs::remove_all(dir);
+}
+
+// ---- fault injection: on-disk state per kill mode ------------------------
+
+ckpt::CkptFaultPlan PlanAt(uint64_t index, ckpt::KillMode mode) {
+  ckpt::CkptFaultPlan plan;
+  plan.kill_at_write = index;
+  plan.mode = mode;
+  plan.exit_process = false;  // throw, so the test survives
+  return plan;
+}
+
+TEST(CkptFaultTest, BeforeWriteLeavesNothingOnDisk) {
+  const std::string dir = TempDir("kill_before");
+  ckpt::Journal journal(dir, 1);
+  journal.set_fault_plan(PlanAt(1, ckpt::KillMode::kBeforeWrite));
+  EXPECT_THROW(
+      { auto r = journal.Commit("f", "payload", 0); (void)r; },
+      ckpt::KillPointReached);
+  EXPECT_FALSE(fs::exists(dir + "/f.ck"));
+  EXPECT_FALSE(fs::exists(dir + "/f.tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(CkptFaultTest, AfterTempLeavesOnlyTempFile) {
+  const std::string dir = TempDir("kill_temp");
+  ckpt::Journal journal(dir, 1);
+  journal.set_fault_plan(PlanAt(1, ckpt::KillMode::kAfterTemp));
+  EXPECT_THROW(
+      { auto r = journal.Commit("f", "payload", 0); (void)r; },
+      ckpt::KillPointReached);
+  EXPECT_FALSE(fs::exists(dir + "/f.ck"));
+  EXPECT_TRUE(fs::exists(dir + "/f.tmp"));
+  // A later load ignores the orphan temp entirely.
+  auto frame = journal.Load("f", 0);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(journal.stats().rejected_missing, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CkptFaultTest, TruncateModeDamagesCommittedFrame) {
+  const std::string dir = TempDir("kill_trunc");
+  ckpt::Journal journal(dir, 1);
+  journal.set_fault_plan(PlanAt(1, ckpt::KillMode::kTruncate));
+  EXPECT_THROW(
+      { auto r = journal.Commit("f", "a payload long enough to halve", 0); (void)r; },
+      ckpt::KillPointReached);
+  ASSERT_TRUE(fs::exists(dir + "/f.ck"));
+  auto frame = journal.Load("f", 0);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(journal.stats().rejected_truncated, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CkptFaultTest, CorruptModeFlipsOnePayloadByte) {
+  const std::string dir = TempDir("kill_corrupt");
+  ckpt::Journal journal(dir, 1);
+  journal.set_fault_plan(PlanAt(1, ckpt::KillMode::kCorrupt));
+  EXPECT_THROW(
+      { auto r = journal.Commit("f", "a payload long enough to corrupt", 0); (void)r; },
+      ckpt::KillPointReached);
+  auto frame = journal.Load("f", 0);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(journal.stats().rejected_crc, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CkptFaultTest, AfterCommitLeavesValidFrame) {
+  const std::string dir = TempDir("kill_after");
+  ckpt::Journal journal(dir, 1);
+  journal.set_fault_plan(PlanAt(1, ckpt::KillMode::kAfterCommit));
+  EXPECT_THROW(
+      { auto r = journal.Commit("f", "payload", 0); (void)r; },
+      ckpt::KillPointReached);
+  auto frame = journal.Load("f", 0);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->payload, "payload");
+  fs::remove_all(dir);
+}
+
+TEST(CkptFaultTest, PlanFiresOnlyAtItsIndex) {
+  const std::string dir = TempDir("kill_index");
+  ckpt::Journal journal(dir, 1);
+  journal.set_fault_plan(PlanAt(3, ckpt::KillMode::kAfterCommit));
+  ASSERT_TRUE(journal.Commit("a", "1", 0).ok());
+  ASSERT_TRUE(journal.Commit("b", "2", 0).ok());
+  EXPECT_THROW(
+      { auto r = journal.Commit("c", "3", 0); (void)r; },
+      ckpt::KillPointReached);
+  fs::remove_all(dir);
+}
+
+// ---- shared cut cache: export/restore + negative bound --------------------
+
+dns::Name N(const char* s) { return dns::Name::FromString(s); }
+
+TEST(CutCacheCkptTest, ExportIsSortedRestoreDropsNegatives) {
+  core::SharedCutCache cache;
+  core::SharedCutCache::Entry pos;
+  pos.ns_names = {N("ns1.gov.aa")};
+  pos.addresses = {geo::IPv4(0x01020304u)};
+  cache.Publish(N("gov.aa"), pos);
+  cache.Publish(N("gov.bb"), pos);
+  cache.PublishUnreachable(N("dead.gov.cc"), {N("ns.dead.gov.cc")},
+                           /*expires_ms=*/5000, /*now_ms=*/0);
+
+  auto exported = cache.Export();
+  ASSERT_EQ(exported.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      exported.begin(), exported.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+
+  core::SharedCutCache fresh;
+  EXPECT_EQ(fresh.Restore(exported), 2u);  // the negative is dropped
+  EXPECT_EQ(fresh.size(), 2u);
+  auto hit = fresh.Lookup(N("gov.aa"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->reachable);
+  EXPECT_EQ(hit->ns_names, pos.ns_names);
+  EXPECT_FALSE(fresh.Lookup(N("dead.gov.cc")).has_value());
+}
+
+TEST(CutCacheCkptTest, RestoreNeverOverwritesLiveEntries) {
+  core::SharedCutCache cache;
+  core::SharedCutCache::Entry live;
+  live.ns_names = {N("ns-live.gov.aa")};
+  cache.Publish(N("gov.aa"), live);
+
+  core::SharedCutCache::Entry stale;
+  stale.ns_names = {N("ns-stale.gov.aa")};
+  stale.reachable = true;
+  EXPECT_EQ(cache.Restore({{N("gov.aa"), stale}}), 0u);
+  auto hit = cache.Lookup(N("gov.aa"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->ns_names, live.ns_names);
+}
+
+TEST(CutCacheCkptTest, NegativeBoundEvictsExpiredFirstThenEarliest) {
+  // One stripe so the bound applies globally; capacity 2.
+  core::SharedCutCache cache(/*stripes=*/1, /*max_negatives_per_stripe=*/2);
+  cache.PublishUnreachable(N("a.gov"), {}, /*expires_ms=*/100, /*now_ms=*/0);
+  cache.PublishUnreachable(N("b.gov"), {}, /*expires_ms=*/900, /*now_ms=*/0);
+  EXPECT_EQ(cache.stats().negative_evictions, 0u);
+
+  // At now=500, a.gov has expired: it goes first.
+  cache.PublishUnreachable(N("c.gov"), {}, /*expires_ms=*/950, /*now_ms=*/500);
+  EXPECT_EQ(cache.stats().negative_evictions, 1u);
+  EXPECT_FALSE(cache.Lookup(N("a.gov")).has_value());
+  EXPECT_TRUE(cache.Lookup(N("b.gov")).has_value());
+
+  // Nothing expired at now=500: the earliest-expiring live negative (b) goes.
+  cache.PublishUnreachable(N("d.gov"), {}, /*expires_ms=*/990, /*now_ms=*/500);
+  EXPECT_EQ(cache.stats().negative_evictions, 2u);
+  EXPECT_FALSE(cache.Lookup(N("b.gov")).has_value());
+  EXPECT_TRUE(cache.Lookup(N("c.gov")).has_value());
+  EXPECT_TRUE(cache.Lookup(N("d.gov")).has_value());
+
+  // Republishing an existing negative does not evict anything.
+  cache.PublishUnreachable(N("c.gov"), {}, /*expires_ms=*/999, /*now_ms=*/500);
+  EXPECT_EQ(cache.stats().negative_evictions, 2u);
+  // Positives are never evicted by the negative bound.
+  core::SharedCutCache::Entry pos;
+  pos.ns_names = {N("ns1.gov.aa")};
+  cache.Publish(N("gov.aa"), pos);
+  EXPECT_TRUE(cache.Lookup(N("gov.aa")).has_value());
+}
+
+TEST(CutCacheCkptTest, ResolverNegativeDefaultsAreBounded) {
+  core::ResolverOptions options;
+  EXPECT_GT(options.negative_cache_ttl_ms, 0u);
+  EXPECT_GT(options.max_negative_cuts, 0u);
+}
+
+// ---- StudyCheckpoint payload codecs --------------------------------------
+
+core::MeasurementResult FabricateResult(int salt) {
+  core::MeasurementResult res;
+  res.domain = N(("d" + std::to_string(salt) + ".gov.aa").c_str());
+  res.parent_located = true;
+  res.parent_zone = N("gov.aa");
+  res.parent_responded = true;
+  res.parent_has_records = (salt % 2) == 0;
+  res.parent_answered_authoritatively = (salt % 3) == 0;
+  res.parent_ns = {N("ns1.gov.aa"), N("ns2.gov.aa")};
+  res.child_ns = {N("ns1.gov.aa")};
+  res.child_any_authoritative = true;
+  core::NsHostResult host;
+  host.host = N("ns1.gov.aa");
+  host.addresses = {geo::IPv4(0x0A000001u + static_cast<uint32_t>(salt))};
+  host.status = core::NsHostStatus::kAuthoritative;
+  host.in_parent_set = true;
+  host.in_child_set = true;
+  res.hosts.push_back(host);
+  if (salt % 2 == 0) {
+    dns::SoaRdata soa;
+    soa.mname = N("ns1.gov.aa");
+    soa.rname = N("admin.gov.aa");
+    soa.serial = 2020010100u + static_cast<uint32_t>(salt);
+    soa.refresh = 7200;
+    soa.retry = 900;
+    soa.expire = 1209600;
+    soa.minimum = 300;
+    res.soa = soa;
+  }
+  res.rounds = 1 + (salt % 2);
+  res.query_stats.queries = 10 + static_cast<uint64_t>(salt);
+  res.query_stats.retries = 2;
+  res.query_stats.negative_cache_hits = 1;
+  res.degraded = (salt % 5) == 0;
+  res.logical_ms = 1000 + static_cast<uint64_t>(salt);
+  return res;
+}
+
+// Brings a StudyCheckpoint to the post-mining chain state with tiny
+// fabricated snapshots, so batch/cache frames can be exercised in isolation.
+void SeedPhases(core::StudyCheckpoint& ckpt) {
+  core::StudyCheckpoint::SelectionSnapshot sel;
+  core::SeedDomain seed;
+  seed.country = 0;
+  seed.d_gov = N("gov.aa");
+  sel.seeds.push_back(seed);
+  sel.stats.total = 1;
+  ckpt.SaveSelection(sel);
+
+  core::StudyCheckpoint::MiningSnapshot mine;
+  mine.dataset.config = core::MiningConfig{};
+  mine.dataset.ns_names = {"ns1.gov.aa"};
+  core::MinedDomain dom;
+  dom.name = N("d0.gov.aa");
+  dom.country = 0;
+  dom.seed_index = 0;
+  dom.years.resize(mine.dataset.config.year_count());
+  dom.years[0].mode_ns_count = 1;
+  dom.years[0].ns_ids = {0};
+  dom.in_active_window = true;
+  mine.dataset.domains.push_back(dom);
+  mine.dataset.stats.seeds = 1;
+  mine.dataset.stats.domains = 1;
+  ckpt.SaveMining(mine);
+}
+
+TEST(StudyCheckpointTest, BatchResultsRoundTripBitForBit) {
+  const std::string dir = TempDir("batch_rt");
+  std::vector<core::MeasurementResult> batch;
+  for (int i = 0; i < 5; ++i) batch.push_back(FabricateResult(i));
+  {
+    core::StudyCheckpoint ckpt(dir, /*config_fingerprint=*/77);
+    ckpt.Bind(/*study_fingerprint=*/11);
+    SeedPhases(ckpt);
+    ckpt.AppendActiveBatch(0, batch);
+  }
+  core::StudyCheckpointOptions opts;
+  opts.resume = true;
+  core::StudyCheckpoint resumed(dir, 77, opts);
+  resumed.Bind(11);
+  ASSERT_TRUE(resumed.TryLoadSelection().has_value());
+  ASSERT_TRUE(resumed.TryLoadMining(core::MiningConfig{}).has_value());
+  std::vector<core::MeasurementResult> loaded =
+      resumed.LoadActiveBatches(/*expected_total=*/5);
+  ASSERT_EQ(loaded.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(loaded[static_cast<size_t>(i)], batch[static_cast<size_t>(i)])
+        << "result " << i;
+  }
+  EXPECT_EQ(resumed.stats().batches_loaded, 1);
+  EXPECT_EQ(resumed.stats().results_loaded, 5);
+  fs::remove_all(dir);
+}
+
+TEST(StudyCheckpointTest, MiningConfigMismatchIsARejectedDecode) {
+  const std::string dir = TempDir("cfg_mismatch");
+  {
+    core::StudyCheckpoint ckpt(dir, 77);
+    ckpt.Bind(11);
+    SeedPhases(ckpt);  // saved under the default MiningConfig
+  }
+  core::StudyCheckpointOptions opts;
+  opts.resume = true;
+  core::StudyCheckpoint resumed(dir, 77, opts);
+  resumed.Bind(11);
+  ASSERT_TRUE(resumed.TryLoadSelection().has_value());
+  core::MiningConfig other;
+  other.stability_days = 30;
+  EXPECT_FALSE(resumed.TryLoadMining(other).has_value());
+  EXPECT_EQ(resumed.stats().decode_rejects, 1);
+  fs::remove_all(dir);
+}
+
+TEST(StudyCheckpointTest, CutCacheSnapshotRoundTripsPositivesOnly) {
+  const std::string dir = TempDir("cache_snap");
+  {
+    core::StudyCheckpoint ckpt(dir, 77);
+    ckpt.Bind(11);
+    SeedPhases(ckpt);
+    core::SharedCutCache cache;
+    core::SharedCutCache::Entry pos;
+    pos.ns_names = {N("ns1.gov.aa")};
+    pos.addresses = {geo::IPv4(0x0A000001u)};
+    cache.Publish(N("gov.aa"), pos);
+    cache.PublishUnreachable(N("dead.gov.aa"), {N("ns.dead.gov.aa")}, 5000, 0);
+    ckpt.SaveCutCacheSnapshot(cache);
+  }
+  core::StudyCheckpointOptions opts;
+  opts.resume = true;
+  core::StudyCheckpoint resumed(dir, 77, opts);
+  resumed.Bind(11);
+  ASSERT_TRUE(resumed.TryLoadSelection().has_value());
+  ASSERT_TRUE(resumed.TryLoadMining(core::MiningConfig{}).has_value());
+  core::SharedCutCache cache;
+  EXPECT_EQ(resumed.RestoreCutCache(&cache), 1u);
+  EXPECT_TRUE(cache.Lookup(N("gov.aa")).has_value());
+  EXPECT_FALSE(cache.Lookup(N("dead.gov.aa")).has_value());
+  fs::remove_all(dir);
+}
+
+TEST(StudyCheckpointTest, FreshRunWipesAStaleJournal) {
+  const std::string dir = TempDir("fresh_wipe");
+  {
+    core::StudyCheckpoint ckpt(dir, 77);
+    ckpt.Bind(11);
+    SeedPhases(ckpt);
+  }
+  // resume=false (default): Bind wipes, loads find nothing.
+  core::StudyCheckpoint fresh(dir, 77);
+  fresh.Bind(11);
+  EXPECT_FALSE(fresh.TryLoadSelection().has_value());
+  EXPECT_FALSE(fs::exists(dir + "/selection.ck"));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace govdns

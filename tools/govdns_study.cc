@@ -4,6 +4,8 @@
 //   govdns_study [--scale S] [--seed N] [--json out.json] [--csv table[,table...]]
 //                [--metrics out.json] [--trace out.json]
 //                [--trace-sample N] [--mine-workers N] [--report]
+//                [--checkpoint-dir DIR] [--resume] [--ckpt-batch N]
+//                [--ckpt-kill-after N]
 //
 // Builds a world at the requested scale, runs selection -> mining -> active
 // measurement, and then prints the consolidated report (--report, default)
@@ -11,18 +13,55 @@
 // observability layer and dump the metrics snapshot / sampled query traces
 // (DESIGN.md §6d); both documents are deterministic for a given seed except
 // for series tagged "diagnostic".
+//
+// Checkpointing (DESIGN.md §6f): --checkpoint-dir journals every phase into
+// DIR; --resume picks up from the last complete phase (and, inside active
+// measurement, the last complete batch). --ckpt-kill-after N _exit(42)s at
+// the Nth journal write — the harness uses this to prove kill-anywhere
+// resume. SIGINT/SIGTERM raise a cooperative flag: the in-flight batch
+// finishes, its checkpoint commits, and the run exits with a structured
+// error naming the interrupted phase.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <atomic>
+#include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "ckpt/fault.h"
 #include "core/export.h"
 #include "core/mining.h"
 #include "core/report.h"
+#include "core/study.h"
+#include "core/study_ckpt.h"
 #include "obs/obs.h"
+#include "util/json.h"
 #include "util/strings.h"
 #include "worldgen/adapter.h"
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+void HandleSignal(int) { g_interrupted.store(true); }
+
+// Structured failure diagnostic on stderr: one JSON object naming the phase
+// that died and why, so harnesses never have to scrape free-form text.
+void PrintStructuredError(const std::string& phase, const std::string& cause) {
+  govdns::util::JsonWriter w;
+  w.BeginObject();
+  w.Key("error").BeginObject();
+  w.Kv("phase", phase);
+  w.Kv("cause", cause);
+  w.EndObject();
+  w.EndObject();
+  std::fprintf(stderr, "%s\n", w.TakeString().c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace govdns;
@@ -33,9 +72,12 @@ int main(int argc, char** argv) {
   std::string csv_tables;
   std::string metrics_path;
   std::string trace_path;
+  std::string checkpoint_dir;
   uint64_t trace_sample = 16;
   int mine_workers = 0;  // 0 = all cores (results are worker-count invariant)
   bool print_report = true;
+  core::StudyCheckpointOptions ckpt_options;
+  uint64_t kill_after = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -58,6 +100,17 @@ int main(int argc, char** argv) {
       if (const char* v = next()) trace_sample = std::strtoull(v, nullptr, 10);
     } else if (arg == "--mine-workers") {
       if (const char* v = next()) mine_workers = std::atoi(v);
+    } else if (arg == "--checkpoint-dir") {
+      if (const char* v = next()) checkpoint_dir = v;
+    } else if (arg == "--resume") {
+      ckpt_options.resume = true;
+    } else if (arg == "--ckpt-batch") {
+      if (const char* v = next()) {
+        ckpt_options.batch_size =
+            static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      }
+    } else if (arg == "--ckpt-kill-after") {
+      if (const char* v = next()) kill_after = std::strtoull(v, nullptr, 10);
     } else if (arg == "--report") {
       print_report = true;
     } else if (arg == "--no-report") {
@@ -66,78 +119,139 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--seed N] [--json out.json] "
                    "[--csv t1,t2] [--metrics out.json] [--trace out.json] "
-                   "[--trace-sample N] [--mine-workers N] [--no-report]\n",
+                   "[--trace-sample N] [--mine-workers N] [--no-report] "
+                   "[--checkpoint-dir DIR] [--resume] [--ckpt-batch N] "
+                   "[--ckpt-kill-after N]\n",
                    argv[0]);
       return 2;
     }
   }
-
-  std::fprintf(stderr, "building world (scale %.3f, seed %llu)...\n",
-               config.scale, static_cast<unsigned long long>(config.seed));
-  auto world = worldgen::BuildWorld(config);
-  auto bound = worldgen::MakeStudy(*world);
-
-  obs::ObservabilityConfig obs_config;
-  obs_config.trace.sample_period = trace_sample == 0 ? 1 : trace_sample;
-  obs::Observability observability(obs_config);
-  const bool want_obs = !metrics_path.empty() || !trace_path.empty();
-  if (want_obs) bound.study->AttachObservability(&observability);
-
-  std::fprintf(stderr, "running study...\n");
-  bound.study->RunSelection();
-  core::MinerOptions mine_options;
-  mine_options.workers = mine_workers;
-  bound.study->RunMining(mine_options);
-  bound.study->RunActiveMeasurement();
-
-  std::vector<std::string> top10;
-  for (const char* code : worldgen::Top10CountryCodes()) {
-    top10.emplace_back(code);
+  if ((ckpt_options.resume || kill_after != 0) && checkpoint_dir.empty()) {
+    PrintStructuredError("setup",
+                         "--resume/--ckpt-kill-after require --checkpoint-dir");
+    return 2;
   }
-  core::StudyReport report = core::BuildReport(*bound.study, top10);
 
-  if (print_report) core::PrintReport(report, std::cout);
+  std::string phase = "setup";
+  try {
+    std::fprintf(stderr, "building world (scale %.3f, seed %llu)...\n",
+                 config.scale, static_cast<unsigned long long>(config.seed));
+    auto world = worldgen::BuildWorld(config);
+    auto bound = worldgen::MakeStudy(*world);
 
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-      return 1;
-    }
-    out << core::ExportReportJson(report) << "\n";
-    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
-  }
-  if (!csv_tables.empty()) {
-    for (const std::string& table : util::Split(csv_tables, ',')) {
-      std::string csv = core::ExportCsv(report, table);
-      if (csv.empty()) {
-        std::fprintf(stderr, "unknown csv table: %s\n", table.c_str());
-        continue;
+    obs::ObservabilityConfig obs_config;
+    obs_config.trace.sample_period = trace_sample == 0 ? 1 : trace_sample;
+    obs::Observability observability(obs_config);
+    const bool want_obs = !metrics_path.empty() || !trace_path.empty();
+    if (want_obs) bound.study->AttachObservability(&observability);
+
+    std::unique_ptr<core::StudyCheckpoint> checkpoint;
+    if (!checkpoint_dir.empty()) {
+      // World identity: every knob that changes the world's bytes belongs in
+      // the journal fingerprint, so a journal from a different world/scale
+      // can never be resumed into this one.
+      uint64_t fp = config.seed;
+      fp = ckpt::MixFingerprint(
+          fp, static_cast<uint64_t>(config.scale * 1000000.0));
+      fp = ckpt::MixFingerprint(fp, static_cast<uint64_t>(config.first_year));
+      fp = ckpt::MixFingerprint(fp, static_cast<uint64_t>(config.last_year));
+      checkpoint = std::make_unique<core::StudyCheckpoint>(
+          checkpoint_dir, fp, ckpt_options);
+      if (kill_after != 0) {
+        ckpt::CkptFaultPlan plan;
+        plan.kill_at_write = kill_after;
+        plan.mode = ckpt::KillMode::kAfterCommit;
+        plan.exit_process = true;
+        checkpoint->set_fault_plan(plan);
       }
-      std::string path = table + ".csv";
-      std::ofstream out(path);
-      out << csv;
-      std::fprintf(stderr, "wrote %s\n", path.c_str());
+      bound.study->AttachCheckpoint(checkpoint.get());
+      bound.study->set_interrupt_flag(&g_interrupted);
+      // One-shot handlers: a second signal during flush kills the process
+      // the default way instead of being swallowed.
+      struct sigaction sa {};
+      sa.sa_handler = HandleSignal;
+      sa.sa_flags = SA_RESETHAND;
+      sigaction(SIGINT, &sa, nullptr);
+      sigaction(SIGTERM, &sa, nullptr);
     }
-  }
-  if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
-      return 1;
+
+    std::fprintf(stderr, "running study...\n");
+    phase = "selection";
+    bound.study->RunSelection();
+    phase = "mining";
+    core::MinerOptions mine_options;
+    mine_options.workers = mine_workers;
+    bound.study->RunMining(mine_options);
+    phase = "measurement";
+    bound.study->RunActiveMeasurement();
+
+    phase = "report";
+    std::vector<std::string> top10;
+    for (const char* code : worldgen::Top10CountryCodes()) {
+      top10.emplace_back(code);
     }
-    out << core::ExportMetricsJson(observability.metrics().Snapshot()) << "\n";
-    std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
-  }
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
-      return 1;
+    core::StudyReport report = core::BuildReport(*bound.study, top10);
+    const std::string report_json = core::ExportReportJson(report);
+    if (checkpoint != nullptr) {
+      checkpoint->SaveReportJson(report_json);
+      std::fprintf(stderr, "[ckpt] stats %s\n",
+                   checkpoint->StatsJson().c_str());
     }
-    out << core::ExportTraceJson(observability.traces(), observability.cut_log())
-        << "\n";
-    std::fprintf(stderr, "wrote %s\n", trace_path.c_str());
+
+    phase = "export";
+    if (print_report) core::PrintReport(report, std::cout);
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        PrintStructuredError(phase, "cannot write " + json_path);
+        return 1;
+      }
+      out << report_json << "\n";
+      std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+    if (!csv_tables.empty()) {
+      for (const std::string& table : util::Split(csv_tables, ',')) {
+        std::string csv = core::ExportCsv(report, table);
+        if (csv.empty()) {
+          std::fprintf(stderr, "unknown csv table: %s\n", table.c_str());
+          continue;
+        }
+        std::string path = table + ".csv";
+        std::ofstream out(path);
+        out << csv;
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+      }
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        PrintStructuredError(phase, "cannot write " + metrics_path);
+        return 1;
+      }
+      out << core::ExportMetricsJson(observability.metrics().Snapshot())
+          << "\n";
+      std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        PrintStructuredError(phase, "cannot write " + trace_path);
+        return 1;
+      }
+      out << core::ExportTraceJson(observability.traces(),
+                                   observability.cut_log())
+          << "\n";
+      std::fprintf(stderr, "wrote %s\n", trace_path.c_str());
+    }
+    return 0;
+  } catch (const core::PipelineError& e) {
+    // Interrupt/checkpoint failures arrive here with the current batch
+    // already flushed (the study checks the flag only between batches).
+    PrintStructuredError(e.phase(), e.cause());
+    return 1;
+  } catch (const std::exception& e) {
+    PrintStructuredError(phase, e.what());
+    return 1;
   }
-  return 0;
 }

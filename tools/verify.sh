@@ -53,6 +53,42 @@ assert all(p["identical_to_serial"] for p in doc["sweep"]), doc
 print("smoke: bench_parallel_mine sweep identical across worker counts OK")
 EOF
 
+echo "==> smoke: checkpoint kill/resume (byte-identical report)"
+# Kill the study at several journal write points via --ckpt-kill-after,
+# resume, and require the exported report to match an uninterrupted
+# checkpointed baseline byte for byte (DESIGN.md §6f). The kill run must
+# exit with the dedicated kill-point code (42) so a crash-for-another-reason
+# can never masquerade as a successful fault injection.
+CKPT_DIR="${SMOKE_DIR}/ckpt"
+./build/tools/govdns_study --scale 0.01 --no-report \
+  --checkpoint-dir "${CKPT_DIR}/base" \
+  --json "${SMOKE_DIR}/ckpt_base.json" 2>"${SMOKE_DIR}/ckpt_base.err"
+WRITES=$(python3 -c '
+import json, re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"\[ckpt\] stats (\{.*\})", text)
+assert m, text
+print(json.loads(m.group(1))["commits"])' "${SMOKE_DIR}/ckpt_base.err")
+echo "smoke: baseline checkpointed run journals ${WRITES} writes"
+for K in 1 $((WRITES / 2)) "${WRITES}"; do
+  DIR="${CKPT_DIR}/kill_${K}"
+  set +e
+  ./build/tools/govdns_study --scale 0.01 --no-report \
+    --checkpoint-dir "${DIR}" --ckpt-kill-after "${K}" \
+    --json "${SMOKE_DIR}/ckpt_killed.json" 2>/dev/null
+  STATUS=$?
+  set -e
+  if [ "${STATUS}" -ne 42 ]; then
+    echo "smoke: kill at write ${K} exited ${STATUS}, expected 42" >&2
+    exit 1
+  fi
+  ./build/tools/govdns_study --scale 0.01 --no-report \
+    --checkpoint-dir "${DIR}" --resume \
+    --json "${SMOKE_DIR}/ckpt_resumed.json" 2>/dev/null
+  cmp "${SMOKE_DIR}/ckpt_base.json" "${SMOKE_DIR}/ckpt_resumed.json"
+  echo "smoke: kill at write ${K} -> resume -> report byte-identical OK"
+done
+
 echo "==> tier-1: asan/ubsan build + ctest"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"
@@ -72,9 +108,11 @@ echo "==> tier-1: tsan build + concurrency suites"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target \
   simnet_test resolver_test measure_test parallel_measure_test \
-  chaos_resilience_test pdns_test mining_test parallel_mine_test
+  chaos_resilience_test pdns_test mining_test parallel_mine_test \
+  ckpt_test ckpt_resume_test
 for t in simnet_test resolver_test measure_test parallel_measure_test \
-         chaos_resilience_test pdns_test mining_test parallel_mine_test; do
+         chaos_resilience_test pdns_test mining_test parallel_mine_test \
+         ckpt_test ckpt_resume_test; do
   echo "==> tsan: ${t}"
   "./build-tsan/tests/${t}"
 done
