@@ -1,0 +1,47 @@
+#include "ckpt/signals.h"
+
+#include <csignal>
+#include <unistd.h>
+
+namespace govdns::ckpt {
+
+namespace {
+
+// Handler state. Everything the handler touches is lock-free atomic or
+// async-signal-safe (_exit): no allocation, no stdio, no locks.
+std::atomic<bool>* g_flag = nullptr;
+std::atomic<int> g_signals{0};
+int g_exit_code = 130;
+
+void EscalatingHandler(int) {
+  const int seen = g_signals.fetch_add(1, std::memory_order_relaxed);
+  if (seen == 0) {
+    if (g_flag != nullptr) g_flag->store(true, std::memory_order_relaxed);
+    return;
+  }
+  // Second signal: the flush is taking too long (or is itself wedged).
+  // Abandon it — _exit skips atexit/static destructors and buffered IO,
+  // which is the point: nothing below us can hang.
+  _exit(g_exit_code);
+}
+
+}  // namespace
+
+void InstallEscalatingHandlers(std::atomic<bool>* flag, int exit_code) {
+  g_flag = flag;
+  g_exit_code = exit_code;
+  g_signals.store(0, std::memory_order_relaxed);
+  struct sigaction sa {};
+  sa.sa_handler = EscalatingHandler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESETHAND: the handler itself stays installed so the escalation
+  // path (second signal -> _exit) runs under our control, and no SA_RESTART
+  // so a blocking write the flush is stuck in gets interrupted.
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+int EscalationCount() { return g_signals.load(std::memory_order_relaxed); }
+
+}  // namespace govdns::ckpt

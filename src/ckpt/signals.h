@@ -1,0 +1,28 @@
+// Escalating SIGINT/SIGTERM handling for checkpointed runs (DESIGN.md §6g).
+//
+// The first signal raises a cooperative interrupt flag: the in-flight batch
+// finishes, its checkpoint commits, and the pipeline unwinds with a
+// structured error ("flush then exit"). The second signal — the operator
+// pressing Ctrl-C again because the flush itself is wedged — must not be
+// swallowed: the handler _exit()s immediately, async-signal-safely, without
+// flushing anything further. That beats SA_RESETHAND (the previous scheme),
+// where the second signal fell back to the default disposition and killed
+// the process with an unhandled-signal status instead of a deliberate,
+// testable exit code.
+#pragma once
+
+#include <atomic>
+
+namespace govdns::ckpt {
+
+// Installs the escalating handler on SIGINT and SIGTERM. `flag` (not owned;
+// must outlive the handlers, i.e. effectively the process) is set on the
+// first signal; the second signal _exit(exit_code)s. Re-installing replaces
+// the previous registration and resets the escalation count.
+void InstallEscalatingHandlers(std::atomic<bool>* flag, int exit_code);
+
+// Signals received so far by the escalating handler (0 before any). Exposed
+// for tests; reset by InstallEscalatingHandlers.
+int EscalationCount();
+
+}  // namespace govdns::ckpt

@@ -195,11 +195,32 @@ std::string ExportReportJson(const StudyReport& report) {
   json.Kv("breaker_skips", int64_t(res.totals.breaker_skips));
   json.Kv("negative_cache_hits", int64_t(res.totals.negative_cache_hits));
   json.Kv("budget_denied", int64_t(res.totals.budget_denied));
+  json.Kv("deadline_denied", int64_t(res.totals.deadline_denied));
   json.Kv("max_queries_one_domain", int64_t(res.max_queries_one_domain));
   json.Kv("avg_queries_per_domain", res.avg_queries_per_domain);
   json.Kv("total_logical_ms", int64_t(res.total_logical_ms));
   json.Kv("max_logical_ms_one_domain",
           int64_t(res.max_logical_ms_one_domain));
+  json.EndObject();
+
+  const QuarantineReport& quar = report.quarantine;
+  json.Key("quarantine").BeginObject();
+  json.Kv("total_domains", quar.total_domains);
+  json.Kv("quarantined", quar.quarantined);
+  json.Kv("hang", quar.hang);
+  json.Kv("blackhole", quar.blackhole);
+  json.Kv("budget_exceeded", quar.budget_exceeded);
+  json.Kv("watchdog_cancelled", quar.watchdog_cancelled);
+  json.Kv("coverage", quar.coverage);
+  json.Key("by_country").BeginArray();
+  for (const QuarantineReport::CountryRow& row : quar.by_country) {
+    json.BeginObject();
+    json.Kv("code", row.code);
+    json.Kv("domains", row.domains);
+    json.Kv("quarantined", row.quarantined);
+    json.EndObject();
+  }
+  json.EndArray();
   json.EndObject();
 
   json.Key("profile").BeginArray();

@@ -6,8 +6,20 @@
 #include <thread>
 
 #include "core/cut_cache.h"
+#include "core/watchdog.h"
 
 namespace govdns::core {
+
+const char* QuarantineReasonName(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kNone: return "none";
+    case QuarantineReason::kHang: return "hang";
+    case QuarantineReason::kBlackhole: return "blackhole";
+    case QuarantineReason::kBudgetExceeded: return "budget_exceeded";
+    case QuarantineReason::kWatchdogCancelled: return "watchdog_cancelled";
+  }
+  return "unknown";
+}
 
 std::vector<geo::IPv4> MeasurementResult::NsAddresses() const {
   std::vector<geo::IPv4> out;
@@ -64,6 +76,12 @@ struct ActiveMeasurer::MetricIds {
   int breaker_skips;
   int negative_cache_hits;
   int budget_denied;
+  int deadline_denied;
+  int quarantined;
+  int quarantined_hang;
+  int quarantined_blackhole;
+  int quarantined_budget;
+  int quarantined_watchdog;
   int h_queries;
   int h_logical;
 
@@ -79,6 +97,16 @@ struct ActiveMeasurer::MetricIds {
     ids.breaker_skips = m.DeclareCounter("measure.breaker_skips");
     ids.negative_cache_hits = m.DeclareCounter("measure.negative_cache_hits");
     ids.budget_denied = m.DeclareCounter("measure.budget_denied");
+    ids.deadline_denied = m.DeclareCounter("measure.deadline_denied");
+    ids.quarantined = m.DeclareCounter("measure.quarantined_domains");
+    ids.quarantined_hang = m.DeclareCounter("measure.quarantined_hang");
+    ids.quarantined_blackhole =
+        m.DeclareCounter("measure.quarantined_blackhole");
+    ids.quarantined_budget =
+        m.DeclareCounter("measure.quarantined_budget_exceeded");
+    // Watchdog cancellations are wall-clock-driven, hence diagnostic.
+    ids.quarantined_watchdog = m.DeclareCounter(
+        "measure.quarantined_watchdog", obs::Determinism::kDiagnostic);
     ids.h_queries = m.DeclareHistogram("measure.queries_per_domain");
     ids.h_logical = m.DeclareHistogram("measure.logical_ms_per_domain");
     return ids;
@@ -95,6 +123,27 @@ struct ActiveMeasurer::MetricIds {
     shard.Add(breaker_skips, r.query_stats.breaker_skips);
     shard.Add(negative_cache_hits, r.query_stats.negative_cache_hits);
     shard.Add(budget_denied, r.query_stats.budget_denied);
+    shard.Add(deadline_denied, r.query_stats.deadline_denied);
+    switch (r.quarantine_reason) {
+      case QuarantineReason::kNone:
+        break;
+      case QuarantineReason::kHang:
+        shard.Add(quarantined, 1);
+        shard.Add(quarantined_hang, 1);
+        break;
+      case QuarantineReason::kBlackhole:
+        shard.Add(quarantined, 1);
+        shard.Add(quarantined_blackhole, 1);
+        break;
+      case QuarantineReason::kBudgetExceeded:
+        shard.Add(quarantined, 1);
+        shard.Add(quarantined_budget, 1);
+        break;
+      case QuarantineReason::kWatchdogCancelled:
+        shard.Add(quarantined, 1);
+        shard.Add(quarantined_watchdog, 1);
+        break;
+    }
     shard.Observe(h_queries, r.query_stats.queries);
     shard.Observe(h_logical, r.logical_ms);
   }
@@ -166,12 +215,41 @@ MeasurementResult ActiveMeasurer::MeasureWith(
   // Charge everything this domain costs — including resolution detours —
   // against one hard budget, and attribute the per-outcome counters to it.
   const ResolverCounters before = resolver.counters();
+  resolver.ClearCancelLatch();
   resolver.ArmQueryBudget(options_.max_queries_per_domain);
+  // Logical deadline (§6g): the measurer option wins; otherwise the
+  // resolver-level default. Armed against the domain-scope clock, so
+  // whether it trips is a pure function of (world seed, domain).
+  resolver.ArmDeadline(options_.max_logical_ms_per_domain != 0
+                           ? options_.max_logical_ms_per_domain
+                           : resolver.options().domain_deadline_ms);
   MeasureInternal(resolver, result, trace);
-  result.degraded = resolver.BudgetExhausted();
-  resolver.DisarmQueryBudget();
+  result.degraded = resolver.BudgetExhausted() || resolver.DeadlineExceeded() ||
+                    resolver.WatchdogCancelled();
   result.query_stats = resolver.counters() - before;
   result.logical_ms = resolver.now_ms() - t0;
+  // Quarantine classification, from most to least definitive signal. The
+  // hang/blackhole split is a client-side heuristic: a domain whose every
+  // datagram timed out looks hung end to end, while a mix of delivered and
+  // dark exchanges looks blackholed (delivered, then dropped).
+  if (resolver.WatchdogCancelled()) {
+    result.quarantine_reason = QuarantineReason::kWatchdogCancelled;
+  } else if (resolver.DeadlineExceeded()) {
+    result.quarantine_reason =
+        (result.query_stats.queries > 0 &&
+         result.query_stats.timeouts >= result.query_stats.queries)
+            ? QuarantineReason::kHang
+            : QuarantineReason::kBlackhole;
+  } else if (resolver.BudgetExhausted()) {
+    result.quarantine_reason = QuarantineReason::kBudgetExceeded;
+  }
+  if (trace != nullptr &&
+      result.quarantine_reason != QuarantineReason::kNone) {
+    trace->Record(obs::TraceEventKind::kQuarantined, resolver.now_ms(), 0,
+                  static_cast<uint8_t>(result.quarantine_reason));
+  }
+  resolver.DisarmQueryBudget();
+  resolver.DisarmDeadline();
   if (trace != nullptr) resolver.set_trace(nullptr);
   resolver.EndDomainScope();
   return result;
@@ -437,16 +515,42 @@ std::vector<MeasurementResult> ActiveMeasurer::MeasureAll(
   std::atomic<size_t> next{0};
   std::vector<ResolverCounters> worker_counters(workers);
   std::vector<uint64_t> worker_queries(workers, 0);
+
+  // Wall-clock liveness net (§6g). In pure simulation exchanges always
+  // return promptly, so the watchdog never fires and attaching one cannot
+  // change the deterministic byte stream; against a genuinely blocking
+  // transport it cancels the stalled worker's in-flight domain.
+  std::unique_ptr<PhaseWatchdog> watchdog;
+  if (options_.watchdog_stall_ms > 0) {
+    PhaseWatchdog::Options wd_options;
+    wd_options.stall_timeout_ms = options_.watchdog_stall_ms;
+    wd_options.poll_interval_ms = options_.watchdog_poll_ms;
+    watchdog = std::make_unique<PhaseWatchdog>(workers, wd_options);
+  }
+  std::vector<std::vector<size_t>> worker_cancelled(workers);
+
   auto run = [&](int w) {
     IterativeResolver resolver(transport_, roots_, resolver_options_);
+    if (watchdog != nullptr) {
+      resolver.set_cancel_flag(watchdog->cancel_flag(w));
+    }
     std::unique_ptr<obs::MetricsShard> shard =
         ids.has_value() ? obs->metrics().NewShard() : nullptr;
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= domains.size()) break;
+      if (watchdog != nullptr) watchdog->Heartbeat(w);
       std::optional<obs::DomainTrace>* slot =
           WantTrace(domains[i]) ? &trace_slots[i] : nullptr;
       out[i] = MeasureWith(resolver, domains[i], slot);
+      if (watchdog != nullptr &&
+          out[i].quarantine_reason == QuarantineReason::kWatchdogCancelled) {
+        // Abandoned mid-flight: remember for the post-join requeue pass and
+        // re-arm this worker. Metrics wait until the final verdict.
+        worker_cancelled[w].push_back(i);
+        watchdog->AckCancel(w);
+        continue;
+      }
       if (shard != nullptr) ids->Observe(*shard, out[i]);
     }
     worker_counters[w] = resolver.counters();
@@ -468,6 +572,43 @@ std::vector<MeasurementResult> ActiveMeasurer::MeasureAll(
     merged_counters_ += worker_counters[w];
     merged_queries_sent_ += worker_queries[w];
   }
+
+  if (watchdog != nullptr) {
+    // Requeue every cancelled domain exactly once, serially: the stall that
+    // cancelled it may have been another worker's contention, so one retry
+    // under a fresh heartbeat is cheap insurance. A domain cancelled twice
+    // stays quarantined as kWatchdogCancelled.
+    std::vector<size_t> cancelled;
+    for (const auto& per_worker : worker_cancelled) {
+      cancelled.insert(cancelled.end(), per_worker.begin(), per_worker.end());
+    }
+    std::sort(cancelled.begin(), cancelled.end());
+    if (!cancelled.empty()) {
+      IterativeResolver requeue_resolver(transport_, roots_,
+                                         resolver_options_);
+      requeue_resolver.set_cancel_flag(watchdog->cancel_flag(0));
+      std::unique_ptr<obs::MetricsShard> requeue_shard =
+          ids.has_value() ? obs->metrics().NewShard() : nullptr;
+      for (size_t i : cancelled) {
+        watchdog->AckCancel(0);
+        std::optional<obs::DomainTrace>* slot =
+            WantTrace(domains[i]) ? &trace_slots[i] : nullptr;
+        out[i] = MeasureWith(requeue_resolver, domains[i], slot);
+        if (requeue_shard != nullptr) ids->Observe(*requeue_shard, out[i]);
+      }
+      merged_counters_ += requeue_resolver.counters();
+      merged_queries_sent_ += requeue_resolver.queries_sent();
+      if (requeue_shard != nullptr) obs->metrics().Absorb(*requeue_shard);
+    }
+    watchdog->Stop();
+    if (obs != nullptr) {
+      obs->metrics().SetGauge(
+          "measure.watchdog_cancels",
+          static_cast<int64_t>(watchdog->total_cancels()),
+          obs::Determinism::kDiagnostic);
+    }
+  }
+
   if (obs != nullptr) {
     for (auto& shard : worker_shards) {
       if (shard != nullptr) obs->metrics().Absorb(*shard);

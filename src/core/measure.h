@@ -56,6 +56,22 @@ struct NsHostResult {
   friend bool operator==(const NsHostResult&, const NsHostResult&) = default;
 };
 
+// Why a measured domain was quarantined (DESIGN.md §6g). The taxonomy is a
+// client-side heuristic over the resolver's counters — the measurement
+// vantage point cannot see inside a server that never answers, so "hang" vs
+// "blackhole" is inferred from the shape of the failure: a domain whose
+// every datagram timed out against a live parent looks hung end to end,
+// while a mix of delivered-then-dark exchanges looks blackholed.
+enum class QuarantineReason : uint8_t {
+  kNone = 0,              // not quarantined
+  kHang = 1,              // deadline hit; every query timed out
+  kBlackhole = 2,         // deadline hit; some traffic delivered, then dark
+  kBudgetExceeded = 3,    // country/phase budget pre-empted the domain
+  kWatchdogCancelled = 4, // a stalled worker's in-flight domain was cancelled
+};
+
+const char* QuarantineReasonName(QuarantineReason reason);
+
 struct MeasurementResult {
   dns::Name domain;
 
@@ -85,6 +101,9 @@ struct MeasurementResult {
   // Logical (transport-clock) time this measurement consumed. In engine
   // mode a pure function of (world seed, domain), like query_stats.
   uint64_t logical_ms = 0;
+  // Degradation verdict: kNone for a healthy measurement, otherwise the
+  // reason this domain was cut short and must be read as partial coverage.
+  QuarantineReason quarantine_reason = QuarantineReason::kNone;
 
   // All distinct addresses of the domain's nameservers (for Table I).
   std::vector<geo::IPv4> NsAddresses() const;
@@ -103,6 +122,30 @@ struct MeasurerOptions {
   // Hard cap on datagrams per measured domain (0 = unlimited). When spent,
   // remaining queries fail fast and the result is flagged `degraded`.
   uint64_t max_queries_per_domain = 250;
+  // --- Deadline-budget hierarchy (DESIGN.md §6g), all 0 = disabled --------
+  // Logical (transport-clock) ms one domain may consume before it is
+  // quarantined. Overrides ResolverOptions::domain_deadline_ms when set.
+  uint64_t max_logical_ms_per_domain = 0;
+  // Logical ms all of one country's domains together may consume; once a
+  // country is over budget (as of a batch boundary) its remaining domains
+  // are pre-quarantined without traffic. Enforced by Study.
+  uint64_t max_logical_ms_per_country = 0;
+  // Logical ms the whole measurement phase may consume; past it, remaining
+  // batches are pre-quarantined. Enforced by Study at batch granularity so
+  // the cutoff is deterministic and worker-count independent.
+  uint64_t phase_deadline_logical_ms = 0;
+  // Granularity (domains) of study-level budget enforcement and checkpoint
+  // journaling when a country/phase budget is armed. 0 = the checkpoint's
+  // batch_size when one is attached, else 64. Changing it may move which
+  // domains fall past a budget cutoff (each batch's verdicts read only the
+  // accumulators of the batches before it), but never changes healthy runs.
+  size_t budget_batch_size = 0;
+  // Wall-clock watchdog (PhaseWatchdog): a worker that makes no progress
+  // heartbeat within this many real ms has its in-flight domain cancelled
+  // and requeued once. 0 = no watchdog. Never fires in pure simulation
+  // (exchanges always return), so it cannot perturb deterministic runs.
+  uint32_t watchdog_stall_ms = 0;
+  uint32_t watchdog_poll_ms = 20;
   // Worker threads used by MeasureAll in pool mode; 0 picks
   // std::thread::hardware_concurrency(). Ignored in legacy serial mode.
   int workers = 0;

@@ -367,6 +367,16 @@ std::vector<dns::Name> PdnsMiner::ActiveQueryList(const MinedDataset& dataset) {
   return out;
 }
 
+std::vector<int> PdnsMiner::ActiveQueryCountries(const MinedDataset& dataset) {
+  std::vector<int> out;
+  for (const MinedDomain& domain : dataset.domains) {
+    if (!domain.in_active_window) continue;
+    if (dataset.config.filter_disposable && domain.disposable) continue;
+    out.push_back(domain.country);
+  }
+  return out;
+}
+
 std::vector<YearlyCounts> CountPerYear(const MinedDataset& dataset) {
   const int years = dataset.config.year_count();
   std::vector<YearlyCounts> out(years);

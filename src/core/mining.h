@@ -153,6 +153,10 @@ class PdnsMiner {
 
   // The query list for active measurement.
   static std::vector<dns::Name> ActiveQueryList(const MinedDataset& dataset);
+  // Country index of each query-list entry, aligned with ActiveQueryList
+  // (same filter, same order). The study's per-country budget accounting
+  // (DESIGN.md §6g) keys on this.
+  static std::vector<int> ActiveQueryCountries(const MinedDataset& dataset);
 
  private:
   const pdns::PdnsDatabase* db_;

@@ -45,12 +45,58 @@ std::string ResilienceReport::ToJson() const {
       .Kv("breaker_skips", int64_t(totals.breaker_skips))
       .Kv("negative_cache_hits", int64_t(totals.negative_cache_hits))
       .Kv("budget_denied", int64_t(totals.budget_denied))
+      .Kv("deadline_denied", int64_t(totals.deadline_denied))
       .Kv("max_queries_one_domain", int64_t(max_queries_one_domain))
       .Kv("avg_queries_per_domain", avg_queries_per_domain)
       .Kv("total_logical_ms", int64_t(total_logical_ms))
       .Kv("max_logical_ms_one_domain", int64_t(max_logical_ms_one_domain))
       .EndObject();
   return w.TakeString();
+}
+
+QuarantineReport BuildQuarantineReport(const ActiveDataset& dataset) {
+  QuarantineReport report;
+  report.total_domains = static_cast<int64_t>(dataset.results.size());
+  // Per-country tallies, indexed like dataset.metas (+1 slot for unknown).
+  std::vector<QuarantineReport::CountryRow> rows(dataset.metas.size() + 1);
+  for (size_t i = 0; i < dataset.results.size(); ++i) {
+    const int c = dataset.country[i];
+    const size_t slot = (c >= 0 && static_cast<size_t>(c) < dataset.metas.size())
+                            ? static_cast<size_t>(c)
+                            : dataset.metas.size();
+    ++rows[slot].domains;
+    const QuarantineReason reason = dataset.results[i].quarantine_reason;
+    if (reason == QuarantineReason::kNone) continue;
+    ++report.quarantined;
+    ++rows[slot].quarantined;
+    switch (reason) {
+      case QuarantineReason::kNone:
+        break;
+      case QuarantineReason::kHang:
+        ++report.hang;
+        break;
+      case QuarantineReason::kBlackhole:
+        ++report.blackhole;
+        break;
+      case QuarantineReason::kBudgetExceeded:
+        ++report.budget_exceeded;
+        break;
+      case QuarantineReason::kWatchdogCancelled:
+        ++report.watchdog_cancelled;
+        break;
+    }
+  }
+  for (size_t slot = 0; slot < rows.size(); ++slot) {
+    if (rows[slot].quarantined == 0) continue;
+    rows[slot].code = slot < dataset.metas.size() ? dataset.metas[slot].code
+                                                  : std::string("??");
+    report.by_country.push_back(std::move(rows[slot]));
+  }
+  if (report.total_domains > 0) {
+    report.coverage = double(report.total_domains - report.quarantined) /
+                      double(report.total_domains);
+  }
+  return report;
 }
 
 StudyReport BuildReport(Study& study,
@@ -109,6 +155,9 @@ StudyReport BuildReport(Study& study,
   });
   analyze("analyze.resilience", active_n, [&] {
     report.resilience = BuildResilienceReport(study.active());
+  });
+  analyze("analyze.quarantine", active_n, [&] {
+    report.quarantine = BuildQuarantineReport(study.active());
   });
 
   report.profile = study.profiler().records();
@@ -197,6 +246,23 @@ void PrintReport(const StudyReport& report, std::ostream& os) {
      << " ms summed over domains (max "
      << WithCommas(int64_t(res.max_logical_ms_one_domain))
      << " ms for one domain)\n";
+
+  const QuarantineReport& q = report.quarantine;
+  if (q.quarantined > 0) {
+    // Coverage annotations: only rendered for degraded runs, so a healthy
+    // report reads exactly as it did before the degradation model existed.
+    os << "\n-- degraded coverage --\n";
+    os << "quarantined: " << WithCommas(q.quarantined) << " of "
+       << WithCommas(q.total_domains) << " domains (coverage "
+       << Percent(q.coverage) << "): " << WithCommas(q.hang) << " hang, "
+       << WithCommas(q.blackhole) << " blackhole, "
+       << WithCommas(q.budget_exceeded) << " budget-exceeded, "
+       << WithCommas(q.watchdog_cancelled) << " watchdog-cancelled\n";
+    for (const QuarantineReport::CountryRow& row : q.by_country) {
+      os << "  " << row.code << ": " << WithCommas(row.quarantined) << " of "
+         << WithCommas(row.domains) << " quarantined\n";
+    }
+  }
 
   if (!report.profile.empty()) {
     // Logical/item columns only: wall_ms is diagnostic and would make this

@@ -39,6 +39,35 @@ struct ResilienceReport {
 
 ResilienceReport BuildResilienceReport(const ActiveDataset& dataset);
 
+// Degradation/coverage accounting (DESIGN.md §6g): which measured domains
+// were quarantined, why (QuarantineReason taxonomy), and how coverage breaks
+// down per country. A healthy run has quarantined == 0 and coverage == 1.
+// Deterministic for a given world seed and budget configuration.
+struct QuarantineReport {
+  int64_t total_domains = 0;
+  int64_t quarantined = 0;
+  int64_t hang = 0;
+  int64_t blackhole = 0;
+  int64_t budget_exceeded = 0;
+  int64_t watchdog_cancelled = 0;
+  // Share of the query list with a full-fidelity (non-quarantined) result.
+  double coverage = 1.0;
+  struct CountryRow {
+    std::string code;
+    int64_t domains = 0;
+    int64_t quarantined = 0;
+
+    friend bool operator==(const CountryRow&, const CountryRow&) = default;
+  };
+  // Countries with at least one quarantined domain, in metas order.
+  std::vector<CountryRow> by_country;
+
+  friend bool operator==(const QuarantineReport&,
+                         const QuarantineReport&) = default;
+};
+
+QuarantineReport BuildQuarantineReport(const ActiveDataset& dataset);
+
 struct StudyReport {
   // §III: pipeline funnel.
   SelectionStats selection;
@@ -65,6 +94,10 @@ struct StudyReport {
   // Measurement-infrastructure health (not a paper figure: quantifies the
   // §III-B transient-vs-defective distinction for this run).
   ResilienceReport resilience;
+
+  // Coverage annotations for degraded runs (DESIGN.md §6g): empty/1.0 when
+  // the run was healthy.
+  QuarantineReport quarantine;
 
   // Per-phase profile: the study's stages followed by each analyzer run by
   // BuildReport. Exported with logical_ms only — wall_ms stays diagnostic.

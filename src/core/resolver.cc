@@ -32,6 +32,7 @@ ResolverCounters ResolverCounters::operator-(
   d.breaker_skips = breaker_skips - rhs.breaker_skips;
   d.negative_cache_hits = negative_cache_hits - rhs.negative_cache_hits;
   d.budget_denied = budget_denied - rhs.budget_denied;
+  d.deadline_denied = deadline_denied - rhs.deadline_denied;
   return d;
 }
 
@@ -48,6 +49,7 @@ ResolverCounters& ResolverCounters::operator+=(const ResolverCounters& rhs) {
   breaker_skips += rhs.breaker_skips;
   negative_cache_hits += rhs.negative_cache_hits;
   budget_denied += rhs.budget_denied;
+  deadline_denied += rhs.deadline_denied;
   return *this;
 }
 
@@ -69,6 +71,17 @@ void IterativeResolver::ArmQueryBudget(uint64_t max_queries) {
 }
 
 void IterativeResolver::DisarmQueryBudget() { budget_remaining_.reset(); }
+
+void IterativeResolver::ArmDeadline(uint64_t budget_ms) {
+  if (budget_ms == 0) {
+    deadline_at_ms_.reset();
+  } else {
+    deadline_at_ms_ = transport_->now_ms() + budget_ms;
+  }
+  deadline_exceeded_ = false;
+}
+
+void IterativeResolver::DisarmDeadline() { deadline_at_ms_.reset(); }
 
 size_t IterativeResolver::open_circuits() const {
   const uint64_t now = transport_->now_ms();
@@ -143,10 +156,27 @@ ServerReply IterativeResolver::QueryServerImpl(geo::IPv4 server,
   ServerReply reply;
   reply.server = server;
 
+  // Watchdog cancellation: a wall-clock supervisor asked this worker to
+  // abandon its in-flight domain. Checked first and untraced/uncounted in
+  // the deterministic stream — it must never change the bytes of a run in
+  // which it does not fire.
+  if (cancel_flag_ != nullptr &&
+      cancel_flag_->load(std::memory_order_relaxed)) {
+    watchdog_cancelled_ = true;
+    reply.outcome = QueryOutcome::kTimeout;
+    return reply;
+  }
   if (budget_remaining_ && *budget_remaining_ == 0) {
     budget_exhausted_ = true;
     ++counters_.budget_denied;
     Trace(obs::TraceEventKind::kBudgetDenied, server.bits());
+    reply.outcome = QueryOutcome::kTimeout;
+    return reply;
+  }
+  if (deadline_at_ms_ && transport_->now_ms() >= *deadline_at_ms_) {
+    deadline_exceeded_ = true;
+    ++counters_.deadline_denied;
+    Trace(obs::TraceEventKind::kDeadlineDenied, server.bits());
     reply.outcome = QueryOutcome::kTimeout;
     return reply;
   }
@@ -161,10 +191,21 @@ ServerReply IterativeResolver::QueryServerImpl(geo::IPv4 server,
   const int attempts = std::max(1, options_.retry.max_attempts);
   QueryOutcome failure = QueryOutcome::kTimeout;
   for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (cancel_flag_ != nullptr &&
+        cancel_flag_->load(std::memory_order_relaxed)) {
+      watchdog_cancelled_ = true;
+      break;
+    }
     if (budget_remaining_ && *budget_remaining_ == 0) {
       budget_exhausted_ = true;
       ++counters_.budget_denied;
       Trace(obs::TraceEventKind::kBudgetDenied, server.bits());
+      break;
+    }
+    if (deadline_at_ms_ && transport_->now_ms() >= *deadline_at_ms_) {
+      deadline_exceeded_ = true;
+      ++counters_.deadline_denied;
+      Trace(obs::TraceEventKind::kDeadlineDenied, server.bits());
       break;
     }
     if (attempt > 0) {
@@ -330,6 +371,8 @@ IterativeResolver::InfraScope::InfraScope(IterativeResolver& r,
       saved_jitter_state_(r.jitter_state_),
       saved_budget_remaining_(r.budget_remaining_),
       saved_budget_exhausted_(r.budget_exhausted_),
+      saved_deadline_at_ms_(r.deadline_at_ms_),
+      saved_deadline_exceeded_(r.deadline_exceeded_),
       saved_health_(std::move(r.health_)),
       saved_trace_(r.trace_) {
   // Shared-cut computation is never traced into the active domain's log:
@@ -342,6 +385,10 @@ IterativeResolver::InfraScope::InfraScope(IterativeResolver& r,
   // into (or be consumed by) cache computation another domain may reuse.
   r.budget_remaining_.reset();
   r.budget_exhausted_ = false;
+  // Same for the deadline: the infra step has its own hermetic clock, and a
+  // domain's deadline must not bound cache computation other domains reuse.
+  r.deadline_at_ms_.reset();
+  r.deadline_exceeded_ = false;
   r.health_.clear();
   r.transport_->PushChaosContext(util::HashString(zone.ToString(), kCutTagSalt));
 }
@@ -354,6 +401,8 @@ IterativeResolver::InfraScope::~InfraScope() {
   r_.jitter_state_ = saved_jitter_state_;
   r_.budget_remaining_ = saved_budget_remaining_;
   r_.budget_exhausted_ = saved_budget_exhausted_;
+  r_.deadline_at_ms_ = saved_deadline_at_ms_;
+  r_.deadline_exceeded_ = saved_deadline_exceeded_;
   r_.health_ = std::move(saved_health_);
   r_.trace_ = saved_trace_;
 }

@@ -14,6 +14,7 @@
 // cached with expiry so one dead subtree cannot eat the whole query budget.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <vector>
@@ -88,6 +89,7 @@ struct ResolverCounters {
   uint64_t breaker_skips = 0;  // queries suppressed by an open circuit
   uint64_t negative_cache_hits = 0;  // walks cut short by a cached-dead zone
   uint64_t budget_denied = 0;  // queries suppressed by the domain budget
+  uint64_t deadline_denied = 0;  // queries suppressed by the domain deadline
 
   ResolverCounters operator-(const ResolverCounters& rhs) const;
   ResolverCounters& operator+=(const ResolverCounters& rhs);
@@ -110,6 +112,12 @@ struct ResolverOptions {
   // earliest-expiring live one, so a long or resumed run cannot accumulate
   // stale dead-subtree verdicts without limit. 0 disables the bound.
   size_t max_negative_cuts = 512;
+
+  // Default per-domain logical-time deadline (ms of transport-clock time)
+  // the measurer arms when MeasurerOptions does not override it. 0 = none.
+  // See DESIGN.md §6g: the deadline bounds how long a single domain can
+  // stall on hanging/blackholed servers before it is quarantined.
+  uint64_t domain_deadline_ms = 0;
 
   // Engine mode: when set, zone cuts are resolved through this shared
   // thread-safe cache instead of the resolver's private one, every cut
@@ -165,6 +173,25 @@ class IterativeResolver {
   void ArmQueryBudget(uint64_t max_queries);
   void DisarmQueryBudget();
   bool BudgetExhausted() const { return budget_exhausted_; }
+
+  // --- Logical deadline (DESIGN.md §6g) ------------------------------------
+  // Hard cap on transport-clock time: once now_ms() reaches the armed
+  // deadline, further QueryServer calls report kTimeout without traffic and
+  // the exceeded flag latches. The measurer arms this per domain; shared-cut
+  // computation (InfraScope) runs outside the deadline, like the budget, so
+  // infrastructure cost is never charged against a single domain's clock.
+  void ArmDeadline(uint64_t budget_ms);
+  void DisarmDeadline();
+  bool DeadlineExceeded() const { return deadline_exceeded_; }
+
+  // --- Watchdog cancellation -----------------------------------------------
+  // While `flag` (owned by the caller) reads true, QueryServer fails fast
+  // with kTimeout and the cancelled latch sets. Wall-clock-driven and
+  // therefore *not* part of ResolverCounters: it must never influence the
+  // deterministic per-domain byte stream. nullptr detaches.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+  bool WatchdogCancelled() const { return watchdog_cancelled_; }
+  void ClearCancelLatch() { watchdog_cancelled_ = false; }
 
   // --- Per-domain hermetic scope (engine mode) -----------------------------
   // Brackets one unit of attributable work (one measured domain): pushes a
@@ -247,6 +274,8 @@ class IterativeResolver {
     uint64_t saved_jitter_state_;
     std::optional<uint64_t> saved_budget_remaining_;
     bool saved_budget_exhausted_;
+    std::optional<uint64_t> saved_deadline_at_ms_;
+    bool saved_deadline_exceeded_;
     std::map<geo::IPv4, ServerHealth> saved_health_;
     obs::DomainTrace* saved_trace_;
   };
@@ -288,6 +317,10 @@ class IterativeResolver {
   ResolverCounters counters_;
   std::optional<uint64_t> budget_remaining_;
   bool budget_exhausted_ = false;
+  std::optional<uint64_t> deadline_at_ms_;
+  bool deadline_exceeded_ = false;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+  bool watchdog_cancelled_ = false;
   std::map<dns::Name, CachedCut> cut_cache_;
   std::map<geo::IPv4, ServerHealth> health_;
   bool domain_scope_active_ = false;

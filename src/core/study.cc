@@ -1,6 +1,7 @@
 #include "core/study.h"
 
 #include <algorithm>
+#include <map>
 
 #include "core/study_ckpt.h"
 
@@ -124,32 +125,100 @@ const ActiveDataset& Study::RunActiveMeasurement(MeasurerOptions options) {
   std::vector<dns::Name> query_list = PdnsMiner::ActiveQueryList(*mined_);
   ActiveMeasurer measurer(inputs_.transport, inputs_.root_hints,
                           ResolverOptions(), options);
+
+  // Study-level budget accounting (DESIGN.md §6g). Enforcement is
+  // batch-granular: a batch's verdicts read only the accumulators of the
+  // batches before it, so they are a pure function of (query list, results,
+  // batch size) — identical for any worker count, and a resumed run replays
+  // its restored prefix through the same accounting below.
+  const bool budgets_armed = options.max_logical_ms_per_country > 0 ||
+                             options.phase_deadline_logical_ms > 0;
+  std::vector<int> countries;
+  if (budgets_armed) countries = PdnsMiner::ActiveQueryCountries(*mined_);
+  uint64_t phase_logical = 0;
+  std::map<int, uint64_t> country_logical;
+  auto account = [&](size_t begin,
+                     const std::vector<MeasurementResult>& part) {
+    for (size_t k = 0; k < part.size(); ++k) {
+      phase_logical += part[k].logical_ms;
+      if (budgets_armed) {
+        country_logical[countries[begin + k]] += part[k].logical_ms;
+      }
+    }
+  };
+
+  // Measures query-list indices [begin, begin+count), pre-quarantining the
+  // domains the study-level budgets already exclude.
+  auto measure_batch = [&](size_t begin, size_t count) {
+    const bool phase_over = options.phase_deadline_logical_ms > 0 &&
+                            phase_logical >= options.phase_deadline_logical_ms;
+    std::vector<dns::Name> live;
+    std::vector<size_t> live_at;  // batch-local offsets of `live` entries
+    std::vector<MeasurementResult> part(count);
+    for (size_t k = 0; k < count; ++k) {
+      const size_t i = begin + k;
+      bool over = phase_over;
+      if (!over && options.max_logical_ms_per_country > 0) {
+        auto it = country_logical.find(countries[i]);
+        over = it != country_logical.end() &&
+               it->second >= options.max_logical_ms_per_country;
+      }
+      if (over) {
+        // Placeholder: the domain was never queried. Every other field stays
+        // empty/zero so the quarantine is visible (and journal-roundtrips)
+        // without inventing measurement data.
+        part[k].domain = query_list[i];
+        part[k].degraded = true;
+        part[k].quarantine_reason = QuarantineReason::kBudgetExceeded;
+      } else {
+        live.push_back(query_list[i]);
+        live_at.push_back(k);
+      }
+    }
+    if (!live.empty()) {
+      std::vector<MeasurementResult> measured = measurer.MeasureAll(live);
+      for (size_t j = 0; j < live.size(); ++j) {
+        part[live_at[j]] = std::move(measured[j]);
+      }
+    }
+    account(begin, part);
+    return part;
+  };
+
   std::vector<MeasurementResult> results;
-  if (ckpt_ == nullptr) {
+  if (ckpt_ == nullptr && !budgets_armed) {
+    // Fast path: one pool pass over the whole list.
     results = measurer.MeasureAll(query_list);
     measurement_counters_ = measurer.merged_counters();
     measurement_queries_sent_ = measurer.merged_queries_sent();
   } else {
-    results = ckpt_->LoadActiveBatches(query_list.size());
-    if (!results.empty() && results.size() < query_list.size() &&
-        ckpt_->options().snapshot_cut_cache) {
-      // Warm start: skip re-deriving infrastructure the finished batches
-      // already paid for. Purely advisory — per-domain results are hermetic
-      // either way — and positives-only, so no stale negative can replay.
-      ckpt_->RestoreCutCache(measurer.shared_cache());
+    size_t batch_size = options.budget_batch_size;
+    if (batch_size == 0) {
+      batch_size = ckpt_ != nullptr ? ckpt_->options().batch_size : size_t{64};
     }
-    const size_t batch_size = ckpt_->options().batch_size;
+    if (ckpt_ != nullptr) {
+      results = ckpt_->LoadActiveBatches(query_list.size());
+      // Replay the restored prefix through the budget accumulators so the
+      // resumed run's cutoff decisions match the uninterrupted run's.
+      account(0, results);
+      if (!results.empty() && results.size() < query_list.size() &&
+          ckpt_->options().snapshot_cut_cache) {
+        // Warm start: skip re-deriving infrastructure the finished batches
+        // already paid for. Purely advisory — per-domain results are hermetic
+        // either way — and positives-only, so no stale negative can replay.
+        ckpt_->RestoreCutCache(measurer.shared_cache());
+      }
+    }
     while (results.size() < query_list.size()) {
       CheckInterrupt("measurement");
       const size_t begin = results.size();
       const size_t count = std::min(batch_size, query_list.size() - begin);
-      const std::vector<dns::Name> chunk(
-          query_list.begin() + static_cast<ptrdiff_t>(begin),
-          query_list.begin() + static_cast<ptrdiff_t>(begin + count));
-      std::vector<MeasurementResult> part = measurer.MeasureAll(chunk);
-      ckpt_->AppendActiveBatch(begin, part);
-      if (ckpt_->options().snapshot_cut_cache) {
-        ckpt_->SaveCutCacheSnapshot(*measurer.shared_cache());
+      std::vector<MeasurementResult> part = measure_batch(begin, count);
+      if (ckpt_ != nullptr) {
+        ckpt_->AppendActiveBatch(begin, part);
+        if (ckpt_->options().snapshot_cut_cache) {
+          ckpt_->SaveCutCacheSnapshot(*measurer.shared_cache());
+        }
       }
       for (MeasurementResult& r : part) results.push_back(std::move(r));
     }
@@ -161,6 +230,41 @@ const ActiveDataset& Study::RunActiveMeasurement(MeasurerOptions options) {
       measurement_counters_ += r.query_stats;
     }
     measurement_queries_sent_ = measurement_counters_.queries;
+  }
+  if (ckpt_ != nullptr) {
+    // Journal the phase's degradation summary (DESIGN.md §6g) so a resumed
+    // run carries the quarantine verdicts without re-deriving them. One
+    // frame per journal: a resume that restored the full prefix reuses the
+    // journaled frame (and must agree with it — the summary is a pure
+    // function of the results) instead of appending a duplicate.
+    StudyCheckpoint::QuarantineSnapshot qsnap;
+    for (const MeasurementResult& r : results) {
+      switch (r.quarantine_reason) {
+        case QuarantineReason::kNone:
+          break;
+        case QuarantineReason::kHang:
+          ++qsnap.total;
+          ++qsnap.hang;
+          break;
+        case QuarantineReason::kBlackhole:
+          ++qsnap.total;
+          ++qsnap.blackhole;
+          break;
+        case QuarantineReason::kBudgetExceeded:
+          ++qsnap.total;
+          ++qsnap.budget_exceeded;
+          break;
+        case QuarantineReason::kWatchdogCancelled:
+          ++qsnap.total;
+          ++qsnap.watchdog_cancelled;
+          break;
+      }
+    }
+    if (auto loaded = ckpt_->TryLoadQuarantine()) {
+      GOVDNS_CHECK(*loaded == qsnap);
+    } else {
+      ckpt_->SaveQuarantine(qsnap);
+    }
   }
   measurement_cache_stats_ = measurer.shared_cache()->stats();
   // Logical time: the sum of per-domain scope clocks, not the global clock —

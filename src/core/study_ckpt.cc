@@ -19,11 +19,13 @@ constexpr uint8_t kKindMining = 2;
 constexpr uint8_t kKindBatch = 3;
 constexpr uint8_t kKindCutCache = 4;
 constexpr uint8_t kKindReport = 5;
+constexpr uint8_t kKindQuarantine = 6;
 
 constexpr char kSelectionFrame[] = "selection";
 constexpr char kMiningFrame[] = "mining";
 constexpr char kCutCacheFrame[] = "cutcache";
 constexpr char kReportFrame[] = "report";
+constexpr char kQuarantineFrame[] = "quarantine";
 
 std::string BatchFrameName(size_t seq) {
   char buf[32];
@@ -97,6 +99,7 @@ void PutCounters(ckpt::Writer& w, const ResolverCounters& c) {
   w.U64(c.breaker_skips);
   w.U64(c.negative_cache_hits);
   w.U64(c.budget_denied);
+  w.U64(c.deadline_denied);
 }
 
 bool GetCounters(ckpt::Reader& r, ResolverCounters* c) {
@@ -104,7 +107,7 @@ bool GetCounters(ckpt::Reader& r, ResolverCounters* c) {
          r.U64(&c->unreachable) && r.U64(&c->refused) && r.U64(&c->malformed) &&
          r.U64(&c->wrong_id) && r.U64(&c->truncated) && r.U64(&c->backoff_ms) &&
          r.U64(&c->breaker_skips) && r.U64(&c->negative_cache_hits) &&
-         r.U64(&c->budget_denied);
+         r.U64(&c->budget_denied) && r.U64(&c->deadline_denied);
 }
 
 void PutProfile(ckpt::Writer& w, const std::vector<obs::PhaseRecord>& records) {
@@ -188,6 +191,7 @@ void PutResult(ckpt::Writer& w, const MeasurementResult& res) {
   PutCounters(w, res.query_stats);
   w.Bool(res.degraded);
   w.U64(res.logical_ms);
+  w.U8(static_cast<uint8_t>(res.quarantine_reason));
 }
 
 bool GetResult(ckpt::Reader& r, MeasurementResult* res) {
@@ -228,8 +232,14 @@ bool GetResult(ckpt::Reader& r, MeasurementResult* res) {
   } else {
     res->soa.reset();
   }
-  return r.I32(&res->rounds) && GetCounters(r, &res->query_stats) &&
-         r.Bool(&res->degraded) && r.U64(&res->logical_ms);
+  uint8_t reason = 0;
+  if (!r.I32(&res->rounds) || !GetCounters(r, &res->query_stats) ||
+      !r.Bool(&res->degraded) || !r.U64(&res->logical_ms) || !r.U8(&reason) ||
+      reason > static_cast<uint8_t>(QuarantineReason::kWatchdogCancelled)) {
+    return false;
+  }
+  res->quarantine_reason = static_cast<QuarantineReason>(reason);
+  return true;
 }
 
 }  // namespace
@@ -537,6 +547,44 @@ size_t StudyCheckpoint::RestoreCutCache(SharedCutCache* cache) {
   const size_t restored = cache->Restore(entries);
   stats_.cache_entries_restored += static_cast<int64_t>(restored);
   return restored;
+}
+
+std::optional<StudyCheckpoint::QuarantineSnapshot>
+StudyCheckpoint::TryLoadQuarantine() {
+  GOVDNS_CHECK(bound_);
+  if (!options_.resume || !have_mining_) return std::nullopt;
+  auto frame = journal_.Load(kQuarantineFrame, chain_crc_);
+  if (!frame.ok()) return std::nullopt;
+  ckpt::Reader r(frame->payload);
+  uint8_t kind = 0;
+  QuarantineSnapshot snap;
+  if (!r.U8(&kind) || kind != kKindQuarantine || !r.U64(&snap.total) ||
+      !r.U64(&snap.hang) || !r.U64(&snap.blackhole) ||
+      !r.U64(&snap.budget_exceeded) || !r.U64(&snap.watchdog_cancelled) ||
+      !r.AtEnd()) {
+    ++stats_.decode_rejects;
+    return std::nullopt;
+  }
+  // The report frame chains after the quarantine frame once one exists.
+  chain_crc_ = frame->crc;
+  return snap;
+}
+
+void StudyCheckpoint::SaveQuarantine(const QuarantineSnapshot& snap) {
+  GOVDNS_CHECK(bound_);
+  GOVDNS_CHECK(have_mining_);
+  ckpt::Writer w;
+  w.U8(kKindQuarantine);
+  w.U64(snap.total);
+  w.U64(snap.hang);
+  w.U64(snap.blackhole);
+  w.U64(snap.budget_exceeded);
+  w.U64(snap.watchdog_cancelled);
+  auto crc = journal_.Commit(kQuarantineFrame, w.Take(), chain_crc_);
+  if (!crc.ok()) {
+    throw PipelineError("checkpoint", "quarantine: " + crc.status().ToString());
+  }
+  chain_crc_ = *crc;
 }
 
 void StudyCheckpoint::SaveReportJson(const std::string& json) {

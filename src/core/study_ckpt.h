@@ -101,6 +101,23 @@ class StudyCheckpoint {
   // Restores reachable entries only; returns the count restored.
   size_t RestoreCutCache(SharedCutCache* cache);
 
+  // Degradation summary of the measurement phase (DESIGN.md §6g): journaled
+  // as its own frame after the last batch so a resumed run carries the
+  // quarantine verdicts forward without re-deriving them. Chained into the
+  // batch chain (the report frame then chains after it).
+  struct QuarantineSnapshot {
+    uint64_t total = 0;  // quarantined domains
+    uint64_t hang = 0;
+    uint64_t blackhole = 0;
+    uint64_t budget_exceeded = 0;
+    uint64_t watchdog_cancelled = 0;
+
+    friend bool operator==(const QuarantineSnapshot&,
+                           const QuarantineSnapshot&) = default;
+  };
+  std::optional<QuarantineSnapshot> TryLoadQuarantine();
+  void SaveQuarantine(const QuarantineSnapshot& snap);
+
   void SaveReportJson(const std::string& json);
   std::optional<std::string> TryLoadReportJson();
 

@@ -1,0 +1,71 @@
+#include "core/watchdog.h"
+
+#include <chrono>
+
+#include "util/status.h"
+
+namespace govdns::core {
+
+uint64_t PhaseWatchdog::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+PhaseWatchdog::PhaseWatchdog(int workers, Options options)
+    : options_(options) {
+  GOVDNS_CHECK(workers > 0);
+  slots_.reserve(workers);
+  const uint64_t now = NowNs();
+  for (int w = 0; w < workers; ++w) {
+    auto slot = std::make_unique<Slot>();
+    slot->last_beat_ns.store(now, std::memory_order_relaxed);
+    slots_.push_back(std::move(slot));
+  }
+  supervisor_ = std::thread([this] { SupervisorLoop(); });
+}
+
+PhaseWatchdog::~PhaseWatchdog() { Stop(); }
+
+void PhaseWatchdog::Heartbeat(int w) {
+  slots_[w]->last_beat_ns.store(NowNs(), std::memory_order_relaxed);
+}
+
+const std::atomic<bool>* PhaseWatchdog::cancel_flag(int w) const {
+  return &slots_[w]->cancel;
+}
+
+void PhaseWatchdog::AckCancel(int w) {
+  slots_[w]->cancel.store(false, std::memory_order_relaxed);
+  Heartbeat(w);
+}
+
+uint64_t PhaseWatchdog::total_cancels() const {
+  return total_cancels_.load(std::memory_order_relaxed);
+}
+
+void PhaseWatchdog::Stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+  if (supervisor_.joinable()) supervisor_.join();
+}
+
+void PhaseWatchdog::SupervisorLoop() {
+  const uint64_t stall_ns = uint64_t{options_.stall_timeout_ms} * 1000000u;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const uint64_t now = NowNs();
+    for (auto& slot : slots_) {
+      if (slot->cancel.load(std::memory_order_relaxed)) continue;
+      const uint64_t beat = slot->last_beat_ns.load(std::memory_order_relaxed);
+      if (now > beat && now - beat > stall_ns) {
+        slot->cancel.store(true, std::memory_order_relaxed);
+        total_cancels_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.poll_interval_ms));
+  }
+}
+
+}  // namespace govdns::core

@@ -1,0 +1,80 @@
+// Wall-clock supervision of measurement workers (DESIGN.md §6g).
+//
+// PhaseWatchdog is the liveness net under the deterministic deadline
+// hierarchy: budgets and deadlines run on the *logical* transport clock, so
+// a transport that genuinely blocks (a real network, a wedged handler)
+// would stall a worker without ever advancing the clock that is supposed to
+// bound it. The watchdog supervises real time instead: every worker posts a
+// progress heartbeat before each domain; a supervisor thread polls, and a
+// worker whose last heartbeat is older than the stall timeout gets its
+// cancel flag raised. The resolver checks that flag between queries and
+// fails the in-flight domain fast; the measurer requeues it once and
+// quarantines it (kWatchdogCancelled) if it stalls again.
+//
+// Determinism: cancellation is wall-clock-driven and therefore excluded
+// from every deterministic byte stream — the resolver neither counts nor
+// traces it, and in pure simulation (where exchanges always return promptly)
+// the watchdog never fires at all, so attaching one cannot change a healthy
+// run's report.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace govdns::core {
+
+class PhaseWatchdog {
+ public:
+  struct Options {
+    // A worker is stalled when its last heartbeat is older than this many
+    // wall-clock milliseconds.
+    uint32_t stall_timeout_ms = 30000;
+    // Supervisor poll interval.
+    uint32_t poll_interval_ms = 20;
+  };
+
+  PhaseWatchdog(int workers, Options options);
+  ~PhaseWatchdog();
+
+  PhaseWatchdog(const PhaseWatchdog&) = delete;
+  PhaseWatchdog& operator=(const PhaseWatchdog&) = delete;
+
+  // Worker `w` reports progress (call before starting each unit of work).
+  // Also re-arms the slot: a heartbeat after a cancellation starts a fresh
+  // stall window.
+  void Heartbeat(int w);
+
+  // The cancel flag workers hand to their resolver (set_cancel_flag). Set
+  // by the supervisor when the worker stalls; cleared by AckCancel.
+  const std::atomic<bool>* cancel_flag(int w) const;
+
+  // Worker `w` acknowledges (and clears) its cancellation after abandoning
+  // the in-flight domain.
+  void AckCancel(int w);
+
+  // Total cancellations issued (diagnostic — wall-clock dependent).
+  uint64_t total_cancels() const;
+
+  // Stops the supervisor thread; idempotent. The destructor calls it.
+  void Stop();
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> last_beat_ns{0};
+    std::atomic<bool> cancel{false};
+  };
+
+  static uint64_t NowNs();
+  void SupervisorLoop();
+
+  Options options_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<uint64_t> total_cancels_{0};
+  std::atomic<bool> stop_{false};
+  std::thread supervisor_;
+};
+
+}  // namespace govdns::core

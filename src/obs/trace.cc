@@ -19,6 +19,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kGlueRejected: return "glue_rejected";
     case TraceEventKind::kRound2: return "round2";
     case TraceEventKind::kOutcome: return "outcome";
+    case TraceEventKind::kDeadlineDenied: return "deadline_denied";
+    case TraceEventKind::kQuarantined: return "quarantined";
   }
   return "unknown";
 }

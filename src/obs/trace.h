@@ -43,6 +43,8 @@ enum class TraceEventKind : uint8_t {
   kGlueRejected,     // additional-section A record failed the bailiwick check
   kRound2,           // §III-B second round started for this domain
   kOutcome,          // QueryServer verdict (aux = QueryOutcome ordinal)
+  kDeadlineDenied,   // query suppressed by the per-domain deadline (§6g)
+  kQuarantined,      // domain quarantined (aux = QuarantineReason ordinal)
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

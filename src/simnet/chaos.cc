@@ -5,7 +5,8 @@ namespace govdns::simnet {
 bool ChaosProfile::Any() const {
   return p_flapping > 0.0 || p_rate_limited > 0.0 || p_truncating > 0.0 ||
          p_wrong_id > 0.0 || p_corrupting > 0.0 || p_bursty > 0.0 ||
-         p_jittery > 0.0;
+         p_jittery > 0.0 || p_hang > 0.0 || p_blackhole > 0.0 ||
+         p_slow_drip > 0.0;
 }
 
 EndpointBehavior ChaosProfile::Realize(uint64_t seed, geo::IPv4 address,
@@ -36,6 +37,18 @@ EndpointBehavior ChaosProfile::Realize(uint64_t seed, geo::IPv4 address,
   }
   if (p_jittery > 0.0 && rng.Bernoulli(p_jittery)) {
     base.rtt_jitter_ms = rtt_jitter_ms;
+  }
+  // The non-terminating draws come strictly after the original seven so
+  // enabling them never re-rolls the fate an endpoint already had for the
+  // same (seed, address) — existing worlds keep their bytes.
+  if (p_hang > 0.0 && rng.Bernoulli(p_hang)) {
+    base.hang = true;
+  }
+  if (p_blackhole > 0.0 && rng.Bernoulli(p_blackhole)) {
+    base.blackhole = true;
+  }
+  if (p_slow_drip > 0.0 && rng.Bernoulli(p_slow_drip)) {
+    base.slow_drip_delay_ms = slow_drip_delay_ms;
   }
   return base;
 }

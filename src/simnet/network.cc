@@ -55,6 +55,9 @@ NetworkStats SimNetwork::stats() const {
   s.corrupted = stats_.corrupted.load(std::memory_order_relaxed);
   s.truncated = stats_.truncated.load(std::memory_order_relaxed);
   s.wrong_id = stats_.wrong_id.load(std::memory_order_relaxed);
+  s.hung = stats_.hung.load(std::memory_order_relaxed);
+  s.blackholed = stats_.blackholed.load(std::memory_order_relaxed);
+  s.slow_dripped = stats_.slow_dripped.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -137,6 +140,16 @@ util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
     return util::TimeoutError("silent endpoint " + server.ToString());
   }
 
+  // Hang: the query vanishes before the server would see it. The client
+  // pays its full timeout — the worst a single exchange can cost — and the
+  // deadline hierarchy upstream is what keeps total work bounded.
+  if (behavior.hang) {
+    advance(timeout_ms_);
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+    stats_.hung.fetch_add(1, std::memory_order_relaxed);
+    return util::TimeoutError("hung endpoint " + server.ToString());
+  }
+
   auto it = handlers_.find(server);
   if (it == handlers_.end()) {
     // Nothing listens at this address. A real resolver sees either an ICMP
@@ -144,6 +157,16 @@ util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
     advance(5);
     stats_.unreachable.fetch_add(1, std::memory_order_relaxed);
     return util::UnavailableError("no endpoint at " + server.ToString());
+  }
+
+  // Blackhole: the query is accepted — the server exists and would answer —
+  // but the reply is dropped on the way back. Placed after the handler
+  // lookup so an unoccupied address still reports promptly unreachable.
+  if (behavior.blackhole) {
+    advance(timeout_ms_);
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+    stats_.blackholed.fetch_add(1, std::memory_order_relaxed);
+    return util::TimeoutError("blackholed endpoint " + server.ToString());
   }
 
   // Flapping: silent during alternating clock windows, with a per-endpoint
@@ -247,6 +270,15 @@ util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
   if (behavior.rtt_jitter_ms > 0) {
     rtt += static_cast<uint32_t>(
         rng.UniformU64(uint64_t{behavior.rtt_jitter_ms} + 1));
+  }
+  // Slow drip: the server would answer, but only after an adversarially
+  // long pause; when that pushes the RTT past the client timeout the reply
+  // arrives too late to count.
+  if (behavior.slow_drip_delay_ms > 0) {
+    rtt += behavior.slow_drip_delay_ms;
+    if (rtt >= timeout_ms_) {
+      stats_.slow_dripped.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (rtt >= timeout_ms_) {
     advance(timeout_ms_);

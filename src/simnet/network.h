@@ -88,6 +88,23 @@ struct EndpointBehavior {
   // Response rate limiting: after this many queries within one logical
   // second, further queries get REFUSED (0 = unlimited).
   uint32_t rate_limit_per_sec = 0;
+
+  // --- non-terminating fault classes (DESIGN.md §6g) ---------------------
+  // These model servers that never complete a transaction. In simulation
+  // they charge the client its full timeout (the worst a single exchange
+  // can cost); real boundedness comes from the deadline hierarchy in
+  // src/core, which these faults exist to exercise.
+  // Hang: the query is never acknowledged in any way — dropped before the
+  // server would even see it. Distinct from `silent` only in intent and in
+  // the stats breakdown; the client observes a timeout either way.
+  bool hang = false;
+  // Blackhole: the query is accepted (the server exists and would answer)
+  // but the reply never comes back — dropped after accept.
+  bool blackhole = false;
+  // Slow drip: the server replies, but only after this adversarially long
+  // extra delay; when it pushes the RTT past the client timeout the reply
+  // arrives too late to count (0 = off).
+  uint32_t slow_drip_delay_ms = 0;
 };
 
 // A population-level description of how unreliable a set of endpoints is.
@@ -104,6 +121,10 @@ struct ChaosProfile {
   double p_corrupting = 0.0;
   double p_bursty = 0.0;
   double p_jittery = 0.0;
+  // Non-terminating fault classes (DESIGN.md §6g).
+  double p_hang = 0.0;
+  double p_blackhole = 0.0;
+  double p_slow_drip = 0.0;
 
   uint32_t flap_period_ms = 8000;
   uint32_t rate_limit_per_sec = 4;
@@ -113,6 +134,7 @@ struct ChaosProfile {
   double burst_start_rate = 0.05;
   uint32_t burst_length = 4;
   uint32_t rtt_jitter_ms = 40;
+  uint32_t slow_drip_delay_ms = 5000;
 
   // True when any affliction probability is non-zero.
   bool Any() const;
@@ -141,6 +163,9 @@ struct NetworkStats {
   uint64_t corrupted = 0;
   uint64_t truncated = 0;
   uint64_t wrong_id = 0;
+  uint64_t hung = 0;
+  uint64_t blackholed = 0;
+  uint64_t slow_dripped = 0;
 };
 
 class SimNetwork : public dns::QueryTransport {
@@ -219,6 +244,9 @@ class SimNetwork : public dns::QueryTransport {
     std::atomic<uint64_t> corrupted{0};
     std::atomic<uint64_t> truncated{0};
     std::atomic<uint64_t> wrong_id{0};
+    std::atomic<uint64_t> hung{0};
+    std::atomic<uint64_t> blackholed{0};
+    std::atomic<uint64_t> slow_dripped{0};
   };
 
   // The calling thread's innermost context, if it belongs to this network.

@@ -93,6 +93,7 @@ struct World::Builder {
   void PopulatePdns();
   void BuildActiveInfrastructure();
   void FinalizeRegistrar();
+  void ApplyCountryFaults();
 
   // --- Infrastructure helpers ----------------------------------------------
   std::shared_ptr<zone::Zone> NewZone(const dns::Name& origin);

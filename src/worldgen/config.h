@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "simnet/network.h"
 
@@ -127,6 +129,18 @@ struct WorldConfig {
   // calibrated marginals above are undisturbed; the chaos sweep and
   // robustness tests use simnet::ChaosProfile::Hostile().
   simnet::ChaosProfile chaos;
+
+  // Per-country fault overlays (DESIGN.md §6g): after the world is built,
+  // every nameserver host under the named country's government suffix gets
+  // `chaos` layered on top of whatever behaviour it already has. Hosts
+  // shared with other countries (global provider farms) are untouched, so a
+  // fully blackholed country degrades only its own domains. Unknown codes
+  // are ignored.
+  struct CountryChaos {
+    std::string code;  // ccTLD label as in Countries(), e.g. "br"
+    simnet::ChaosProfile chaos;
+  };
+  std::vector<CountryChaos> country_chaos;
 
   // Number of national hosting companies per country (scaled by country
   // volume; at least 2).

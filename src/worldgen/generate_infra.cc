@@ -83,6 +83,32 @@ void World::Builder::Build() {
   PopulatePdns();
   BuildActiveInfrastructure();
   FinalizeRegistrar();
+  ApplyCountryFaults();
+}
+
+void World::Builder::ApplyCountryFaults() {
+  // Per-country fault overlays (DESIGN.md §6g), layered after every host is
+  // wired so the base chaos realization is undisturbed. Only hosts under the
+  // country's own government suffix are afflicted: shared provider farms
+  // keep their behaviour, so other countries' measurements stay
+  // byte-identical to a fault-free run.
+  for (const WorldConfig::CountryChaos& fault : cfg.country_chaos) {
+    if (!fault.chaos.Any()) continue;
+    int country = CountryIndexByCode(fault.code);
+    if (country < 0 ||
+        country >= static_cast<int>(w.country_rt_.size())) {
+      continue;
+    }
+    const dns::Name& suffix = w.country_rt_[country].suffix;
+    for (const auto& [hostname, record] : hosts) {
+      if (!hostname.IsSubdomainOf(suffix)) continue;
+      for (geo::IPv4 ip : record.ips) {
+        w.network_->SetBehavior(
+            ip, fault.chaos.Realize(cfg.seed, ip,
+                                    w.network_->GetBehavior(ip)));
+      }
+    }
+  }
 }
 
 std::shared_ptr<zone::Zone> World::Builder::NewZone(const dns::Name& origin) {

@@ -6,6 +6,8 @@
 //                [--trace-sample N] [--mine-workers N] [--report]
 //                [--checkpoint-dir DIR] [--resume] [--ckpt-batch N]
 //                [--ckpt-kill-after N]
+//                [--phase-deadline MS] [--country-budget MS]
+//                [--domain-budget MS] [--quarantine-report PATH]
 //
 // Builds a world at the requested scale, runs selection -> mining -> active
 // measurement, and then prints the consolidated report (--report, default)
@@ -20,7 +22,14 @@
 // the Nth journal write — the harness uses this to prove kill-anywhere
 // resume. SIGINT/SIGTERM raise a cooperative flag: the in-flight batch
 // finishes, its checkpoint commits, and the run exits with a structured
-// error naming the interrupted phase.
+// error naming the interrupted phase. A second SIGINT/SIGTERM during that
+// flush escalates to an immediate _exit (DESIGN.md §6g).
+//
+// Degradation budgets (DESIGN.md §6g): --domain-budget caps the logical ms
+// one domain may consume, --country-budget one country's domains together,
+// --phase-deadline the whole measurement phase; over-budget domains are
+// quarantined, annotated in the report's quarantine section, and optionally
+// dumped standalone with --quarantine-report.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +41,7 @@
 #include <memory>
 
 #include "ckpt/fault.h"
+#include "ckpt/signals.h"
 #include "core/export.h"
 #include "core/mining.h"
 #include "core/report.h"
@@ -45,8 +55,6 @@
 namespace {
 
 std::atomic<bool> g_interrupted{false};
-
-void HandleSignal(int) { g_interrupted.store(true); }
 
 // Structured failure diagnostic on stderr: one JSON object naming the phase
 // that died and why, so harnesses never have to scrape free-form text.
@@ -78,6 +86,8 @@ int main(int argc, char** argv) {
   bool print_report = true;
   core::StudyCheckpointOptions ckpt_options;
   uint64_t kill_after = 0;
+  core::MeasurerOptions measure_options;
+  std::string quarantine_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -111,6 +121,23 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--ckpt-kill-after") {
       if (const char* v = next()) kill_after = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--phase-deadline") {
+      if (const char* v = next()) {
+        measure_options.phase_deadline_logical_ms =
+            std::strtoull(v, nullptr, 10);
+      }
+    } else if (arg == "--country-budget") {
+      if (const char* v = next()) {
+        measure_options.max_logical_ms_per_country =
+            std::strtoull(v, nullptr, 10);
+      }
+    } else if (arg == "--domain-budget") {
+      if (const char* v = next()) {
+        measure_options.max_logical_ms_per_domain =
+            std::strtoull(v, nullptr, 10);
+      }
+    } else if (arg == "--quarantine-report") {
+      if (const char* v = next()) quarantine_path = v;
     } else if (arg == "--report") {
       print_report = true;
     } else if (arg == "--no-report") {
@@ -121,7 +148,9 @@ int main(int argc, char** argv) {
                    "[--csv t1,t2] [--metrics out.json] [--trace out.json] "
                    "[--trace-sample N] [--mine-workers N] [--no-report] "
                    "[--checkpoint-dir DIR] [--resume] [--ckpt-batch N] "
-                   "[--ckpt-kill-after N]\n",
+                   "[--ckpt-kill-after N] [--phase-deadline MS] "
+                   "[--country-budget MS] [--domain-budget MS] "
+                   "[--quarantine-report PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -166,13 +195,9 @@ int main(int argc, char** argv) {
       }
       bound.study->AttachCheckpoint(checkpoint.get());
       bound.study->set_interrupt_flag(&g_interrupted);
-      // One-shot handlers: a second signal during flush kills the process
-      // the default way instead of being swallowed.
-      struct sigaction sa {};
-      sa.sa_handler = HandleSignal;
-      sa.sa_flags = SA_RESETHAND;
-      sigaction(SIGINT, &sa, nullptr);
-      sigaction(SIGTERM, &sa, nullptr);
+      // Escalating handlers: first signal flushes-then-exits cooperatively,
+      // second one _exit(130)s immediately in case the flush is wedged.
+      ckpt::InstallEscalatingHandlers(&g_interrupted, 130);
     }
 
     std::fprintf(stderr, "running study...\n");
@@ -183,7 +208,7 @@ int main(int argc, char** argv) {
     mine_options.workers = mine_workers;
     bound.study->RunMining(mine_options);
     phase = "measurement";
-    bound.study->RunActiveMeasurement();
+    bound.study->RunActiveMeasurement(measure_options);
 
     phase = "report";
     std::vector<std::string> top10;
@@ -222,6 +247,37 @@ int main(int argc, char** argv) {
         out << csv;
         std::fprintf(stderr, "wrote %s\n", path.c_str());
       }
+    }
+    if (!quarantine_path.empty()) {
+      // Standalone coverage document: the report's quarantine object plus
+      // per-country rows, for harnesses that only care about degradation.
+      const core::QuarantineReport& q = report.quarantine;
+      util::JsonWriter w;
+      w.BeginObject();
+      w.Kv("total_domains", q.total_domains);
+      w.Kv("quarantined", q.quarantined);
+      w.Kv("hang", q.hang);
+      w.Kv("blackhole", q.blackhole);
+      w.Kv("budget_exceeded", q.budget_exceeded);
+      w.Kv("watchdog_cancelled", q.watchdog_cancelled);
+      w.Kv("coverage", q.coverage);
+      w.Key("by_country").BeginArray();
+      for (const core::QuarantineReport::CountryRow& row : q.by_country) {
+        w.BeginObject();
+        w.Kv("code", row.code);
+        w.Kv("domains", row.domains);
+        w.Kv("quarantined", row.quarantined);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+      std::ofstream out(quarantine_path);
+      if (!out) {
+        PrintStructuredError(phase, "cannot write " + quarantine_path);
+        return 1;
+      }
+      out << w.TakeString() << "\n";
+      std::fprintf(stderr, "wrote %s\n", quarantine_path.c_str());
     }
     if (!metrics_path.empty()) {
       std::ofstream out(metrics_path);
