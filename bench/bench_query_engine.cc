@@ -1,0 +1,293 @@
+// Throughput bench: synchronous per-worker UDP loop vs the async
+// QueryEngine (DESIGN.md §6h).
+//
+// A loopback echo server answers every datagram after a fixed ~2ms delay —
+// a stand-in for network RTT, which is what actually bounds the active
+// phase at scale. The sync arm runs 4 worker threads each blocking in
+// UdpTransport::Exchange, the paper-pipeline shape before the engine; the
+// async arm keeps a single submitter thread and sweeps the engine's
+// in-flight window over 64/256/1024. The artifact records queries/sec per
+// arm and the ratio, and lands in BENCH_netio.json (path overridable via
+// GOVDNS_NETIO_JSON) — the acceptance bar is >=10x at window >=64 against
+// the 4-worker sync loop.
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "dns/message.h"
+#include "netio/engine.h"
+#include "netio/sockaddr.h"
+#include "netio/udp.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using govdns::geo::IPv4;
+
+constexpr int kDelayMs = 2;          // simulated RTT
+constexpr int kSyncWorkers = 4;      // the pre-engine pipeline shape
+constexpr int kSyncQueriesPerWorker = 250;
+constexpr int kAsyncQueries = 8000;
+
+IPv4 Loopback() { return IPv4(127, 0, 0, 1); }
+
+// Echoes every datagram back to its sender with the QR bit set, after a
+// fixed delay. Single thread: drains arrivals into a FIFO (constant delay
+// keeps it ordered by due time) and flushes the due ones each turn.
+class DelayedEchoServer {
+ public:
+  bool Start() {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+    if (fd_ < 0) return false;
+    int rcvbuf = 1 << 20;  // absorb full-window bursts
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    sockaddr_in addr = govdns::netio::MakeSockaddr(Loopback(), 0);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      return false;
+    }
+    port_ = ntohs(bound.sin_port);
+    running_.store(true);
+    thread_ = std::thread([this] { Loop(); });
+    return true;
+  }
+
+  void Stop() {
+    if (!running_.exchange(false)) return;
+    if (thread_.joinable()) thread_.join();
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  ~DelayedEchoServer() { Stop(); }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Reply {
+    Clock::time_point due;
+    sockaddr_in to{};
+    std::vector<uint8_t> payload;
+  };
+
+  void Loop() {
+    std::vector<uint8_t> buf(4096);
+    while (running_.load()) {
+      pollfd pfd{fd_, POLLIN, 0};
+      (void)::poll(&pfd, 1, 1);
+      for (;;) {
+        sockaddr_in from{};
+        socklen_t from_len = sizeof(from);
+        ssize_t got = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&from),
+                                 &from_len);
+        if (got <= 0) break;
+        Reply r;
+        r.due = Clock::now() + std::chrono::milliseconds(kDelayMs);
+        r.to = from;
+        r.payload.assign(buf.begin(), buf.begin() + got);
+        if (r.payload.size() >= 3) r.payload[2] |= 0x80;  // QR
+        queue_.push_back(std::move(r));
+      }
+      const Clock::time_point now = Clock::now();
+      while (!queue_.empty() && queue_.front().due <= now) {
+        const Reply& r = queue_.front();
+        (void)::sendto(fd_, r.payload.data(), r.payload.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&r.to), sizeof(r.to));
+        queue_.pop_front();
+      }
+    }
+  }
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::deque<Reply> queue_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+std::vector<uint8_t> Query(uint16_t id) {
+  return govdns::dns::MakeQuery(id,
+                                govdns::dns::Name::FromString("www.gov.xx"),
+                                govdns::dns::RRType::kA)
+      .Encode();
+}
+
+// Queries/sec of `workers` threads each blocking per exchange.
+double SyncQps(uint16_t port, int workers, int per_worker) {
+  std::atomic<int> failures{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      govdns::netio::UdpTransport::Options options;
+      options.port = port;
+      options.timeout_ms = 2000;
+      govdns::netio::UdpTransport transport(options);
+      for (int i = 0; i < per_worker; ++i) {
+        auto raw = transport.Exchange(
+            Loopback(), Query(static_cast<uint16_t>(w * per_worker + i + 1)));
+        if (!raw.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "[bench] sync arm: %d failures\n", failures.load());
+  }
+  return static_cast<double>(workers) * per_worker / seconds;
+}
+
+// Queries/sec of one submitter thread driving the engine at `window`.
+double EngineQps(uint16_t port, int window, int queries) {
+  govdns::netio::QueryEngine::Options options;
+  options.port = port;
+  options.timeout_ms = 2000;
+  options.max_inflight = window;
+  govdns::netio::QueryEngine engine(options);
+
+  const auto start = Clock::now();
+  std::vector<govdns::netio::QueryEngine::Token> tokens;
+  tokens.reserve(static_cast<size_t>(queries));
+  for (int i = 0; i < queries; ++i) {
+    tokens.push_back(
+        engine.Submit(Loopback(), Query(static_cast<uint16_t>(i + 1))));
+  }
+  int failures = 0;
+  for (govdns::netio::QueryEngine::Token t : tokens) {
+    if (!engine.Wait(t).ok()) ++failures;
+  }
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  if (failures > 0) {
+    std::fprintf(stderr, "[bench] engine window=%d: %d failures\n", window,
+                 failures);
+  }
+  return static_cast<double>(queries) / seconds;
+}
+
+DelayedEchoServer& Server() {
+  static DelayedEchoServer server;
+  static bool started = server.Start();
+  if (!started) {
+    std::fprintf(stderr, "[bench] cannot bind loopback echo server\n");
+    std::exit(1);
+  }
+  return server;
+}
+
+void BM_SyncLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SyncQps(Server().port(), kSyncWorkers, kSyncQueriesPerWorker / 5));
+  }
+}
+BENCHMARK(BM_SyncLoop)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_EngineWindow(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EngineQps(Server().port(), window, kAsyncQueries / 4));
+  }
+}
+BENCHMARK(BM_EngineWindow)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void PrintArtifact() {
+  DelayedEchoServer& server = Server();
+
+  const double sync_qps =
+      SyncQps(server.port(), kSyncWorkers, kSyncQueriesPerWorker);
+
+  struct Point {
+    int window;
+    double qps;
+    double ratio;
+  };
+  std::vector<Point> sweep;
+  double max_ratio = 0.0;
+  for (int window : {64, 256, 1024}) {
+    const double qps = EngineQps(server.port(), window, kAsyncQueries);
+    const double ratio = qps / sync_qps;
+    max_ratio = std::max(max_ratio, ratio);
+    sweep.push_back({window, qps, ratio});
+  }
+
+  govdns::util::JsonWriter w;
+  w.BeginObject();
+  w.Kv("delay_ms", int64_t{kDelayMs});
+  w.Kv("sync_workers", int64_t{kSyncWorkers});
+  w.Kv("sync_qps", sync_qps);
+  w.Kv("async_queries", int64_t{kAsyncQueries});
+  w.Key("sweep").BeginArray();
+  for (const Point& p : sweep) {
+    w.BeginObject()
+        .Kv("window", int64_t{p.window})
+        .Kv("qps", p.qps)
+        .Kv("ratio_vs_sync", p.ratio)
+        .EndObject();
+  }
+  w.EndArray();
+  w.Kv("max_ratio", max_ratio);
+  w.EndObject();
+  const std::string json = w.TakeString();
+
+  govdns::util::TextTable table({"Arm", "Window", "Queries/sec", "vs sync"});
+  char qps_buf[32];
+  std::snprintf(qps_buf, sizeof qps_buf, "%.0f", sync_qps);
+  table.AddRow({"sync x" + std::to_string(kSyncWorkers), "-", qps_buf,
+                "1.00x"});
+  for (const Point& p : sweep) {
+    char rate[32], ratio[32];
+    std::snprintf(rate, sizeof rate, "%.0f", p.qps);
+    std::snprintf(ratio, sizeof ratio, "%.2fx", p.ratio);
+    table.AddRow({"engine", std::to_string(p.window), rate, ratio});
+  }
+
+  std::printf("\nThroughput — sync per-worker loop vs async query engine\n");
+  std::printf("(loopback echo server, %dms reply delay standing in for RTT;\n",
+              kDelayMs);
+  std::printf(" the engine multiplexes its whole window over %s sockets)\n",
+              "a pool of 8");
+  table.Print(std::cout);
+  std::fprintf(stderr, "[bench] netio %s\n", json.c_str());
+
+  const char* path = std::getenv("GOVDNS_NETIO_JSON");
+  const std::string out_path = path != nullptr ? path : "BENCH_netio.json";
+  std::ofstream out(out_path);
+  if (out) {
+    out << json << "\n";
+    std::fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "[bench] cannot write %s\n", out_path.c_str());
+  }
+  server.Stop();
+}
+
+}  // namespace
+
+GOVDNS_BENCH_MAIN(PrintArtifact)

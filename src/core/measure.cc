@@ -493,7 +493,8 @@ std::vector<MeasurementResult> ActiveMeasurer::MeasureAll(
   // measured hermetically, so which worker picks it up cannot change its
   // result — writing into out[i] by input index makes the whole vector
   // byte-identical to a serial run.
-  int workers = options_.workers > 0
+  int workers = options_.async_lanes > 0 ? options_.async_lanes
+                : options_.workers > 0
                     ? options_.workers
                     : static_cast<int>(std::thread::hardware_concurrency());
   if (workers < 1) workers = 1;

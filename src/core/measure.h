@@ -149,6 +149,14 @@ struct MeasurerOptions {
   // Worker threads used by MeasureAll in pool mode; 0 picks
   // std::thread::hardware_concurrency(). Ignored in legacy serial mode.
   int workers = 0;
+  // Async submit lanes (ZDNS-style, DESIGN.md §6h): when > 0, overrides
+  // `workers` as the pool size. Intended for transports that multiplex
+  // I/O — e.g. netio::QueryEngine — where a lane parked in Exchange costs
+  // a parked thread, not a socket round-trip, so lane count can far
+  // exceed core count to keep the engine's in-flight window full. Every
+  // domain is measured hermetically, so any lane count yields the same
+  // byte stream.
+  int async_lanes = 0;
   // Observability sink (not owned; may be null). When set, the measurer
   // folds per-worker metric shards into obs->metrics(), samples per-domain
   // traces into obs->traces() (folded in input order, so the retained set

@@ -24,6 +24,19 @@ class QueryTransport {
   virtual util::StatusOr<std::vector<uint8_t>> Exchange(
       geo::IPv4 server, const std::vector<uint8_t>& wire_query) = 0;
 
+  // Stream-semantics exchange (DNS over TCP, RFC 1035 §4.2.2): used to
+  // re-ask a query whose UDP reply came back truncated (TC=1). The length
+  // framing is the transport's concern — `wire_query` and the returned
+  // reply are bare DNS messages. Transports without a stream path keep the
+  // default, which reports kFailedPrecondition so callers can fall back to
+  // treating truncation as damage.
+  virtual util::StatusOr<std::vector<uint8_t>> ExchangeStream(
+      geo::IPv4 server, const std::vector<uint8_t>& wire_query) {
+    (void)server;
+    (void)wire_query;
+    return util::FailedPreconditionError("transport has no stream path");
+  }
+
   // Logical transport time. Retry backoff and health-tracking cooldowns are
   // charged against this clock so they stay deterministic: the simulator
   // maps it onto its SimClock, while the default implementation keeps a

@@ -278,4 +278,23 @@ util::StatusOr<ResourceRecord> WireReader::ReadRecord() {
   return rr;
 }
 
+std::vector<uint8_t> FrameTcp(const std::vector<uint8_t>& message) {
+  GOVDNS_CHECK(message.size() <= 0xFFFF);
+  std::vector<uint8_t> framed;
+  framed.reserve(message.size() + 2);
+  framed.push_back(static_cast<uint8_t>(message.size() >> 8));
+  framed.push_back(static_cast<uint8_t>(message.size() & 0xFF));
+  framed.insert(framed.end(), message.begin(), message.end());
+  return framed;
+}
+
+std::optional<std::vector<uint8_t>> UnframeTcp(const uint8_t* data, size_t len,
+                                               size_t* consumed) {
+  if (len < 2) return std::nullopt;
+  const size_t msg_len = static_cast<size_t>(data[0]) << 8 | data[1];
+  if (len < 2 + msg_len) return std::nullopt;
+  if (consumed != nullptr) *consumed = 2 + msg_len;
+  return std::vector<uint8_t>(data + 2, data + 2 + msg_len);
+}
+
 }  // namespace govdns::dns

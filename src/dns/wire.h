@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -84,5 +85,18 @@ class WireReader {
 // compression pointers into the whole message.
 util::StatusOr<Rdata> ReadRdata(WireReader& reader, RRType type,
                                 uint16_t rdlength);
+
+// DNS-over-TCP framing (RFC 1035 §4.2.2): each message on a stream is
+// prefixed by a two-byte big-endian length.
+
+// Returns `message` with the length prefix prepended. CHECK-fails on
+// messages over 65535 bytes — nothing this pipeline builds comes close.
+std::vector<uint8_t> FrameTcp(const std::vector<uint8_t>& message);
+
+// Extracts the first complete framed message from a stream buffer. Returns
+// nullopt when `len` does not yet cover the prefix plus the full message;
+// on success `*consumed` is the total bytes eaten (2 + message length).
+std::optional<std::vector<uint8_t>> UnframeTcp(const uint8_t* data, size_t len,
+                                               size_t* consumed);
 
 }  // namespace govdns::dns

@@ -1,0 +1,37 @@
+// Shared socket-address helpers for the netio backends (internal header).
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "geo/ipv4.h"
+
+namespace govdns::netio {
+
+inline sockaddr_in MakeSockaddr(geo::IPv4 address, uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = htonl(address.bits());
+  return sa;
+}
+
+// True when `from` is exactly the endpoint we queried: address AND port.
+// Anything else — an off-path spoofer, cross-talk from another exchange on a
+// reused port — must be discarded, never surfaced as the server's answer.
+inline bool SameEndpoint(const sockaddr_in& from, const sockaddr_in& expected) {
+  return from.sin_family == AF_INET &&
+         from.sin_addr.s_addr == expected.sin_addr.s_addr &&
+         from.sin_port == expected.sin_port;
+}
+
+inline std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace govdns::netio

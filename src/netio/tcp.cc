@@ -1,0 +1,216 @@
+#include "netio/tcp.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "dns/wire.h"
+#include "netio/sockaddr.h"
+
+namespace govdns::netio {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+// Polls `fd` for `events` until the deadline, retrying EINTR. Returns
+// ok when ready, kTimeout at the deadline, kInternal on poll failure.
+util::Status PollUntil(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    int remaining = RemainingMs(deadline);
+    if (remaining <= 0) return util::TimeoutError("tcp exchange deadline");
+    pollfd pfd{fd, events, 0};
+    int ready = ::poll(&pfd, 1, remaining);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return util::InternalError(Errno("poll"));
+    }
+    if (ready == 0) return util::TimeoutError("tcp exchange deadline");
+    return util::Status::Ok();
+  }
+}
+
+}  // namespace
+
+util::StatusOr<std::vector<uint8_t>> TcpExchange(
+    geo::IPv4 server, uint16_t port, const std::vector<uint8_t>& wire_query,
+    int timeout_ms, int max_response_bytes) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return util::InternalError(Errno("socket"));
+  struct Closer {
+    int fd;
+    ~Closer() { ::close(fd); }
+  } closer{fd};
+
+  // Non-blocking connect bounded by the exchange deadline.
+  sockaddr_in dest = MakeSockaddr(server, port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno != EINPROGRESS) return util::UnavailableError(Errno("connect"));
+    GOVDNS_RETURN_IF_ERROR(PollUntil(fd, POLLOUT, deadline));
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+      return util::InternalError(Errno("getsockopt"));
+    }
+    if (err != 0) {
+      return util::UnavailableError(std::string("connect: ") +
+                                    std::strerror(err));
+    }
+  }
+
+  // Send the framed query, honouring partial writes and EINTR.
+  std::vector<uint8_t> framed = dns::FrameTcp(wire_query);
+  size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t sent = ::send(fd, framed.data() + off, framed.size() - off,
+                          MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        GOVDNS_RETURN_IF_ERROR(PollUntil(fd, POLLOUT, deadline));
+        continue;
+      }
+      return util::UnavailableError(Errno("send"));
+    }
+    off += static_cast<size_t>(sent);
+  }
+
+  // Read until one complete frame is buffered.
+  std::vector<uint8_t> buffer;
+  buffer.reserve(512);
+  const size_t cap = static_cast<size_t>(max_response_bytes) + 2;
+  for (;;) {
+    size_t consumed = 0;
+    if (auto reply = dns::UnframeTcp(buffer.data(), buffer.size(), &consumed)) {
+      return *std::move(reply);
+    }
+    if (buffer.size() >= cap) {
+      return util::DataLossError("tcp reply exceeds response cap");
+    }
+    GOVDNS_RETURN_IF_ERROR(PollUntil(fd, POLLIN, deadline));
+    uint8_t chunk[4096];
+    ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return util::UnavailableError(Errno("recv"));
+    }
+    if (got == 0) {
+      return util::UnavailableError("connection closed before full reply");
+    }
+    buffer.insert(buffer.end(), chunk, chunk + got);
+  }
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+util::Status TcpServer::Start(geo::IPv4 bind_address, uint16_t port,
+                              Handler handler) {
+  GOVDNS_CHECK(handler != nullptr);
+  if (running_.load()) return util::FailedPreconditionError("already running");
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return util::InternalError(Errno("socket"));
+  int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = MakeSockaddr(bind_address, port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    return util::UnavailableError(Errno("bind"));
+  }
+  if (::listen(fd_, 16) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return util::InternalError(Errno("listen"));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    return util::InternalError(Errno("getsockname"));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  handler_ = std::move(handler);
+  running_.store(true);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return util::Status::Ok();
+}
+
+void TcpServer::ServeLoop() {
+  while (running_.load()) {
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout/EINTR: re-check running_
+    int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void TcpServer::ServeConnection(int conn_fd) {
+  // Answer framed queries until the peer closes or errs. Connections are
+  // served one at a time — ample for the fallback path this server exists
+  // to test.
+  std::vector<uint8_t> buffer;
+  uint8_t chunk[4096];
+  while (running_.load()) {
+    size_t consumed = 0;
+    if (auto query = dns::UnframeTcp(buffer.data(), buffer.size(),
+                                     &consumed)) {
+      buffer.erase(buffer.begin(), buffer.begin() + consumed);
+      ++requests_;
+      std::vector<uint8_t> reply = handler_(*query);
+      if (reply.empty()) continue;  // a handler may choose silence
+      std::vector<uint8_t> framed = dns::FrameTcp(reply);
+      size_t off = 0;
+      while (off < framed.size()) {
+        ssize_t sent = ::send(conn_fd, framed.data() + off,
+                              framed.size() - off, MSG_NOSIGNAL);
+        if (sent < 0 && errno == EINTR) continue;
+        if (sent <= 0) return;
+        off += static_cast<size_t>(sent);
+      }
+      continue;
+    }
+    pollfd pfd{conn_fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) return;
+    if (ready <= 0) continue;  // re-check running_
+    ssize_t got = ::recv(conn_fd, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return;
+    buffer.insert(buffer.end(), chunk, chunk + got);
+  }
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;  // same "0 before Start" contract as UdpServer
+}
+
+}  // namespace govdns::netio

@@ -1,0 +1,67 @@
+// Real-socket DNS-over-TCP (RFC 1035 §4.2.2).
+//
+// The measurement pipeline is UDP-first; TCP exists for one purpose — when
+// a UDP reply comes back truncated (TC=1), the engine re-asks the query
+// over a stream, where no 512-byte ceiling applies. This module provides
+// the blocking client half used by that fallback plus a small framed TCP
+// server so tests and benches can stand up a full-answer endpoint on
+// loopback.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "geo/ipv4.h"
+#include "util/status.h"
+
+namespace govdns::netio {
+
+// One framed query/response exchange over a fresh TCP connection: connect,
+// send the length-prefixed query, read a complete length-prefixed reply,
+// close. `timeout_ms` bounds the whole exchange (connect included); EINTR
+// never fails it, only the deadline does. `wire_query` and the returned
+// reply are bare DNS messages — framing is handled here.
+util::StatusOr<std::vector<uint8_t>> TcpExchange(geo::IPv4 server,
+                                                 uint16_t port,
+                                                 const std::vector<uint8_t>&
+                                                     wire_query,
+                                                 int timeout_ms,
+                                                 int max_response_bytes);
+
+// A TCP server answering framed DNS queries through a handler, one
+// connection at a time on a background thread. Mirrors UdpServer's contract:
+// Start binds (port 0 = ephemeral), port() reports the bound port and
+// returns to 0 after Stop().
+class TcpServer {
+ public:
+  using Handler =
+      std::function<std::vector<uint8_t>(const std::vector<uint8_t>&)>;
+
+  TcpServer() = default;
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  util::Status Start(geo::IPv4 bind_address, uint16_t port, Handler handler);
+  void Stop();
+
+  bool running() const { return running_.load(); }
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const { return requests_.load(); }
+
+ private:
+  void ServeLoop();
+  void ServeConnection(int conn_fd);
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace govdns::netio

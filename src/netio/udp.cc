@@ -1,31 +1,13 @@
 #include "netio/udp.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
+#include <chrono>
+
+#include "netio/sockaddr.h"
 
 namespace govdns::netio {
-
-namespace {
-
-sockaddr_in MakeSockaddr(geo::IPv4 address, uint16_t port) {
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_port = htons(port);
-  sa.sin_addr.s_addr = htonl(address.bits());
-  return sa;
-}
-
-std::string Errno(const char* what) {
-  return std::string(what) + ": " + std::strerror(errno);
-}
-
-}  // namespace
 
 UdpTransport::UdpTransport(Options options) : options_(options) {}
 
@@ -40,27 +22,68 @@ util::StatusOr<std::vector<uint8_t>> UdpTransport::Exchange(
   } closer{fd};
 
   sockaddr_in dest = MakeSockaddr(server, options_.port);
-  ssize_t sent =
-      ::sendto(fd, wire_query.data(), wire_query.size(), 0,
-               reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
+  ssize_t sent;
+  do {
+    sent = ::sendto(fd, wire_query.data(), wire_query.size(), 0,
+                    reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
+  } while (sent < 0 && errno == EINTR);
   if (sent < 0) return util::UnavailableError(Errno("sendto"));
-
-  pollfd pfd{fd, POLLIN, 0};
-  int ready = ::poll(&pfd, 1, options_.timeout_ms);
-  if (ready < 0) return util::InternalError(Errno("poll"));
-  if (ready == 0) {
-    return util::TimeoutError("no reply from " + server.ToString());
+  if (static_cast<size_t>(sent) != wire_query.size()) {
+    // A partially-sent datagram is not a DNS query; the server would parse
+    // garbage. Fail loudly instead of waiting out the timeout.
+    return util::InternalError("short sendto: " + std::to_string(sent) +
+                               " of " + std::to_string(wire_query.size()) +
+                               " bytes");
   }
+  // The id the reply must echo (RFC 1035 header bytes 0-1).
+  const bool have_id = wire_query.size() >= 2;
+  const uint16_t query_id =
+      have_id ? static_cast<uint16_t>(wire_query[0] << 8 | wire_query[1]) : 0;
 
+  // One fixed deadline for the whole exchange. Every EINTR (routine under
+  // the CLI's escalating signal handlers: the first SIGINT must flush
+  // checkpoints, not poison in-flight measurements) and every discarded
+  // stray datagram re-enters the loop with the *remaining* budget.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.timeout_ms);
   std::vector<uint8_t> buffer(
       static_cast<size_t>(options_.max_response_bytes));
-  sockaddr_in from{};
-  socklen_t from_len = sizeof(from);
-  ssize_t got = ::recvfrom(fd, buffer.data(), buffer.size(), 0,
-                           reinterpret_cast<sockaddr*>(&from), &from_len);
-  if (got < 0) return util::UnavailableError(Errno("recvfrom"));
-  buffer.resize(static_cast<size_t>(got));
-  return buffer;
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return util::TimeoutError("no reply from " + server.ToString());
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return util::InternalError(Errno("poll"));
+    }
+    if (ready == 0) {
+      return util::TimeoutError("no reply from " + server.ToString());
+    }
+
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    ssize_t got = ::recvfrom(fd, buffer.data(), buffer.size(), 0,
+                             reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return util::UnavailableError(Errno("recvfrom"));
+    }
+    // Anti-spoofing: the datagram must come from the queried server's
+    // address AND port, and echo the query's transaction id. Anything else
+    // is off-path noise (or an active spoofer) — drop it and keep waiting.
+    if (!SameEndpoint(from, dest)) continue;
+    if (have_id &&
+        (got < 2 ||
+         static_cast<uint16_t>(buffer[0] << 8 | buffer[1]) != query_id)) {
+      continue;
+    }
+    buffer.resize(static_cast<size_t>(got));
+    return buffer;
+  }
 }
 
 UdpServer::~UdpServer() { Stop(); }
@@ -123,6 +146,7 @@ void UdpServer::Stop() {
     ::close(fd_);
     fd_ = -1;
   }
+  port_ = 0;  // restore the "0 before Start" contract across restarts
 }
 
 }  // namespace govdns::netio

@@ -60,7 +60,8 @@ class UdpServer {
   void Stop();
 
   bool running() const { return running_.load(); }
-  // The bound port (resolved if 0 was requested). 0 before Start.
+  // The bound port (resolved if 0 was requested). 0 before Start and again
+  // after Stop.
   uint16_t port() const { return port_; }
 
   uint64_t requests_served() const { return requests_.load(); }

@@ -46,6 +46,8 @@ size_t SimNetwork::endpoint_count() const {
 NetworkStats SimNetwork::stats() const {
   NetworkStats s;
   s.exchanges = stats_.exchanges.load(std::memory_order_relaxed);
+  s.stream_exchanges =
+      stats_.stream_exchanges.load(std::memory_order_relaxed);
   s.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
   s.unreachable = stats_.unreachable.load(std::memory_order_relaxed);
   s.delivered = stats_.delivered.load(std::memory_order_relaxed);
@@ -103,8 +105,19 @@ void SimNetwork::Delay(uint32_t ms) {
 
 util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
     geo::IPv4 server, const std::vector<uint8_t>& wire_query) {
+  return ExchangeImpl(server, wire_query, /*stream=*/false);
+}
+
+util::StatusOr<std::vector<uint8_t>> SimNetwork::ExchangeStream(
+    geo::IPv4 server, const std::vector<uint8_t>& wire_query) {
+  return ExchangeImpl(server, wire_query, /*stream=*/true);
+}
+
+util::StatusOr<std::vector<uint8_t>> SimNetwork::ExchangeImpl(
+    geo::IPv4 server, const std::vector<uint8_t>& wire_query, bool stream) {
   ChaosContext* ctx = ActiveContext();
   stats_.exchanges.fetch_add(1, std::memory_order_relaxed);
+  if (stream) stats_.stream_exchanges.fetch_add(1, std::memory_order_relaxed);
   // In a context, the exchange ordinal is per (context, endpoint): retries
   // of the same query get fresh draws, but the stream is independent of
   // global history and of other threads. Context-free exchanges keep the
@@ -214,9 +227,9 @@ util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
   // ordinal) — plus the context tag when one is active — so a rerun of the
   // same world reproduces the same drops, while retries of the same query
   // get fresh draws.
-  uint64_t stream = seed_ ^ (uint64_t{server.bits()} << 24) ^ exchange_id;
-  if (ctx != nullptr) stream ^= ctx->tag_mix;
-  util::Rng rng(util::SplitMix64(stream));
+  uint64_t draw_stream = seed_ ^ (uint64_t{server.bits()} << 24) ^ exchange_id;
+  if (ctx != nullptr) draw_stream ^= ctx->tag_mix;
+  util::Rng rng(util::SplitMix64(draw_stream));
 
   if (behavior.burst_start_rate > 0.0 &&
       rng.Bernoulli(behavior.burst_start_rate)) {
@@ -271,6 +284,9 @@ util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
     rtt += static_cast<uint32_t>(
         rng.UniformU64(uint64_t{behavior.rtt_jitter_ms} + 1));
   }
+  // A stream exchange pays the TCP handshake: one extra round trip before
+  // the query can even be sent.
+  if (stream) rtt += behavior.rtt_ms;
   // Slow drip: the server would answer, but only after an adversarially
   // long pause; when that pushes the RTT past the client timeout the reply
   // arrives too late to count.
@@ -291,13 +307,17 @@ util::StatusOr<std::vector<uint8_t>> SimNetwork::Exchange(
 
   // Damaged-but-delivered modes, applied to the wire bytes so the client's
   // parser sees exactly what a broken path would hand it. Draw order is
-  // fixed for determinism.
+  // fixed for determinism. A stream carries none of these: TCP has no
+  // 512-byte ceiling to truncate at, checksummed delivery, and a connection
+  // an off-path spoofer cannot inject ids into — the draws are still made
+  // so a stream retry does not shift the endpoint's datagram draw stream.
   bool corrupt = behavior.corrupt_rate > 0.0 &&
                  rng.Bernoulli(behavior.corrupt_rate);
   bool truncate = behavior.truncate_rate > 0.0 &&
                   rng.Bernoulli(behavior.truncate_rate);
   bool wrong_id = behavior.wrong_id_rate > 0.0 &&
                   rng.Bernoulli(behavior.wrong_id_rate);
+  if (stream) corrupt = truncate = wrong_id = false;
   if (corrupt) {
     // Chop below the 12-byte header and garble: guaranteed undecodable.
     if (reply.size() > 8) reply.resize(8);

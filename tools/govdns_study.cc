@@ -47,6 +47,7 @@
 #include "core/report.h"
 #include "core/study.h"
 #include "core/study_ckpt.h"
+#include "netio/engine.h"
 #include "obs/obs.h"
 #include "util/json.h"
 #include "util/strings.h"
@@ -88,6 +89,8 @@ int main(int argc, char** argv) {
   uint64_t kill_after = 0;
   core::MeasurerOptions measure_options;
   std::string quarantine_path;
+  bool use_engine = false;
+  netio::QueryEngine::Options engine_options;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -138,6 +141,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--quarantine-report") {
       if (const char* v = next()) quarantine_path = v;
+    } else if (arg == "--engine") {
+      use_engine = true;
+    } else if (arg == "--max-inflight") {
+      if (const char* v = next()) engine_options.max_inflight = std::atoi(v);
+    } else if (arg == "--per-ns-qps") {
+      if (const char* v = next()) engine_options.per_server_qps = std::atof(v);
+    } else if (arg == "--lanes") {
+      if (const char* v = next()) measure_options.async_lanes = std::atoi(v);
     } else if (arg == "--report") {
       print_report = true;
     } else if (arg == "--no-report") {
@@ -150,7 +161,8 @@ int main(int argc, char** argv) {
                    "[--checkpoint-dir DIR] [--resume] [--ckpt-batch N] "
                    "[--ckpt-kill-after N] [--phase-deadline MS] "
                    "[--country-budget MS] [--domain-budget MS] "
-                   "[--quarantine-report PATH]\n",
+                   "[--quarantine-report PATH] [--engine] [--max-inflight N] "
+                   "[--per-ns-qps Q] [--lanes N]\n",
                    argv[0]);
       return 2;
     }
@@ -166,7 +178,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "building world (scale %.3f, seed %llu)...\n",
                  config.scale, static_cast<unsigned long long>(config.seed));
     auto world = worldgen::BuildWorld(config);
-    auto bound = worldgen::MakeStudy(*world);
+    // The engine (if any) must be wired in *before* the Study is built: the
+    // study binds its resolver to the transport at construction. Fronting
+    // the simulated network with a wrapped-mode QueryEngine leaves the
+    // report byte-identical — exchanges still execute inline on each lane's
+    // thread under its own chaos context — while exercising the exact
+    // submit/complete path a real-socket run uses.
+    std::unique_ptr<netio::QueryEngine> engine;
+    worldgen::BoundStudy bound;
+    bound.policy = std::make_unique<worldgen::PolicyLookupAdapter>(
+        &world->registry_policy());
+    core::StudyInputs inputs =
+        worldgen::MakeStudyInputs(*world, bound.policy.get());
+    if (use_engine) {
+      engine = std::make_unique<netio::QueryEngine>(inputs.transport,
+                                                    engine_options);
+      inputs.transport = engine.get();
+    }
+    bound.study = std::make_unique<core::Study>(std::move(inputs));
 
     obs::ObservabilityConfig obs_config;
     obs_config.trace.sample_period = trace_sample == 0 ? 1 : trace_sample;
@@ -209,6 +238,9 @@ int main(int argc, char** argv) {
     bound.study->RunMining(mine_options);
     phase = "measurement";
     bound.study->RunActiveMeasurement(measure_options);
+    if (engine != nullptr && want_obs) {
+      engine->PublishStats(observability.metrics());
+    }
 
     phase = "report";
     std::vector<std::string> top10;

@@ -93,6 +93,22 @@ for K in 1 $((WRITES / 2)) "${WRITES}"; do
   echo "smoke: kill at write ${K} -> resume -> report byte-identical OK"
 done
 
+echo "==> smoke: bench_query_engine (async engine >=10x sync loop)"
+# The async engine exists to lift the real-socket path off the
+# thread-per-query ceiling (DESIGN.md §6h). Run the bench artifact against
+# the loopback echo server and assert the best window beats the 4-worker
+# synchronous loop by at least 10x.
+GOVDNS_NETIO_JSON="${SMOKE_DIR}/BENCH_netio.json" \
+  ./build/bench/bench_query_engine --benchmark_filter='^$' >/dev/null 2>&1
+python3 - "${SMOKE_DIR}/BENCH_netio.json" <<'EOF'
+import json, sys
+doc = json.loads(open(sys.argv[1]).read())
+assert doc["max_ratio"] >= 10.0, doc
+windows = {p["window"] for p in doc["sweep"]}
+assert {64, 256, 1024} <= windows, sorted(windows)
+print(f"smoke: bench_query_engine max_ratio {doc['max_ratio']:.1f}x OK")
+EOF
+
 echo "==> tier-1: asan/ubsan build + ctest"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"
@@ -113,10 +129,11 @@ cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target \
   simnet_test resolver_test measure_test parallel_measure_test \
   chaos_resilience_test pdns_test mining_test parallel_mine_test \
-  ckpt_test ckpt_resume_test degradation_test quarantine_test
+  ckpt_test ckpt_resume_test degradation_test quarantine_test netio_test
 for t in simnet_test resolver_test measure_test parallel_measure_test \
          chaos_resilience_test pdns_test mining_test parallel_mine_test \
-         ckpt_test ckpt_resume_test degradation_test quarantine_test; do
+         ckpt_test ckpt_resume_test degradation_test quarantine_test \
+         netio_test; do
   echo "==> tsan: ${t}"
   timeout "${CTEST_TIMEOUT}" "./build-tsan/tests/${t}"
 done
