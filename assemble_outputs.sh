@@ -1,6 +1,10 @@
 #!/bin/bash
-# Assembles bench_output.txt from the chunked full-scale runs.
+# Assembles bench_output.txt from the chunked full-scale runs. The output is
+# staged in a temp file and moved into place atomically, so an interrupted
+# assembly never leaves a truncated bench_output.txt behind.
 cd /root/repo || exit 1
+tmp="bench_output.txt.tmp"
+trap 'rm -f "$tmp"' EXIT
 {
   echo "govdns benchmark sweep"
   echo "paper-scale (GOVDNS_SCALE=1.0) for all tables/figures;"
@@ -22,5 +26,6 @@ cd /root/repo || exit 1
     cat "results/full/$n.txt"
     echo
   done
-} > bench_output.txt
+} > "$tmp"
+mv "$tmp" bench_output.txt
 wc -l bench_output.txt

@@ -178,16 +178,7 @@ void PrintArtifact() {
               identical ? "yes" : "NO");
   std::fprintf(stderr, "[bench] checkpoint %s\n", json.c_str());
 
-  const char* path = std::getenv("GOVDNS_CKPT_JSON");
-  const std::string out_path =
-      path != nullptr ? path : "BENCH_checkpoint.json";
-  std::ofstream out(out_path);
-  if (out) {
-    out << json << "\n";
-    std::fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "[bench] cannot write %s\n", out_path.c_str());
-  }
+  govdns::bench::WriteArtifactJson("GOVDNS_CKPT_JSON", "BENCH_checkpoint.json", json);
 }
 
 }  // namespace

@@ -164,16 +164,7 @@ void PrintArtifact() {
   table.Print(std::cout);
   std::fprintf(stderr, "[bench] degradation %s\n", json.c_str());
 
-  const char* path = std::getenv("GOVDNS_DEGRADATION_JSON");
-  const std::string out_path =
-      path != nullptr ? path : "BENCH_degradation.json";
-  std::ofstream out(out_path);
-  if (out) {
-    out << json << "\n";
-    std::fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "[bench] cannot write %s\n", out_path.c_str());
-  }
+  govdns::bench::WriteArtifactJson("GOVDNS_DEGRADATION_JSON", "BENCH_degradation.json", json);
 }
 
 }  // namespace

@@ -276,15 +276,7 @@ void PrintArtifact() {
   table.Print(std::cout);
   std::fprintf(stderr, "[bench] netio %s\n", json.c_str());
 
-  const char* path = std::getenv("GOVDNS_NETIO_JSON");
-  const std::string out_path = path != nullptr ? path : "BENCH_netio.json";
-  std::ofstream out(out_path);
-  if (out) {
-    out << json << "\n";
-    std::fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "[bench] cannot write %s\n", out_path.c_str());
-  }
+  govdns::bench::WriteArtifactJson("GOVDNS_NETIO_JSON", "BENCH_netio.json", json);
   server.Stop();
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "util/json.h"
 
@@ -101,6 +102,30 @@ void BenchEnv::PrintStatsJson() {
       .EndObject();
   w.EndObject();
   std::fprintf(stderr, "[bench] stats %s\n", w.TakeString().c_str());
+}
+
+void WriteArtifactJson(const char* env_var, const char* default_path,
+                       const std::string& json) {
+  const char* override_path = std::getenv(env_var);
+  const std::string out_path =
+      override_path != nullptr ? override_path : default_path;
+  const std::string tmp_path = out_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (out) out << json << "\n";
+    if (!out) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", tmp_path.c_str());
+      std::remove(tmp_path.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+    std::fprintf(stderr, "[bench] cannot rename %s -> %s\n", tmp_path.c_str(),
+                 out_path.c_str());
+    std::remove(tmp_path.c_str());
+    return;
+  }
+  std::fprintf(stderr, "[bench] wrote %s\n", out_path.c_str());
 }
 
 int BenchMain(int argc, char** argv, void (*print_artifact)()) {

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 #include "core/study.h"
 #include "worldgen/adapter.h"
@@ -48,6 +49,15 @@ class BenchEnv {
   bool mined_done_ = false;
   bool active_done_ = false;
 };
+
+// Writes a BENCH_*.json artifact atomically: the bytes land in
+// `<path>.tmp` first and are renamed into place only after a successful
+// write, so a crashed or interrupted bench run can never leave a
+// half-written artifact for assemble_outputs.sh to scoop up. `env_var`
+// overrides `default_path` when set. Logs a `[bench] wrote ...` (or
+// `cannot write ...`) line to stderr either way.
+void WriteArtifactJson(const char* env_var, const char* default_path,
+                       const std::string& json);
 
 // Standard main body: run benchmarks, then emit the artifact via `print`.
 int BenchMain(int argc, char** argv, void (*print_artifact)());

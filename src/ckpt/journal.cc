@@ -100,6 +100,18 @@ uint32_t Crc32(std::string_view bytes) {
   return c ^ 0xFFFFFFFFu;
 }
 
+util::Status AtomicWriteFileDurable(const std::string& dir,
+                                    const std::string& path,
+                                    std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  GOVDNS_RETURN_IF_ERROR(WriteFileDurable(tmp, bytes));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return util::InternalError("rename " + tmp + " -> " + path + ": " +
+                               std::strerror(errno));
+  }
+  return FsyncDir(dir);
+}
+
 uint64_t MixFingerprint(uint64_t a, uint64_t b) {
   uint64_t state = a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
   // One SplitMix64 round for avalanche.

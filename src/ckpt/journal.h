@@ -40,7 +40,18 @@ uint32_t Crc32(std::string_view bytes);
 // Used to derive the journal fingerprint from world + study identities.
 uint64_t MixFingerprint(uint64_t a, uint64_t b);
 
-inline constexpr uint32_t kFrameVersion = 1;
+// Durably and atomically publishes `bytes` at `path`: writes `path`.tmp,
+// fsyncs it, renames over `path`, and fsyncs the containing directory. The
+// journal's frame commit and the snapshot-file writer share this path so a
+// crash can only ever leave the old file, the new file, or an ignorable
+// temp. `dir` must be the directory containing `path`.
+util::Status AtomicWriteFileDurable(const std::string& dir,
+                                    const std::string& path,
+                                    std::string_view bytes);
+
+// Version 2: payload sizes/counts are LEB128 varints (width-checked, never
+// truncated); version-1 frames encoded them as raw U32s and are rejected.
+inline constexpr uint32_t kFrameVersion = 2;
 inline constexpr size_t kFrameHeaderSize = 32;
 
 struct JournalStats {

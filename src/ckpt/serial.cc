@@ -1,6 +1,7 @@
 #include "ckpt/serial.h"
 
 #include <cstring>
+#include <limits>
 
 namespace govdns::ckpt {
 
@@ -19,8 +20,28 @@ void Writer::F64(double v) {
   U64(bits);
 }
 
+void Writer::Size(uint64_t v) {
+  while (v >= 0x80) {
+    out_.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out_.push_back(static_cast<char>(v));
+}
+
+bool Writer::U32Checked(uint64_t v) {
+  if (v > std::numeric_limits<uint32_t>::max()) {
+    if (status_.ok()) {
+      status_ = util::InvalidArgumentError(
+          "u32 overflow: " + std::to_string(v) + " does not fit in 32 bits");
+    }
+    return false;
+  }
+  U32(static_cast<uint32_t>(v));
+  return ok();
+}
+
 void Writer::Str(std::string_view s) {
-  U32(static_cast<uint32_t>(s.size()));
+  Size(s.size());
   out_.append(s);
 }
 
@@ -96,9 +117,47 @@ bool Reader::F64(double* v) {
   return true;
 }
 
+bool Reader::Size(uint64_t* v) {
+  uint64_t out = 0;
+  uint8_t byte = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (!U8(&byte)) return false;
+    const uint64_t low = byte & 0x7F;
+    // The 10th byte may only carry the final bit of a 64-bit value.
+    if (shift == 63 && low > 1) {
+      ok_ = false;
+      return false;
+    }
+    out |= low << shift;
+    if ((byte & 0x80) == 0) {
+      // Minimal form only: a multi-byte encoding must not end in a zero
+      // group (two spellings of one value would defeat corruption checks).
+      if (shift > 0 && low == 0) {
+        ok_ = false;
+        return false;
+      }
+      *v = out;
+      return true;
+    }
+  }
+  ok_ = false;  // continuation bit past 64 bits
+  return false;
+}
+
+bool Reader::Count(size_t* v) {
+  uint64_t n = 0;
+  if (!Size(&n)) return false;
+  if (n > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  *v = static_cast<size_t>(n);
+  return true;
+}
+
 bool Reader::Str(std::string* s) {
-  uint32_t len = 0;
-  if (!U32(&len)) return false;
+  size_t len = 0;
+  if (!Count(&len)) return false;
   const char* p = Take(len);
   if (p == nullptr) return false;
   s->assign(p, len);

@@ -7,11 +7,21 @@
 // of throwing or aborting: a truncated or corrupted payload must always
 // decode to a clean "reject this frame" decision, never to UB (the chaos
 // model's rule for wire parsers, applied to our own on-disk format).
+//
+// Sizes and counts travel as LEB128 varints (Size/Count), never as raw
+// U32s: an earlier revision encoded every length as `U32(static_cast<
+// uint32_t>(n))`, which silently truncated once a logical length crossed
+// 4Gi — at the 10–100x worldgen scales that is a data-corruption bug, not a
+// perf bug. The varint path cannot truncate by construction; the one
+// remaining way to ask for a 32-bit field (U32Checked) latches a structured
+// kInvalidArgument status on the Writer instead of wrapping.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+
+#include "util/status.h"
 
 namespace govdns::ckpt {
 
@@ -25,15 +35,27 @@ class Writer {
   void Bool(bool v) { U8(v ? 1 : 0); }
   // IEEE-754 bit pattern; used only for diagnostic fields (wall times).
   void F64(double v);
-  // u32 length prefix followed by the raw bytes.
+  // LEB128 varint, minimal encoding; the codec for every size and count.
+  // Cannot overflow or truncate for any uint64_t (or size_t) input.
+  void Size(uint64_t v);
+  // Width-checked 32-bit write: refuses (latching a structured status,
+  // writing nothing) when v does not fit — the loud replacement for the old
+  // silent `U32(static_cast<uint32_t>(v))` truncation. Returns ok().
+  bool U32Checked(uint64_t v);
+  // Varint length prefix followed by the raw bytes.
   void Str(std::string_view s);
   void Raw(std::string_view bytes) { out_.append(bytes); }
+
+  // False once any checked write failed; the buffer must not be committed.
+  bool ok() const { return status_.ok(); }
+  const util::Status& status() const { return status_; }
 
   size_t size() const { return out_.size(); }
   std::string Take() { return std::move(out_); }
 
  private:
   std::string out_;
+  util::Status status_;
 };
 
 class Reader {
@@ -49,6 +71,13 @@ class Reader {
   bool I64(int64_t* v);
   bool Bool(bool* v);
   bool F64(double* v);
+  // Minimal-form LEB128 varint; rejects non-minimal or >64-bit encodings
+  // (corruption must not have two spellings of the same value).
+  bool Size(uint64_t* v);
+  // Size() plus a resize-bomb guard: an element count must be coverable by
+  // the bytes that remain (>= 1 byte per element), so a corrupted count can
+  // never drive a multi-gigabyte allocation before the bounds checks hit.
+  bool Count(size_t* v);
   bool Str(std::string* s);
 
   bool ok() const { return ok_; }

@@ -69,14 +69,19 @@ size_t SharedCutCache::EvictNegativesLocked(Stripe& stripe, uint64_t now_ms) {
       ++it;
     }
   }
-  // Still full: drop the earliest-expiring (then lexicographically first)
-  // live negatives until one slot frees up.
+  // Still full: drop the earliest-expiring live negatives until one slot
+  // frees up. The victim order is (expires_ms, canonical name) — the key
+  // tiebreak is explicit, not an artifact of std::map iteration order, so
+  // same-expiry ties evict identically even if the container ever changes
+  // (pinned by CutCacheCkptTest.NegativeEvictionTiebreakIsStable).
   while (stripe.negatives >= max_negatives_per_stripe_) {
     auto victim = stripe.entries.end();
     for (auto it = stripe.entries.begin(); it != stripe.entries.end(); ++it) {
       if (it->second.reachable) continue;
       if (victim == stripe.entries.end() ||
-          it->second.expires_ms < victim->second.expires_ms) {
+          it->second.expires_ms < victim->second.expires_ms ||
+          (it->second.expires_ms == victim->second.expires_ms &&
+           it->first < victim->first)) {
         victim = it;
       }
     }

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "pdns/snapshot_io.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -41,6 +42,11 @@ PdnsMiner::PdnsMiner(const pdns::PdnsDatabase* db, MiningConfig config,
   GOVDNS_CHECK(config.first_year <= config.last_year);
 }
 
+PdnsMiner::PdnsMiner(MiningConfig config, MinerOptions options)
+    : db_(nullptr), config_(config), options_(options) {
+  GOVDNS_CHECK(config.first_year <= config.last_year);
+}
+
 bool PdnsMiner::LooksDisposable(const dns::Name& name) {
   if (name.IsRoot()) return false;
   const std::string& label = name.Label(0);
@@ -60,10 +66,14 @@ namespace {
 // each stable entry's in-year interval and the aggregated (count -> days)
 // histogram. Sorted flat vectors stand in for the two std::maps an earlier
 // revision allocated per domain-year; cleared (capacity kept) between uses,
-// so a worker's whole sweep load runs allocation-free after warm-up.
+// so a worker's whole sweep load runs allocation-free after warm-up. The
+// shard-local intern map lives here too: clear() keeps its bucket array, so
+// a worker re-interns each new seed without rebuilding the hash table from
+// scratch (the per-seed allocation the 10x scale sweep surfaced).
 struct SweepScratch {
   std::vector<std::pair<util::CivilDay, int>> delta;
   std::vector<std::pair<int, int64_t>> days_at_count;
+  std::unordered_map<std::string, int32_t> intern;
 };
 
 // Output of mining one seed. ns ids are local to this shard's intern table;
@@ -111,9 +121,13 @@ int YearlyValue(YearlyStatistic statistic,
   return value;
 }
 
-// Mines one seed against the frozen snapshot. Reads only shared immutable
-// state and writes only `shard`/`scratch`, so any worker may run any seed.
-void MineSeed(const MiningConfig& config, const pdns::PdnsSnapshot& snapshot,
+// Mines one seed against a frozen snapshot — owning (PdnsSnapshot) or
+// memory-mapped (MappedPdnsSnapshot); both expose the same lookup API and
+// entry field names, differing only in whether entries come out as
+// PdnsEntry refs or PdnsEntryView values. Reads only shared immutable state
+// and writes only `shard`/`scratch`, so any worker may run any seed.
+template <typename Snapshot>
+void MineSeed(const MiningConfig& config, const Snapshot& snapshot,
               const SeedDomain& seed, int seed_index,
               const std::vector<util::CivilDay>& year_start,
               const std::vector<util::CivilDay>& year_end, SeedShard& shard,
@@ -123,18 +137,19 @@ void MineSeed(const MiningConfig& config, const pdns::PdnsSnapshot& snapshot,
   // §III-C stability predicate: the first-to-last-seen *gap* must reach the
   // threshold. Deliberately not LengthDays(), which is one day longer (see
   // mining.h).
-  auto stable = [&config](const pdns::PdnsEntry& entry) {
+  auto stable = [&config](const auto& entry) {
     return entry.seen.last - entry.seen.first >= config.stability_days;
   };
-  auto is_ns = [](const pdns::PdnsEntry& entry) {
+  auto is_ns = [](const auto& entry) {
     return entry.type == dns::RRType::kNS;
   };
 
-  std::unordered_map<std::string, int32_t> intern;
-  auto intern_ns = [&](const std::string& ns) -> int32_t {
+  auto& intern = scratch.intern;
+  intern.clear();
+  auto intern_ns = [&](std::string_view ns) -> int32_t {
     auto [it, inserted] =
         intern.emplace(ns, static_cast<int32_t>(shard.ns_names.size()));
-    if (inserted) shard.ns_names.push_back(ns);
+    if (inserted) shard.ns_names.emplace_back(ns);
     return it->second;
   };
 
@@ -144,7 +159,7 @@ void MineSeed(const MiningConfig& config, const pdns::PdnsSnapshot& snapshot,
   // check uses raw sightings, as the paper's FQDN extraction did).
   const auto [name_lo, name_hi] = snapshot.WildcardNameRange(seed.d_gov);
   for (size_t n = name_lo; n < name_hi; ++n) {
-    const std::span<const pdns::PdnsEntry> entries = snapshot.entries(n);
+    const auto entries = snapshot.entries(n);
     if (std::none_of(entries.begin(), entries.end(), is_ns)) continue;
 
     MinedDomain domain;
@@ -154,7 +169,7 @@ void MineSeed(const MiningConfig& config, const pdns::PdnsSnapshot& snapshot,
     domain.disposable = PdnsMiner::LooksDisposable(domain.name);
     domain.years.resize(years);
 
-    for (const pdns::PdnsEntry& entry : entries) {
+    for (const auto& entry : entries) {
       if (!is_ns(entry)) continue;
       ++shard.stats.entries_scanned;
       const bool is_stable = stable(entry);
@@ -176,7 +191,7 @@ void MineSeed(const MiningConfig& config, const pdns::PdnsSnapshot& snapshot,
     for (int y = 0; y < years; ++y) {
       if (domain.years[y].ns_ids.empty()) continue;
       scratch.delta.clear();
-      for (const pdns::PdnsEntry& entry : entries) {
+      for (const auto& entry : entries) {
         if (!is_ns(entry) || !stable(entry)) continue;
         util::CivilDay from = std::max(entry.seen.first, year_start[y]);
         util::CivilDay to = std::min(entry.seen.last, year_end[y]);
@@ -245,6 +260,46 @@ void RunOnPool(int workers, const std::function<void()>& body) {
 }  // namespace
 
 MinedDataset PdnsMiner::Mine(const std::vector<SeedDomain>& seeds) {
+  GOVDNS_CHECK(db_ != nullptr);
+  // --- Phase 1: freeze. One O(entries) flattening buys every seed a
+  // binary-searched zero-copy subtree scan instead of a copied vector.
+  pdns::PdnsSnapshot snapshot;
+  {
+    std::optional<obs::PhaseProfiler::Scope> scope;
+    if (options_.profiler != nullptr) {
+      scope.emplace(options_.profiler, "mining.freeze");
+    }
+    snapshot = db_->Freeze();
+    if (scope) scope->set_items(static_cast<int64_t>(snapshot.entry_count()));
+  }
+  return MineImpl(snapshot, seeds);
+}
+
+MinedDataset PdnsMiner::MineSnapshot(const pdns::PdnsSnapshot& snapshot,
+                                     const std::vector<SeedDomain>& seeds) {
+  RecordSnapshotAttach(snapshot.entry_count());
+  return MineImpl(snapshot, seeds);
+}
+
+MinedDataset PdnsMiner::MineSnapshot(const pdns::MappedPdnsSnapshot& snapshot,
+                                     const std::vector<SeedDomain>& seeds) {
+  RecordSnapshotAttach(snapshot.entry_count());
+  return MineImpl(snapshot, seeds);
+}
+
+void PdnsMiner::RecordSnapshotAttach(size_t entries) {
+  // A pre-frozen substrate skips the O(entries) flattening, but the profile
+  // schema must not depend on the substrate: emit the same "mining.freeze"
+  // row the database path does (the attach is the freeze, at O(1) cost) so
+  // reports stay byte-identical across substrates.
+  if (options_.profiler == nullptr) return;
+  obs::PhaseProfiler::Scope scope(options_.profiler, "mining.freeze");
+  scope.set_items(static_cast<int64_t>(entries));
+}
+
+template <typename Snapshot>
+MinedDataset PdnsMiner::MineImpl(const Snapshot& snapshot,
+                                 const std::vector<SeedDomain>& seeds) {
   MinedDataset out;
   out.config = config_;
   out.stats.seeds = static_cast<int64_t>(seeds.size());
@@ -263,18 +318,6 @@ MinedDataset PdnsMiner::Mine(const std::vector<SeedDomain>& seeds) {
   if (workers < 1) workers = 1;
   if (static_cast<size_t>(workers) > seeds.size() && !seeds.empty()) {
     workers = static_cast<int>(seeds.size());
-  }
-
-  // --- Phase 1: freeze. One O(entries) flattening buys every seed a
-  // binary-searched zero-copy subtree scan instead of a copied vector.
-  pdns::PdnsSnapshot snapshot;
-  {
-    std::optional<obs::PhaseProfiler::Scope> scope;
-    if (options_.profiler != nullptr) {
-      scope.emplace(options_.profiler, "mining.freeze");
-    }
-    snapshot = db_->Freeze();
-    if (scope) scope->set_items(static_cast<int64_t>(snapshot.entry_count()));
   }
 
   // --- Phase 2: shard. An atomic dispenser hands whole seeds to workers;
@@ -310,8 +353,8 @@ MinedDataset PdnsMiner::Mine(const std::vector<SeedDomain>& seeds) {
       scope.emplace(options_.profiler, "mining.fold");
     }
     std::unordered_map<std::string, int32_t> intern;
-    intern.reserve(db_->name_count());
-    out.ns_names.reserve(db_->name_count());
+    intern.reserve(snapshot.name_count());
+    out.ns_names.reserve(snapshot.name_count());
     std::vector<std::vector<int32_t>> remap(shards.size());
     for (size_t s = 0; s < shards.size(); ++s) {
       remap[s].reserve(shards[s].ns_names.size());
@@ -334,13 +377,17 @@ MinedDataset PdnsMiner::Mine(const std::vector<SeedDomain>& seeds) {
         for (MinedDomain& domain : shards[s].domains) {
           for (YearState& year : domain.years) {
             for (int32_t& id : year.ns_ids) id = remap[s][id];
-            std::sort(year.ns_ids.begin(), year.ns_ids.end());
+            // Monotonic remaps (common: a shard whose names all appeared in
+            // intern order) leave the list sorted; skip the sort then.
+            if (!std::is_sorted(year.ns_ids.begin(), year.ns_ids.end())) {
+              std::sort(year.ns_ids.begin(), year.ns_ids.end());
+            }
           }
         }
       }
     });
 
-    out.domains.reserve(db_->name_count());
+    out.domains.reserve(snapshot.name_count());
     for (SeedShard& shard : shards) {
       out.stats.entries_scanned += shard.stats.entries_scanned;
       out.stats.entries_unstable += shard.stats.entries_unstable;

@@ -36,6 +36,10 @@
 #include "pdns/db.h"
 #include "util/civil_time.h"
 
+namespace govdns::pdns {
+class MappedPdnsSnapshot;
+}  // namespace govdns::pdns
+
 namespace govdns::core {
 
 // Which statistic summarizes the daily NS-count list of a domain-year.
@@ -141,11 +145,24 @@ class PdnsMiner {
  public:
   PdnsMiner(const pdns::PdnsDatabase* db, MiningConfig config = MiningConfig(),
             MinerOptions options = MinerOptions());
+  // Snapshot-only miner (no database): for MineSnapshot callers that load a
+  // pre-frozen snapshot from a file instead of freezing one.
+  explicit PdnsMiner(MiningConfig config, MinerOptions options = MinerOptions());
 
   // Pure function of (database, seeds, config): the worker count and every
   // other MinerOptions knob may change only the wall time, never the bytes
   // (pinned by ParallelMineTest).
   MinedDataset Mine(const std::vector<SeedDomain>& seeds);
+
+  // Mines a pre-frozen snapshot — owning or memory-mapped — skipping the
+  // freeze phase entirely (the snapshot-file fast path; DESIGN.md §6i).
+  // Both overloads run the identical sharded pipeline over the identical
+  // entry data, so the dataset is byte-identical to Mine() on the source
+  // database, for any worker count (pinned by SnapshotFileTest).
+  MinedDataset MineSnapshot(const pdns::PdnsSnapshot& snapshot,
+                            const std::vector<SeedDomain>& seeds);
+  MinedDataset MineSnapshot(const pdns::MappedPdnsSnapshot& snapshot,
+                            const std::vector<SeedDomain>& seeds);
 
   // The heuristic the pipeline uses in place of the paper's manual
   // "disposable domains" filtering: machine-generated-looking labels.
@@ -159,6 +176,15 @@ class PdnsMiner {
   static std::vector<int> ActiveQueryCountries(const MinedDataset& dataset);
 
  private:
+  // Shard + fold over any snapshot exposing the PdnsSnapshot lookup API.
+  template <typename Snapshot>
+  MinedDataset MineImpl(const Snapshot& snapshot,
+                        const std::vector<SeedDomain>& seeds);
+
+  // Emits the "mining.freeze" profile row for a pre-frozen substrate so the
+  // profile schema is substrate-independent (see mining.cc for rationale).
+  void RecordSnapshotAttach(size_t entries);
+
   const pdns::PdnsDatabase* db_;
   MiningConfig config_;
   MinerOptions options_;

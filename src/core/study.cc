@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/study_ckpt.h"
+#include "pdns/snapshot_io.h"
 
 namespace govdns::core {
 
@@ -11,7 +12,7 @@ Study::Study(StudyInputs inputs)
     : inputs_(std::move(inputs)),
       resolver_(inputs_.transport, inputs_.root_hints) {
   GOVDNS_CHECK(inputs_.transport != nullptr);
-  GOVDNS_CHECK(inputs_.pdns != nullptr);
+  GOVDNS_CHECK(inputs_.pdns != nullptr || inputs_.pdns_snapshot != nullptr);
   GOVDNS_CHECK(inputs_.psl != nullptr);
   GOVDNS_CHECK(inputs_.policy != nullptr);
 }
@@ -103,8 +104,14 @@ const MinedDataset& Study::RunMining(MinerOptions options) {
   {
     obs::PhaseProfiler::Scope phase(&profiler_, "mining");
     if (options.profiler == nullptr) options.profiler = &profiler_;
-    PdnsMiner miner(inputs_.pdns, inputs_.mining, options);
-    mined_ = std::make_unique<MinedDataset>(miner.Mine(seeds_));
+    if (inputs_.pdns_snapshot != nullptr) {
+      PdnsMiner miner(inputs_.mining, options);
+      mined_ = std::make_unique<MinedDataset>(
+          miner.MineSnapshot(*inputs_.pdns_snapshot, seeds_));
+    } else {
+      PdnsMiner miner(inputs_.pdns, inputs_.mining, options);
+      mined_ = std::make_unique<MinedDataset>(miner.Mine(seeds_));
+    }
     phase.set_items(mined_->stats.domains);
   }
   if (ckpt_ != nullptr) {

@@ -54,31 +54,31 @@ bool GetName(ckpt::Reader& r, dns::Name* out) {
 }
 
 void PutNameList(ckpt::Writer& w, const std::vector<dns::Name>& names) {
-  w.U32(static_cast<uint32_t>(names.size()));
+  w.Size(names.size());
   for (const dns::Name& n : names) PutName(w, n);
 }
 
 bool GetNameList(ckpt::Reader& r, std::vector<dns::Name>* out) {
-  uint32_t count = 0;
-  if (!r.U32(&count)) return false;
+  size_t count = 0;
+  if (!r.Count(&count)) return false;
   out->resize(count);
-  for (uint32_t i = 0; i < count; ++i) {
+  for (size_t i = 0; i < count; ++i) {
     if (!GetName(r, &(*out)[i])) return false;
   }
   return true;
 }
 
 void PutAddrList(ckpt::Writer& w, const std::vector<geo::IPv4>& addrs) {
-  w.U32(static_cast<uint32_t>(addrs.size()));
+  w.Size(addrs.size());
   for (const geo::IPv4 a : addrs) w.U32(a.bits());
 }
 
 bool GetAddrList(ckpt::Reader& r, std::vector<geo::IPv4>* out) {
-  uint32_t count = 0;
-  if (!r.U32(&count)) return false;
+  size_t count = 0;
+  if (!r.Count(&count)) return false;
   out->clear();
   out->reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
+  for (size_t i = 0; i < count; ++i) {
     uint32_t bits = 0;
     if (!r.U32(&bits)) return false;
     out->push_back(geo::IPv4(bits));
@@ -111,7 +111,7 @@ bool GetCounters(ckpt::Reader& r, ResolverCounters* c) {
 }
 
 void PutProfile(ckpt::Writer& w, const std::vector<obs::PhaseRecord>& records) {
-  w.U32(static_cast<uint32_t>(records.size()));
+  w.Size(records.size());
   for (const obs::PhaseRecord& rec : records) {
     w.Str(rec.name);
     w.I64(rec.items);
@@ -121,10 +121,10 @@ void PutProfile(ckpt::Writer& w, const std::vector<obs::PhaseRecord>& records) {
 }
 
 bool GetProfile(ckpt::Reader& r, std::vector<obs::PhaseRecord>* out) {
-  uint32_t count = 0;
-  if (!r.U32(&count)) return false;
+  size_t count = 0;
+  if (!r.Count(&count)) return false;
   out->resize(count);
-  for (uint32_t i = 0; i < count; ++i) {
+  for (size_t i = 0; i < count; ++i) {
     obs::PhaseRecord& rec = (*out)[i];
     if (!r.Str(&rec.name) || !r.I64(&rec.items) || !r.U64(&rec.logical_ms) ||
         !r.F64(&rec.wall_ms)) {
@@ -169,7 +169,7 @@ void PutResult(ckpt::Writer& w, const MeasurementResult& res) {
   PutNameList(w, res.parent_ns);
   PutNameList(w, res.child_ns);
   w.Bool(res.child_any_authoritative);
-  w.U32(static_cast<uint32_t>(res.hosts.size()));
+  w.Size(res.hosts.size());
   for (const NsHostResult& host : res.hosts) {
     PutName(w, host.host);
     PutAddrList(w, host.addresses);
@@ -203,10 +203,10 @@ bool GetResult(ckpt::Reader& r, MeasurementResult* res) {
       !r.Bool(&res->child_any_authoritative)) {
     return false;
   }
-  uint32_t host_count = 0;
-  if (!r.U32(&host_count)) return false;
+  size_t host_count = 0;
+  if (!r.Count(&host_count)) return false;
   res->hosts.resize(host_count);
-  for (uint32_t i = 0; i < host_count; ++i) {
+  for (size_t i = 0; i < host_count; ++i) {
     NsHostResult& host = res->hosts[i];
     uint8_t status = 0;
     if (!GetName(r, &host.host) || !GetAddrList(r, &host.addresses) ||
@@ -273,11 +273,11 @@ StudyCheckpoint::TryLoadSelection() {
   ckpt::Reader r(frame->payload);
   uint8_t kind = 0;
   SelectionSnapshot snap;
-  uint32_t seed_count = 0;
-  bool ok = r.U8(&kind) && kind == kKindSelection && r.U32(&seed_count);
+  size_t seed_count = 0;
+  bool ok = r.U8(&kind) && kind == kKindSelection && r.Count(&seed_count);
   if (ok) {
     snap.seeds.resize(seed_count);
-    for (uint32_t i = 0; ok && i < seed_count; ++i) {
+    for (size_t i = 0; ok && i < seed_count; ++i) {
       SeedDomain& seed = snap.seeds[i];
       uint8_t verification = 0;
       ok = r.I32(&seed.country) && GetName(r, &seed.d_gov) &&
@@ -304,7 +304,7 @@ void StudyCheckpoint::SaveSelection(const SelectionSnapshot& snap) {
   GOVDNS_CHECK(bound_);
   ckpt::Writer w;
   w.U8(kKindSelection);
-  w.U32(static_cast<uint32_t>(snap.seeds.size()));
+  w.Size(snap.seeds.size());
   for (const SeedDomain& seed : snap.seeds) {
     w.I32(seed.country);
     PutName(w, seed.d_gov);
@@ -337,32 +337,32 @@ std::optional<StudyCheckpoint::MiningSnapshot> StudyCheckpoint::TryLoadMining(
   MiningSnapshot snap;
   bool ok = r.U8(&kind) && kind == kKindMining &&
             GetMiningConfig(r, &snap.dataset.config);
-  uint32_t ns_count = 0;
-  ok = ok && r.U32(&ns_count);
+  size_t ns_count = 0;
+  ok = ok && r.Count(&ns_count);
   if (ok) {
     snap.dataset.ns_names.resize(ns_count);
-    for (uint32_t i = 0; ok && i < ns_count; ++i) {
+    for (size_t i = 0; ok && i < ns_count; ++i) {
       ok = r.Str(&snap.dataset.ns_names[i]);
     }
   }
-  uint32_t domain_count = 0;
-  ok = ok && r.U32(&domain_count);
+  size_t domain_count = 0;
+  ok = ok && r.Count(&domain_count);
   if (ok) {
     snap.dataset.domains.resize(domain_count);
-    for (uint32_t i = 0; ok && i < domain_count; ++i) {
+    for (size_t i = 0; ok && i < domain_count; ++i) {
       MinedDomain& dom = snap.dataset.domains[i];
-      uint32_t year_count = 0;
+      size_t year_count = 0;
       ok = GetName(r, &dom.name) && r.I32(&dom.country) &&
-           r.I32(&dom.seed_index) && r.U32(&year_count);
+           r.I32(&dom.seed_index) && r.Count(&year_count);
       if (ok) {
         dom.years.resize(year_count);
-        for (uint32_t y = 0; ok && y < year_count; ++y) {
+        for (size_t y = 0; ok && y < year_count; ++y) {
           YearState& ys = dom.years[y];
-          uint32_t id_count = 0;
-          ok = r.I32(&ys.mode_ns_count) && r.U32(&id_count);
+          size_t id_count = 0;
+          ok = r.I32(&ys.mode_ns_count) && r.Count(&id_count);
           if (ok) {
             ys.ns_ids.resize(id_count);
-            for (uint32_t k = 0; ok && k < id_count; ++k) {
+            for (size_t k = 0; ok && k < id_count; ++k) {
               ok = r.I32(&ys.ns_ids[k]);
             }
           }
@@ -396,17 +396,17 @@ void StudyCheckpoint::SaveMining(const MiningSnapshot& snap) {
   ckpt::Writer w;
   w.U8(kKindMining);
   PutMiningConfig(w, snap.dataset.config);
-  w.U32(static_cast<uint32_t>(snap.dataset.ns_names.size()));
+  w.Size(snap.dataset.ns_names.size());
   for (const std::string& name : snap.dataset.ns_names) w.Str(name);
-  w.U32(static_cast<uint32_t>(snap.dataset.domains.size()));
+  w.Size(snap.dataset.domains.size());
   for (const MinedDomain& dom : snap.dataset.domains) {
     PutName(w, dom.name);
     w.I32(dom.country);
     w.I32(dom.seed_index);
-    w.U32(static_cast<uint32_t>(dom.years.size()));
+    w.Size(dom.years.size());
     for (const YearState& ys : dom.years) {
       w.I32(ys.mode_ns_count);
-      w.U32(static_cast<uint32_t>(ys.ns_ids.size()));
+      w.Size(ys.ns_ids.size());
       for (const int32_t id : ys.ns_ids) w.I32(id);
     }
     w.Bool(dom.disposable);
@@ -445,16 +445,16 @@ std::vector<MeasurementResult> StudyCheckpoint::LoadActiveBatches(
     ckpt::Reader r(frame->payload);
     uint8_t kind = 0;
     uint64_t begin = 0;
-    uint32_t count = 0;
+    size_t count = 0;
     if (!r.U8(&kind) || kind != kKindBatch || !r.U64(&begin) ||
-        !r.U32(&count) || begin != out.size() || count == 0 ||
+        !r.Count(&count) || begin != out.size() || count == 0 ||
         begin + count > expected_total) {
       ++stats_.decode_rejects;
       break;
     }
     std::vector<MeasurementResult> part(count);
     bool ok = true;
-    for (uint32_t i = 0; ok && i < count; ++i) {
+    for (size_t i = 0; ok && i < count; ++i) {
       ok = GetResult(r, &part[i]);
     }
     if (!ok || !r.AtEnd()) {
@@ -479,7 +479,7 @@ void StudyCheckpoint::AppendActiveBatch(
   ckpt::Writer w;
   w.U8(kKindBatch);
   w.U64(begin_index);
-  w.U32(static_cast<uint32_t>(results.size()));
+  w.Size(results.size());
   for (const MeasurementResult& res : results) PutResult(w, res);
   auto crc = journal_.Commit(BatchFrameName(next_batch_), w.Take(), chain_crc_);
   if (!crc.ok()) {
@@ -503,7 +503,7 @@ void StudyCheckpoint::SaveCutCacheSnapshot(const SharedCutCache& cache) {
   std::erase_if(entries, [](const auto& e) { return !e.second.reachable; });
   ckpt::Writer w;
   w.U8(kKindCutCache);
-  w.U32(static_cast<uint32_t>(entries.size()));
+  w.Size(entries.size());
   for (const auto& [cut, entry] : entries) {
     PutName(w, cut);
     PutNameList(w, entry.ns_names);
@@ -525,13 +525,13 @@ size_t StudyCheckpoint::RestoreCutCache(SharedCutCache* cache) {
   if (!frame.ok()) return 0;
   ckpt::Reader r(frame->payload);
   uint8_t kind = 0;
-  uint32_t count = 0;
-  if (!r.U8(&kind) || kind != kKindCutCache || !r.U32(&count)) {
+  size_t count = 0;
+  if (!r.U8(&kind) || kind != kKindCutCache || !r.Count(&count)) {
     ++stats_.decode_rejects;
     return 0;
   }
   std::vector<std::pair<dns::Name, SharedCutCache::Entry>> entries(count);
-  for (uint32_t i = 0; i < count; ++i) {
+  for (size_t i = 0; i < count; ++i) {
     if (!GetName(r, &entries[i].first) ||
         !GetNameList(r, &entries[i].second.ns_names) ||
         !GetAddrList(r, &entries[i].second.addresses)) {

@@ -104,6 +104,31 @@ size_t Name::WireLength() const {
   return len;
 }
 
+std::string Name::CanonicalKey() const {
+  std::string key;
+  key.reserve(WireLength());
+  for (auto it = labels_.rbegin(); it != labels_.rend(); ++it) {
+    if (!key.empty()) key += '\0';
+    key += *it;
+  }
+  return key;
+}
+
+util::StatusOr<Name> Name::FromCanonicalKey(std::string_view key) {
+  if (key.empty()) return Name();
+  std::vector<std::string> labels;
+  size_t end = key.size();
+  // Labels come out leftmost-first by walking the key back to front.
+  for (size_t i = key.size(); i-- > 0;) {
+    if (key[i] == '\0') {
+      labels.emplace_back(key.substr(i + 1, end - i - 1));
+      end = i;
+    }
+  }
+  labels.emplace_back(key.substr(0, end));
+  return FromLabels(std::move(labels));
+}
+
 std::strong_ordering Name::operator<=>(const Name& other) const {
   // Canonical ordering: compare labels right to left.
   size_t n = std::min(labels_.size(), other.labels_.size());

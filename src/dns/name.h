@@ -62,6 +62,17 @@ class Name {
   // Total wire length in octets: sum of (1 + label size) + 1 root byte.
   size_t WireLength() const;
 
+  // Flat sort key: labels rightmost-first, joined by '\0' ("www.gov.au" ->
+  // "au\0gov\0www"; the root -> ""). Because '\0' sorts below every legal
+  // label byte, plain memcmp/string_view order on keys equals operator<=>
+  // canonical order, and the subdomain test is a prefix check plus a label
+  // boundary — which is what lets a memory-mapped snapshot binary-search
+  // names without materializing a single Name (pdns/snapshot_io.h).
+  std::string CanonicalKey() const;
+  // Inverse of CanonicalKey; rejects malformed keys (empty or invalid
+  // labels) rather than aborting, since keys arrive from disk.
+  static util::StatusOr<Name> FromCanonicalKey(std::string_view key);
+
   // Lexicographic by label from the right (canonical DNS ordering); equal
   // names compare equal. Usable as std::map key.
   std::strong_ordering operator<=>(const Name& other) const;

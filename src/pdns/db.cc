@@ -70,7 +70,11 @@ void PdnsDatabase::ObserveInterval(const dns::Name& rrname, dns::RRType type,
   }
 }
 
-bool EntryMatches(const PdnsEntry& entry, const Query& query) {
+namespace {
+
+// The one matching rule, over whichever representation holds the fields.
+template <typename Entry>
+bool MatchesImpl(const Entry& entry, const Query& query) {
   if (query.type && entry.type != *query.type) return false;
   if (query.window && !entry.seen.Overlaps(*query.window)) return false;
   // Gap semantics, matching the §III-C stability filter (see db.h).
@@ -78,6 +82,16 @@ bool EntryMatches(const PdnsEntry& entry, const Query& query) {
     return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool EntryMatches(const PdnsEntry& entry, const Query& query) {
+  return MatchesImpl(entry, query);
+}
+
+bool EntryMatches(const PdnsEntryView& entry, const Query& query) {
+  return MatchesImpl(entry, query);
 }
 
 std::vector<PdnsEntry> PdnsDatabase::WildcardSearch(const dns::Name& suffix,
@@ -115,8 +129,22 @@ PdnsSnapshot PdnsDatabase::Freeze() const {
   for (const auto& [name, entries] : by_name_) {
     snap.names_.push_back(name);
     snap.entries_.insert(snap.entries_.end(), entries.begin(), entries.end());
-    snap.offsets_.push_back(static_cast<uint32_t>(snap.entries_.size()));
+    snap.offsets_.push_back(snap.entries_.size());
   }
+  return snap;
+}
+
+PdnsSnapshot PdnsSnapshot::FromSortedParts(std::vector<dns::Name> names,
+                                           std::vector<uint64_t> offsets,
+                                           std::vector<PdnsEntry> entries) {
+  GOVDNS_CHECK(offsets.size() == names.size() + 1);
+  GOVDNS_CHECK(offsets.front() == 0 && offsets.back() == entries.size());
+  GOVDNS_CHECK(std::is_sorted(offsets.begin(), offsets.end()));
+  GOVDNS_CHECK(std::is_sorted(names.begin(), names.end()));
+  PdnsSnapshot snap;
+  snap.names_ = std::move(names);
+  snap.offsets_ = std::move(offsets);
+  snap.entries_ = std::move(entries);
   return snap;
 }
 

@@ -41,6 +41,18 @@ struct PdnsEntry {
   friend bool operator==(const PdnsEntry&, const PdnsEntry&) = default;
 };
 
+// Non-owning view of one entry: what a memory-mapped snapshot hands out
+// (snapshot_io.h), where the rdata bytes live in the mapping. The owner name
+// is implicit — callers iterate entries grouped by owner index.
+struct PdnsEntryView {
+  dns::RRType type = dns::RRType::kNS;
+  std::string_view rdata;
+  util::DayInterval seen;
+  uint64_t count = 0;
+
+  friend bool operator==(const PdnsEntryView&, const PdnsEntryView&) = default;
+};
+
 // Filter for database searches.
 struct Query {
   std::optional<dns::RRType> type;          // filter by type
@@ -59,8 +71,10 @@ struct Query {
 };
 
 // True when `entry` passes `query`. One predicate shared by the map-backed
-// database and the frozen snapshot, so the paths cannot disagree.
+// database, the frozen snapshot, and the mapped snapshot, so the paths
+// cannot disagree.
 bool EntryMatches(const PdnsEntry& entry, const Query& query);
+bool EntryMatches(const PdnsEntryView& entry, const Query& query);
 
 // Immutable flat-index view of a database at Freeze() time. Owner names are
 // held in one canonically sorted array (canonical order clusters a suffix's
@@ -72,13 +86,22 @@ class PdnsSnapshot {
  public:
   PdnsSnapshot() = default;
 
+  // Rebuilds a snapshot from flat parts already in canonical order — the
+  // snapshot_io parse-load path. `offsets` must be names.size() + 1
+  // monotonic fenceposts from 0 to entries.size(); violations abort (the
+  // file decoder validates before calling).
+  static PdnsSnapshot FromSortedParts(std::vector<dns::Name> names,
+                                      std::vector<uint64_t> offsets,
+                                      std::vector<PdnsEntry> entries);
+
   size_t entry_count() const { return entries_.size(); }
   size_t name_count() const { return names_.size(); }
 
   const dns::Name& name(size_t i) const { return names_[i]; }
   // Entries owned by name(i), in the source database's per-owner order.
   std::span<const PdnsEntry> entries(size_t i) const {
-    return {entries_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+    return {entries_.data() + offsets_[i],
+            static_cast<size_t>(offsets_[i + 1] - offsets_[i])};
   }
 
   // Owner-index half-open range [lo, hi) of names equal to or under
@@ -109,8 +132,11 @@ class PdnsSnapshot {
  private:
   friend class PdnsDatabase;
 
+  // 64-bit fenceposts, deliberately: a uint32_t index here silently wraps
+  // once a swept-up world crosses 4Gi entries — the same truncation class
+  // the ckpt serializer fixed (serial.h).
   std::vector<dns::Name> names_;     // canonical order
-  std::vector<uint32_t> offsets_;    // names_.size() + 1 fenceposts
+  std::vector<uint64_t> offsets_;    // names_.size() + 1 fenceposts
   std::vector<PdnsEntry> entries_;   // flat, grouped by owner
 };
 

@@ -1,0 +1,187 @@
+// PdnsSnapshot persistence: the on-disk checkpoint IS the in-memory format.
+//
+// A frozen PdnsSnapshot serializes into a GVSN container (ckpt/
+// snapshot_file.h) as six flat sections — canonical name keys, name-key
+// fenceposts, per-owner entry fenceposts, packed fixed-width entry records,
+// and the concatenated rdata blob — all indexed by 64-bit file offsets.
+// Loading therefore has two paths:
+//
+//   * ReadPdnsSnapshotFileOwning ("parse-load"): decodes every section back
+//     into an owning PdnsSnapshot. O(entries); the compatibility path.
+//   * MappedPdnsSnapshot ("mapped"): mmaps the file and serves lookups
+//     straight from the mapping with zero parsing — open cost is O(1) in
+//     world size, names binary-search as raw canonical keys, and entries
+//     come out as non-owning PdnsEntryView records. This is what makes
+//     resume/restart cost independent of how large the swept world is.
+//
+// Both paths answer WildcardNameRange/VisitWildcard identically to the
+// owning snapshot they were written from (pinned by SnapshotFileTest's
+// randomized oracle).
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ckpt/snapshot_file.h"
+#include "dns/name.h"
+#include "pdns/db.h"
+#include "util/status.h"
+
+namespace govdns::pdns {
+
+// Bumped when the section shapes below change; openers reject other
+// versions before touching any payload.
+inline constexpr uint32_t kPdnsSnapshotFormatVersion = 1;
+
+// Section ids inside the GVSN container.
+inline constexpr uint32_t kSecPdnsMeta = 1;         // counts (varint codec)
+inline constexpr uint32_t kSecPdnsNameKeys = 2;     // concatenated keys
+inline constexpr uint32_t kSecPdnsNameOffsets = 3;  // (names+1) x u64
+inline constexpr uint32_t kSecPdnsEntryOffsets = 4; // (names+1) x u64
+inline constexpr uint32_t kSecPdnsEntries = 5;      // entries x RawPdnsEntry
+inline constexpr uint32_t kSecPdnsRdata = 6;        // concatenated rdata
+
+// One entry as it lies in the file: fixed width, natural alignment, rdata
+// referenced by offset into the rdata section. 32 bytes so four entries
+// share a cache line during subtree scans.
+struct RawPdnsEntry {
+  uint64_t rdata_off = 0;
+  uint32_t rdata_len = 0;
+  uint32_t type = 0;  // dns::RRType
+  int32_t seen_first = 0;
+  int32_t seen_last = 0;
+  uint64_t count = 0;
+};
+static_assert(sizeof(RawPdnsEntry) == 32, "file format is 32-byte entries");
+
+// Serializes `snap` and publishes it atomically (tmp + fsync + rename) at
+// `path` inside directory `dir`. `fingerprint` is the world/config identity
+// readers must present.
+util::Status WritePdnsSnapshotFile(const PdnsSnapshot& snap,
+                                   uint64_t fingerprint,
+                                   const std::string& dir,
+                                   const std::string& path);
+
+// Parse-load: fully decodes the file into an owning snapshot, validating
+// every section payload CRC (this path is O(entries) anyway).
+util::StatusOr<PdnsSnapshot> ReadPdnsSnapshotFileOwning(
+    const std::string& path, uint64_t fingerprint);
+
+// Zero-copy mapped snapshot. Mirrors the owning PdnsSnapshot's lookup API
+// (same method names and semantics) so code generic over either — the miner
+// — compiles against both.
+class MappedPdnsSnapshot {
+ public:
+  // O(1) open: container CRCs + section bounds only. Pass
+  // SnapshotValidation::kFull to also verify every payload CRC (tests).
+  static util::StatusOr<MappedPdnsSnapshot> Open(
+      const std::string& path, uint64_t fingerprint,
+      ckpt::SnapshotValidation validation = ckpt::SnapshotValidation::kFast);
+  // As Open but via the no-mmap read fallback (benchmark baseline).
+  static util::StatusOr<MappedPdnsSnapshot> OpenReadOnly(
+      const std::string& path, uint64_t fingerprint,
+      ckpt::SnapshotValidation validation = ckpt::SnapshotValidation::kFast);
+
+  size_t name_count() const { return name_count_; }
+  size_t entry_count() const { return entry_count_; }
+  bool mapped() const { return view_.mapped(); }
+
+  // Raw canonical key of name i (dns::Name::CanonicalKey bytes).
+  std::string_view name_key(size_t i) const {
+    return keys_.substr(name_offsets_[i],
+                        name_offsets_[i + 1] - name_offsets_[i]);
+  }
+  // Materializes name i; only output paths should need this.
+  dns::Name name(size_t i) const;
+
+  // Iterable, indexable range of PdnsEntryView over one owner's entries.
+  class EntryRange {
+   public:
+    class Iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = PdnsEntryView;
+      using difference_type = std::ptrdiff_t;
+      using pointer = void;
+      using reference = PdnsEntryView;
+
+      Iterator(const RawPdnsEntry* raw, std::string_view rdata)
+          : raw_(raw), rdata_(rdata) {}
+      PdnsEntryView operator*() const;
+      Iterator& operator++() {
+        ++raw_;
+        return *this;
+      }
+      friend bool operator==(const Iterator& a, const Iterator& b) {
+        return a.raw_ == b.raw_;
+      }
+
+     private:
+      const RawPdnsEntry* raw_;
+      std::string_view rdata_;
+    };
+
+    EntryRange(const RawPdnsEntry* begin, const RawPdnsEntry* end,
+               std::string_view rdata)
+        : begin_(begin), end_(end), rdata_(rdata) {}
+    Iterator begin() const { return {begin_, rdata_}; }
+    Iterator end() const { return {end_, rdata_}; }
+    size_t size() const { return static_cast<size_t>(end_ - begin_); }
+    bool empty() const { return begin_ == end_; }
+
+   private:
+    const RawPdnsEntry* begin_;
+    const RawPdnsEntry* end_;
+    std::string_view rdata_;
+  };
+
+  // Entries owned by name(i); views point into the mapping.
+  EntryRange entries(size_t i) const {
+    return {raw_entries_ + entry_offsets_[i], raw_entries_ + entry_offsets_[i + 1],
+            rdata_};
+  }
+
+  // Same contract as PdnsSnapshot::WildcardNameRange, computed by binary
+  // search over the raw keys (no Name is materialized).
+  std::pair<size_t, size_t> WildcardNameRange(const dns::Name& suffix) const;
+
+  // Same contract as PdnsSnapshot::VisitWildcard, over views.
+  template <typename Visitor>
+  void VisitWildcard(const dns::Name& suffix, const Query& query,
+                     Visitor&& visit) const {
+    const auto [lo, hi] = WildcardNameRange(suffix);
+    for (size_t n = lo; n < hi; ++n) {
+      for (const PdnsEntryView entry : entries(n)) {
+        if (EntryMatches(entry, query)) visit(entry);
+      }
+    }
+  }
+
+  // Materializing wrapper, result-identical to the owning snapshot's
+  // WildcardSearch on the same world (oracle-test surface).
+  std::vector<PdnsEntry> WildcardSearch(const dns::Name& suffix,
+                                        const Query& query = Query()) const;
+
+ private:
+  // The owning loader decodes through a validated mapped view first.
+  friend util::StatusOr<PdnsSnapshot> ReadPdnsSnapshotFileOwning(
+      const std::string& path, uint64_t fingerprint);
+
+  static util::StatusOr<MappedPdnsSnapshot> FromView(
+      ckpt::SnapshotFileView view, const std::string& path);
+
+  ckpt::SnapshotFileView view_;
+  size_t name_count_ = 0;
+  size_t entry_count_ = 0;
+  std::string_view keys_;
+  const uint64_t* name_offsets_ = nullptr;   // name_count_ + 1
+  const uint64_t* entry_offsets_ = nullptr;  // name_count_ + 1
+  const RawPdnsEntry* raw_entries_ = nullptr;
+  std::string_view rdata_;
+};
+
+}  // namespace govdns::pdns

@@ -108,12 +108,89 @@ TEST(CkptSerialTest, TruncationLatchesFailure) {
 
 TEST(CkptSerialTest, StringLengthBeyondBufferIsRejected) {
   ckpt::Writer w;
-  w.U32(1000);  // claims 1000 bytes that are not there
+  w.Size(1000);  // claims 1000 bytes that are not there
   w.Raw("abc");
   const std::string bytes = w.Take();
   ckpt::Reader r(bytes);
   std::string s;
   EXPECT_FALSE(r.Str(&s));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CkptSerialTest, SizeRoundTripsBeyond32Bits) {
+  // The regression the widened codec exists for: a length crossing 4Gi must
+  // round-trip exactly. Under the old `U32(static_cast<uint32_t>(n))`
+  // encoding, (1 << 32) + 5 came back as 5 — silent wraparound, not an
+  // error — and the checkpoint decoded to a plausible but wrong world.
+  const uint64_t big = (uint64_t(1) << 32) + 5;
+  ASSERT_NE(static_cast<uint32_t>(big), big);  // what the old path lost
+
+  ckpt::Writer w;
+  w.Size(0);
+  w.Size(127);           // 1-byte varint boundary
+  w.Size(128);           // 2-byte varint boundary
+  w.Size(big);
+  w.Size(uint64_t(1) << 63);
+  w.Size(UINT64_MAX);
+  const std::string bytes = w.Take();
+
+  ckpt::Reader r(bytes);
+  uint64_t v = 0;
+  EXPECT_TRUE(r.Size(&v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(r.Size(&v));
+  EXPECT_EQ(v, 127u);
+  EXPECT_TRUE(r.Size(&v));
+  EXPECT_EQ(v, 128u);
+  EXPECT_TRUE(r.Size(&v));
+  EXPECT_EQ(v, big);
+  EXPECT_TRUE(r.Size(&v));
+  EXPECT_EQ(v, uint64_t(1) << 63);
+  EXPECT_TRUE(r.Size(&v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(CkptSerialTest, U32CheckedRefusesOverflowLoudly) {
+  ckpt::Writer w;
+  EXPECT_TRUE(w.U32Checked(0xFFFFFFFFull));  // largest value that fits
+  const size_t size_before = w.size();
+  EXPECT_FALSE(w.U32Checked(uint64_t(1) << 32));
+  EXPECT_EQ(w.size(), size_before);  // nothing written on refusal
+  EXPECT_FALSE(w.ok());
+  EXPECT_EQ(w.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(CkptSerialTest, NonMinimalVarintIsRejected) {
+  // 0x80 0x00 spells 0 in two bytes; only the one-byte 0x00 is legal, so a
+  // corrupted stream cannot alias a valid one.
+  const std::string bytes("\x80\x00", 2);
+  ckpt::Reader r(bytes);
+  uint64_t v = 99;
+  EXPECT_FALSE(r.Size(&v));
+  EXPECT_EQ(v, 99u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CkptSerialTest, OversizedVarintIsRejected) {
+  // Eleven continuation bytes claim a >64-bit value.
+  const std::string bytes("\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\x01", 11);
+  ckpt::Reader r(bytes);
+  uint64_t v = 0;
+  EXPECT_FALSE(r.Size(&v));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CkptSerialTest, CountRejectsResizeBomb) {
+  // A count must be coverable by the remaining bytes (>= 1 byte/element), so
+  // a corrupted count can never drive a huge allocation.
+  ckpt::Writer w;
+  w.Size(1U << 20);  // one million elements...
+  w.Raw("abc");      // ...backed by three bytes
+  const std::string bytes = w.Take();
+  ckpt::Reader r(bytes);
+  size_t n = 0;
+  EXPECT_FALSE(r.Count(&n));
   EXPECT_FALSE(r.ok());
 }
 
@@ -453,6 +530,29 @@ TEST(CutCacheCkptTest, NegativeBoundEvictsExpiredFirstThenEarliest) {
   pos.ns_names = {N("ns1.gov.aa")};
   cache.Publish(N("gov.aa"), pos);
   EXPECT_TRUE(cache.Lookup(N("gov.aa")).has_value());
+}
+
+TEST(CutCacheCkptTest, NegativeEvictionTiebreakIsStable) {
+  // Two live negatives share one expires_ms; the victim must be the
+  // canonically smaller name — an explicit tiebreak, not whatever the
+  // stripe container happens to iterate first — so 1-worker and N-worker
+  // runs that race publishes into the same stripe evict identically.
+  for (bool publish_z_first : {true, false}) {
+    core::SharedCutCache cache(/*stripes=*/1, /*max_negatives_per_stripe=*/2);
+    if (publish_z_first) {
+      cache.PublishUnreachable(N("z.gov"), {}, /*expires_ms=*/900, 0);
+      cache.PublishUnreachable(N("m.gov"), {}, /*expires_ms=*/900, 0);
+    } else {
+      cache.PublishUnreachable(N("m.gov"), {}, /*expires_ms=*/900, 0);
+      cache.PublishUnreachable(N("z.gov"), {}, /*expires_ms=*/900, 0);
+    }
+    // Nothing has expired at now=0; the tie resolves by canonical name.
+    cache.PublishUnreachable(N("q.gov"), {}, /*expires_ms=*/950, 0);
+    EXPECT_FALSE(cache.Lookup(N("m.gov")).has_value())
+        << "publish_z_first=" << publish_z_first;
+    EXPECT_TRUE(cache.Lookup(N("z.gov")).has_value());
+    EXPECT_TRUE(cache.Lookup(N("q.gov")).has_value());
+  }
 }
 
 TEST(CutCacheCkptTest, ResolverNegativeDefaultsAreBounded) {

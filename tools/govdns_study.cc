@@ -8,6 +8,7 @@
 //                [--ckpt-kill-after N]
 //                [--phase-deadline MS] [--country-budget MS]
 //                [--domain-budget MS] [--quarantine-report PATH]
+//                [--snapshot-file PATH] [--map-snapshot PATH]
 //
 // Builds a world at the requested scale, runs selection -> mining -> active
 // measurement, and then prints the consolidated report (--report, default)
@@ -25,6 +26,13 @@
 // error naming the interrupted phase. A second SIGINT/SIGTERM during that
 // flush escalates to an immediate _exit (DESIGN.md §6g).
 //
+// Snapshot files (DESIGN.md §6i): --snapshot-file PATH freezes the world's
+// PDNS database and publishes it as a mmap-able GVSN snapshot at PATH
+// (atomic tmp+rename), stamped with the same world fingerprint the journal
+// uses. --map-snapshot PATH memory-maps such a file and mines it zero-copy
+// — the O(1)-resume fast path; the mined dataset (and therefore the report)
+// is byte-identical to the freeze path.
+//
 // Degradation budgets (DESIGN.md §6g): --domain-budget caps the logical ms
 // one domain may consume, --country-budget one country's domains together,
 // --phase-deadline the whole measurement phase; over-budget domains are
@@ -36,9 +44,11 @@
 #include <cstring>
 #include <atomic>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "ckpt/fault.h"
 #include "ckpt/signals.h"
@@ -49,6 +59,7 @@
 #include "core/study_ckpt.h"
 #include "netio/engine.h"
 #include "obs/obs.h"
+#include "pdns/snapshot_io.h"
 #include "util/json.h"
 #include "util/strings.h"
 #include "worldgen/adapter.h"
@@ -89,6 +100,8 @@ int main(int argc, char** argv) {
   uint64_t kill_after = 0;
   core::MeasurerOptions measure_options;
   std::string quarantine_path;
+  std::string snapshot_out_path;
+  std::string map_snapshot_path;
   bool use_engine = false;
   netio::QueryEngine::Options engine_options;
 
@@ -141,6 +154,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--quarantine-report") {
       if (const char* v = next()) quarantine_path = v;
+    } else if (arg == "--snapshot-file") {
+      if (const char* v = next()) snapshot_out_path = v;
+    } else if (arg == "--map-snapshot") {
+      if (const char* v = next()) map_snapshot_path = v;
     } else if (arg == "--engine") {
       use_engine = true;
     } else if (arg == "--max-inflight") {
@@ -162,7 +179,8 @@ int main(int argc, char** argv) {
                    "[--ckpt-kill-after N] [--phase-deadline MS] "
                    "[--country-budget MS] [--domain-budget MS] "
                    "[--quarantine-report PATH] [--engine] [--max-inflight N] "
-                   "[--per-ns-qps Q] [--lanes N]\n",
+                   "[--per-ns-qps Q] [--lanes N] [--snapshot-file PATH] "
+                   "[--map-snapshot PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -184,12 +202,59 @@ int main(int argc, char** argv) {
     // report byte-identical — exchanges still execute inline on each lane's
     // thread under its own chaos context — while exercising the exact
     // submit/complete path a real-socket run uses.
+    std::optional<pdns::MappedPdnsSnapshot> mapped_snapshot;
     std::unique_ptr<netio::QueryEngine> engine;
     worldgen::BoundStudy bound;
     bound.policy = std::make_unique<worldgen::PolicyLookupAdapter>(
         &world->registry_policy());
     core::StudyInputs inputs =
         worldgen::MakeStudyInputs(*world, bound.policy.get());
+
+    // World identity: every knob that changes the world's bytes belongs in
+    // this fingerprint. The checkpoint journal and snapshot files both carry
+    // it, so neither artifact can cross worlds.
+    uint64_t world_fp = config.seed;
+    world_fp = ckpt::MixFingerprint(
+        world_fp, static_cast<uint64_t>(config.scale * 1000000.0));
+    world_fp =
+        ckpt::MixFingerprint(world_fp, static_cast<uint64_t>(config.first_year));
+    world_fp =
+        ckpt::MixFingerprint(world_fp, static_cast<uint64_t>(config.last_year));
+
+    if (!snapshot_out_path.empty()) {
+      phase = "snapshot-write";
+      std::fprintf(stderr, "freezing pdns database -> %s ...\n",
+                   snapshot_out_path.c_str());
+      const pdns::PdnsSnapshot frozen = world->pdns_db().Freeze();
+      std::string dir =
+          std::filesystem::path(snapshot_out_path).parent_path().string();
+      if (dir.empty()) dir = ".";
+      auto status = pdns::WritePdnsSnapshotFile(frozen, world_fp, dir,
+                                                snapshot_out_path);
+      if (!status.ok()) {
+        PrintStructuredError(phase, status.ToString());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s (%zu names, %zu entries)\n",
+                   snapshot_out_path.c_str(), frozen.name_count(),
+                   frozen.entry_count());
+    }
+    if (!map_snapshot_path.empty()) {
+      phase = "snapshot-map";
+      auto loaded =
+          pdns::MappedPdnsSnapshot::Open(map_snapshot_path, world_fp);
+      if (!loaded.ok()) {
+        PrintStructuredError(phase, loaded.status().ToString());
+        return 1;
+      }
+      mapped_snapshot = *std::move(loaded);
+      inputs.pdns_snapshot = &*mapped_snapshot;
+      std::fprintf(stderr, "mapped %s (%zu names, %zu entries, %s)\n",
+                   map_snapshot_path.c_str(), mapped_snapshot->name_count(),
+                   mapped_snapshot->entry_count(),
+                   mapped_snapshot->mapped() ? "mmap" : "read fallback");
+    }
+
     if (use_engine) {
       engine = std::make_unique<netio::QueryEngine>(inputs.transport,
                                                     engine_options);
@@ -205,16 +270,8 @@ int main(int argc, char** argv) {
 
     std::unique_ptr<core::StudyCheckpoint> checkpoint;
     if (!checkpoint_dir.empty()) {
-      // World identity: every knob that changes the world's bytes belongs in
-      // the journal fingerprint, so a journal from a different world/scale
-      // can never be resumed into this one.
-      uint64_t fp = config.seed;
-      fp = ckpt::MixFingerprint(
-          fp, static_cast<uint64_t>(config.scale * 1000000.0));
-      fp = ckpt::MixFingerprint(fp, static_cast<uint64_t>(config.first_year));
-      fp = ckpt::MixFingerprint(fp, static_cast<uint64_t>(config.last_year));
       checkpoint = std::make_unique<core::StudyCheckpoint>(
-          checkpoint_dir, fp, ckpt_options);
+          checkpoint_dir, world_fp, ckpt_options);
       if (kill_after != 0) {
         ckpt::CkptFaultPlan plan;
         plan.kill_at_write = kill_after;

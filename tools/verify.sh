@@ -93,6 +93,36 @@ for K in 1 $((WRITES / 2)) "${WRITES}"; do
   echo "smoke: kill at write ${K} -> resume -> report byte-identical OK"
 done
 
+echo "==> smoke: snapshot file round-trip (mapped mining == frozen mining)"
+# Write the world's PDNS database as a GVSN snapshot, then rerun the same
+# study mining the mmapped file instead of freezing the database; the two
+# exported reports must be byte-identical (DESIGN.md §6i).
+SNAP="${SMOKE_DIR}/pdns.gvsn"
+./build/tools/govdns_study --scale 0.01 --no-report \
+  --snapshot-file "${SNAP}" \
+  --json "${SMOKE_DIR}/snap_base.json" 2>/dev/null
+./build/tools/govdns_study --scale 0.01 --no-report \
+  --map-snapshot "${SNAP}" \
+  --json "${SMOKE_DIR}/snap_mapped.json" 2>"${SMOKE_DIR}/snap_mapped.err"
+cmp "${SMOKE_DIR}/snap_base.json" "${SMOKE_DIR}/snap_mapped.json"
+grep -q "mapped ${SNAP}" "${SMOKE_DIR}/snap_mapped.err"
+echo "smoke: mapped-snapshot report byte-identical OK"
+
+echo "==> smoke: bench_snapshot_io (mapped open beats parse-load)"
+# The zero-copy resume path must actually be faster than re-decoding, and
+# mining any snapshot substrate at 1 or 4 workers must reproduce the
+# database-mined dataset exactly.
+GOVDNS_SCALE=0.05 GOVDNS_SNAPSHOT_JSON="${SMOKE_DIR}/BENCH_snapshot.json" \
+  ./build/bench/bench_snapshot_io --benchmark_filter='^$' >/dev/null 2>&1
+python3 - "${SMOKE_DIR}/BENCH_snapshot.json" <<'EOF'
+import json, sys
+doc = json.loads(open(sys.argv[1]).read())
+assert doc["mapped_vs_parse_speedup"] > 1.0, doc
+assert all(doc["mining_identity"].values()), doc
+print(f"smoke: bench_snapshot_io speedup "
+      f"{doc['mapped_vs_parse_speedup']:.1f}x, mining identity OK")
+EOF
+
 echo "==> smoke: bench_query_engine (async engine >=10x sync loop)"
 # The async engine exists to lift the real-socket path off the
 # thread-per-query ceiling (DESIGN.md §6h). Run the bench artifact against
@@ -114,10 +144,32 @@ cmake --preset asan >/dev/null
 cmake --build --preset asan -j "${JOBS}"
 timeout "${CTEST_TIMEOUT}" ctest --preset asan -j "${JOBS}"
 
+echo "==> smoke: snapshot round-trip + mmap load under asan/ubsan"
+# The mapped reader reinterprets file bytes in place; any bounds slip must
+# trip the sanitizers here, not corrupt a real resume.
+./build-asan/tools/govdns_study --scale 0.01 --no-report \
+  --snapshot-file "${SMOKE_DIR}/asan.gvsn" \
+  --json "${SMOKE_DIR}/asan_base.json" 2>/dev/null
+./build-asan/tools/govdns_study --scale 0.01 --no-report \
+  --map-snapshot "${SMOKE_DIR}/asan.gvsn" \
+  --json "${SMOKE_DIR}/asan_mapped.json" 2>/dev/null
+cmp "${SMOKE_DIR}/asan_base.json" "${SMOKE_DIR}/asan_mapped.json"
+echo "smoke: asan snapshot round-trip OK"
+
 echo "==> tier-1: ubsan-only build + ctest (hard-fail on UB)"
 cmake --preset ubsan >/dev/null
 cmake --build --preset ubsan -j "${JOBS}"
 timeout "${CTEST_TIMEOUT}" ctest --preset ubsan -j "${JOBS}"
+
+echo "==> smoke: snapshot round-trip + mmap load under ubsan"
+./build-ubsan/tools/govdns_study --scale 0.01 --no-report \
+  --snapshot-file "${SMOKE_DIR}/ubsan.gvsn" \
+  --json "${SMOKE_DIR}/ubsan_base.json" 2>/dev/null
+./build-ubsan/tools/govdns_study --scale 0.01 --no-report \
+  --map-snapshot "${SMOKE_DIR}/ubsan.gvsn" \
+  --json "${SMOKE_DIR}/ubsan_mapped.json" 2>/dev/null
+cmp "${SMOKE_DIR}/ubsan_base.json" "${SMOKE_DIR}/ubsan_mapped.json"
+echo "smoke: ubsan snapshot round-trip OK"
 
 echo "==> tier-1: tsan build + concurrency suites"
 # The sharded measurement and mining pools (shared cut cache, SimNetwork
@@ -129,11 +181,12 @@ cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target \
   simnet_test resolver_test measure_test parallel_measure_test \
   chaos_resilience_test pdns_test mining_test parallel_mine_test \
-  ckpt_test ckpt_resume_test degradation_test quarantine_test netio_test
+  ckpt_test ckpt_resume_test degradation_test quarantine_test netio_test \
+  snapshot_file_test
 for t in simnet_test resolver_test measure_test parallel_measure_test \
          chaos_resilience_test pdns_test mining_test parallel_mine_test \
          ckpt_test ckpt_resume_test degradation_test quarantine_test \
-         netio_test; do
+         netio_test snapshot_file_test; do
   echo "==> tsan: ${t}"
   timeout "${CTEST_TIMEOUT}" "./build-tsan/tests/${t}"
 done
