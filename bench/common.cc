@@ -104,6 +104,19 @@ void BenchEnv::PrintStatsJson() {
   std::fprintf(stderr, "[bench] stats %s\n", w.TakeString().c_str());
 }
 
+ScaledStudy MakeScaledStudy(double scale) {
+  std::fprintf(stderr, "[bench] building extra world at scale %.3f ...\n",
+               scale);
+  worldgen::WorldConfig config;
+  config.scale = scale;
+  ScaledStudy out;
+  out.world = worldgen::BuildWorld(config);
+  out.bound = worldgen::MakeStudy(*out.world);
+  std::fprintf(stderr, "[bench] extra world ready: %zu domains\n",
+               out.world->domains().size());
+  return out;
+}
+
 void WriteArtifactJson(const char* env_var, const char* default_path,
                        const std::string& json) {
   const char* override_path = std::getenv(env_var);

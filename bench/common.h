@@ -50,6 +50,18 @@ class BenchEnv {
   bool active_done_ = false;
 };
 
+// An independent world + study at an explicit scale, for benches that sweep
+// scale itself (e.g. bench_parallel_mine's GOVDNS_MINE_SCALE sweep) and so
+// cannot share the BenchEnv singleton. Selection is NOT run; callers drive
+// the stages they need.
+struct ScaledStudy {
+  std::unique_ptr<worldgen::World> world;
+  worldgen::BoundStudy bound;
+
+  core::Study& study() { return *bound.study; }
+};
+ScaledStudy MakeScaledStudy(double scale);
+
 // Writes a BENCH_*.json artifact atomically: the bytes land in
 // `<path>.tmp` first and are renamed into place only after a successful
 // write, so a crashed or interrupted bench run can never leave a

@@ -4,14 +4,17 @@
 #include <atomic>
 #include <cmath>
 #include <functional>
+#include <iterator>
+#include <limits>
 #include <optional>
 #include <set>
 #include <span>
+#include <string_view>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 
 #include "pdns/snapshot_io.h"
+#include "util/arena.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -62,32 +65,126 @@ bool PdnsMiner::LooksDisposable(const dns::Name& name) {
 
 namespace {
 
-// Per-worker reusable scratch for the Fig. 5 mode sweep: the +1/-1 deltas of
-// each stable entry's in-year interval and the aggregated (count -> days)
-// histogram. Sorted flat vectors stand in for the two std::maps an earlier
-// revision allocated per domain-year; cleared (capacity kept) between uses,
-// so a worker's whole sweep load runs allocation-free after warm-up. The
-// shard-local intern map lives here too: clear() keeps its bucket array, so
-// a worker re-interns each new seed without rebuilding the hash table from
-// scratch (the per-seed allocation the 10x scale sweep surfaced).
-struct SweepScratch {
-  std::vector<std::pair<util::CivilDay, int>> delta;
-  std::vector<std::pair<int, int64_t>> days_at_count;
-  std::unordered_map<std::string, int32_t> intern;
+// The one predicate deciding which NS sightings enter the global intern
+// table: stable NS entries whose interval touches the studied year range
+// [years_first, years_last]. The intern pre-pass collects exactly these
+// rdata strings and the shard pass resolves exactly these through the
+// table, so one shared function is what guarantees every collected name is
+// used and every used name was collected (the renumber pass CHECKs it).
+// Years are contiguous, so overlapping the whole range == overlapping some
+// year.
+template <typename Entry>
+bool InternEligible(const MiningConfig& config, util::CivilDay years_first,
+                    util::CivilDay years_last, const Entry& entry) {
+  return entry.type == dns::RRType::kNS &&
+         entry.seen.last - entry.seen.first >= config.stability_days &&
+         entry.seen.last >= years_first && entry.seen.first <= years_last;
+}
+
+// The global NS-name intern table, built once, up front, in parallel: every
+// unique stable NS rdata in plain byte-sorted order, with a two-byte-prefix
+// bucket index so a lookup binary-searches a short run instead of the whole
+// table (~5 string compares instead of ~log2(n) at world scale). Entries
+// are string_views into the snapshot substrate — the frozen entry array or
+// the mmapped rdata blob, both immutable for the duration of the pass — so
+// building and probing the table never copies a string. Ids are positions
+// in sorted order; the fold's renumber pass converts them to first-seen
+// order at the end (DESIGN.md §6j).
+class NsNameTable {
+ public:
+  // Merges per-worker sorted, deduplicated view lists into the table.
+  void Build(std::vector<std::vector<std::string_view>> worker_tables) {
+    std::vector<std::string_view> merged;
+    for (std::vector<std::string_view>& t : worker_tables) {
+      if (t.empty()) continue;
+      if (merged.empty()) {
+        merged = std::move(t);
+        continue;
+      }
+      std::vector<std::string_view> tmp;
+      tmp.reserve(merged.size() + t.size());
+      std::merge(merged.begin(), merged.end(), t.begin(), t.end(),
+                 std::back_inserter(tmp));
+      tmp.erase(std::unique(tmp.begin(), tmp.end()), tmp.end());
+      merged.swap(tmp);
+    }
+    sorted_ = std::move(merged);
+    GOVDNS_CHECK(sorted_.size() <=
+                 static_cast<size_t>(std::numeric_limits<int32_t>::max()));
+    bucket_lo_.assign(kBucketCount + 1, 0);
+    for (std::string_view s : sorted_) ++bucket_lo_[Bucket(s) + 1];
+    for (size_t b = 1; b <= kBucketCount; ++b) {
+      bucket_lo_[b] += bucket_lo_[b - 1];
+    }
+  }
+
+  // Sorted id of `ns`, or -1 when absent. Read-only and data-race free:
+  // every mining worker probes the same immutable table.
+  int32_t Find(std::string_view ns) const {
+    const uint32_t b = Bucket(ns);
+    const auto first = sorted_.begin() + bucket_lo_[b];
+    const auto last = sorted_.begin() + bucket_lo_[b + 1];
+    const auto it = std::lower_bound(first, last, ns);
+    if (it == last || *it != ns) return -1;
+    return static_cast<int32_t>(it - sorted_.begin());
+  }
+
+  size_t size() const { return sorted_.size(); }
+  std::string_view name(size_t id) const { return sorted_[id]; }
+
+ private:
+  // First two bytes of the string. Monotonic w.r.t. byte order because
+  // hostname rdata never contains '\0', so a short string's implicit zero
+  // padding sorts it before every longer string sharing its prefix.
+  static constexpr size_t kBucketCount = 1 << 16;
+  static uint32_t Bucket(std::string_view s) {
+    const uint32_t b0 = s.empty() ? 0 : static_cast<unsigned char>(s[0]);
+    const uint32_t b1 = s.size() < 2 ? 0 : static_cast<unsigned char>(s[1]);
+    return (b0 << 8) | b1;
+  }
+
+  std::vector<std::string_view> sorted_;
+  std::vector<uint32_t> bucket_lo_;  // kBucketCount + 1 fenceposts
 };
 
-// Output of mining one seed. ns ids are local to this shard's intern table;
-// the fold remaps them onto the canonical global table.
+// Per-worker reusable scratch, arena-backed: one bump allocator is Reset()
+// at the top of every seed and all per-seed transients — the Fig. 5 mode
+// sweep's +1/-1 deltas, the aggregated (count -> days) histogram, the
+// pre-pass's per-seed rdata views — are ArenaVecs carved from it. After the
+// first seed sizes the arena, a worker's whole load runs without touching
+// the heap (the per-seed vector churn the 10x worldgen sweep exposed).
+// `seen_mark` is the first-use detector for the renumber pass: stamped per
+// seed (epoch trick) so it never needs clearing between seeds.
+struct SweepScratch {
+  util::BumpArena arena;
+  std::vector<uint32_t> seen_mark;  // table-sized; value == stamp -> seen
+  uint32_t stamp = 0;
+
+  explicit SweepScratch(size_t table_size) : seen_mark(table_size, 0) {}
+
+  void BeginSeed() {
+    arena.Reset();
+    if (++stamp == 0) {  // wrapped: invalidate stale marks the hard way
+      std::fill(seen_mark.begin(), seen_mark.end(), 0u);
+      stamp = 1;
+    }
+  }
+};
+
+// Output of mining one seed. ns ids are global sorted-table ids;
+// `first_use` records them in first-use order so the fold's renumber pass
+// can replay seed-order first appearances without re-hashing a single
+// string.
 struct SeedShard {
   std::vector<MinedDomain> domains;
-  std::vector<std::string> ns_names;  // local table, first-appearance order
-  MiningStats stats;                  // partial sums (seeds field unused)
+  std::vector<int32_t> first_use;  // sorted-table ids, first-use order
+  MiningStats stats;               // partial sums (seeds field unused)
 };
 
 // The yearly statistic over the aggregated, count-ascending histogram.
 // Identical outcomes to the old std::map walk: ties pick the smaller count.
-int YearlyValue(YearlyStatistic statistic,
-                const std::vector<std::pair<int, int64_t>>& days_at_count) {
+template <typename Hist>  // any range of (count, day_total) pairs
+int YearlyValue(YearlyStatistic statistic, const Hist& days_at_count) {
   int value = 0;
   switch (statistic) {
     case YearlyStatistic::kMode: {
@@ -128,11 +225,13 @@ int YearlyValue(YearlyStatistic statistic,
 // and writes only `shard`/`scratch`, so any worker may run any seed.
 template <typename Snapshot>
 void MineSeed(const MiningConfig& config, const Snapshot& snapshot,
-              const SeedDomain& seed, int seed_index,
+              const NsNameTable& table, const SeedDomain& seed, int seed_index,
               const std::vector<util::CivilDay>& year_start,
               const std::vector<util::CivilDay>& year_end, SeedShard& shard,
               SweepScratch& scratch) {
   const int years = config.year_count();
+  const util::CivilDay years_first = year_start.front();
+  const util::CivilDay years_last = year_end.back();
 
   // §III-C stability predicate: the first-to-last-seen *gap* must reach the
   // threshold. Deliberately not LengthDays(), which is one day longer (see
@@ -144,13 +243,22 @@ void MineSeed(const MiningConfig& config, const Snapshot& snapshot,
     return entry.type == dns::RRType::kNS;
   };
 
-  auto& intern = scratch.intern;
-  intern.clear();
-  auto intern_ns = [&](std::string_view ns) -> int32_t {
-    auto [it, inserted] =
-        intern.emplace(ns, static_cast<int32_t>(shard.ns_names.size()));
-    if (inserted) shard.ns_names.emplace_back(ns);
-    return it->second;
+  scratch.BeginSeed();
+  util::ArenaVec<std::pair<util::CivilDay, int>> delta(&scratch.arena);
+  util::ArenaVec<std::pair<int, int64_t>> days_at_count(&scratch.arena);
+
+  // Resolves an intern-eligible rdata to its global sorted id (the pre-pass
+  // collected every such string, so a miss is a broken invariant, not a
+  // data condition) and records the seed's first use of each id — the raw
+  // material of the fold's renumber pass.
+  auto resolve_ns = [&](std::string_view ns) -> int32_t {
+    const int32_t gid = table.Find(ns);
+    GOVDNS_CHECK(gid >= 0);
+    if (scratch.seen_mark[gid] != scratch.stamp) {
+      scratch.seen_mark[gid] = scratch.stamp;
+      shard.first_use.push_back(gid);
+    }
+    return gid;
   };
 
   // One zero-copy owner walk over the subtree; entries of an owner are a
@@ -179,10 +287,17 @@ void MineSeed(const MiningConfig& config, const Snapshot& snapshot,
         domain.in_active_window = true;
       }
       if (!is_stable) continue;
+      if (entry.seen.last < years_first || entry.seen.first > years_last) {
+        continue;  // outside every studied year; was never interned
+      }
+      // One table probe per sighting (the old per-shard map looked the
+      // string up once per overlapping year, building a std::string key
+      // each time).
+      const int32_t gid = resolve_ns(entry.rdata);
       for (int y = 0; y < years; ++y) {
         if (entry.seen.last < year_start[y] || entry.seen.first > year_end[y])
           continue;
-        domain.years[y].ns_ids.push_back(intern_ns(entry.rdata));
+        domain.years[y].ns_ids.push_back(gid);
       }
     }
 
@@ -190,49 +305,49 @@ void MineSeed(const MiningConfig& config, const Snapshot& snapshot,
     // +1/-1 deltas of each stable entry's in-year interval.
     for (int y = 0; y < years; ++y) {
       if (domain.years[y].ns_ids.empty()) continue;
-      scratch.delta.clear();
+      delta.clear();
       for (const auto& entry : entries) {
         if (!is_ns(entry) || !stable(entry)) continue;
         util::CivilDay from = std::max(entry.seen.first, year_start[y]);
         util::CivilDay to = std::min(entry.seen.last, year_end[y]);
         if (from > to) continue;
-        scratch.delta.emplace_back(from, 1);
-        scratch.delta.emplace_back(to + 1, -1);
+        delta.emplace_back(from, 1);
+        delta.emplace_back(to + 1, -1);
       }
-      std::sort(scratch.delta.begin(), scratch.delta.end());
+      std::sort(delta.begin(), delta.end());
 
       // Walk the sweep, collecting (count, days) runs; then aggregate equal
       // counts so the histogram is count-ascending with unique keys.
-      scratch.days_at_count.clear();
+      days_at_count.clear();
       int current = 0;
       util::CivilDay prev = year_start[y];
       size_t p = 0;
-      while (p < scratch.delta.size()) {
-        const util::CivilDay day = scratch.delta[p].first;
+      while (p < delta.size()) {
+        const util::CivilDay day = delta[p].first;
         int d = 0;
-        while (p < scratch.delta.size() && scratch.delta[p].first == day) {
-          d += scratch.delta[p].second;
+        while (p < delta.size() && delta[p].first == day) {
+          d += delta[p].second;
           ++p;
         }
-        if (current > 0) scratch.days_at_count.emplace_back(current, day - prev);
+        if (current > 0) days_at_count.emplace_back(current, day - prev);
         current += d;
         prev = day;
       }
-      std::sort(scratch.days_at_count.begin(), scratch.days_at_count.end());
+      std::sort(days_at_count.begin(), days_at_count.end());
       size_t w = 0;
-      for (size_t r = 0; r < scratch.days_at_count.size(); ++r) {
-        if (w > 0 &&
-            scratch.days_at_count[w - 1].first == scratch.days_at_count[r].first) {
-          scratch.days_at_count[w - 1].second += scratch.days_at_count[r].second;
+      for (size_t r = 0; r < days_at_count.size(); ++r) {
+        if (w > 0 && days_at_count[w - 1].first == days_at_count[r].first) {
+          days_at_count[w - 1].second += days_at_count[r].second;
         } else {
-          scratch.days_at_count[w++] = scratch.days_at_count[r];
+          days_at_count[w++] = days_at_count[r];
         }
       }
-      scratch.days_at_count.resize(w);
+      days_at_count.resize_down(w);
 
       domain.years[y].mode_ns_count =
-          YearlyValue(config.statistic, scratch.days_at_count);
-      // Dedupe by local id; the fold re-sorts after remapping to global ids.
+          YearlyValue(config.statistic, days_at_count);
+      // Dedupe by sorted-table id; the fold's renumber pass re-sorts after
+      // converting to first-seen ids.
       auto& ids = domain.years[y].ns_ids;
       std::sort(ids.begin(), ids.end());
       ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
@@ -245,15 +360,49 @@ void MineSeed(const MiningConfig& config, const Snapshot& snapshot,
   }
 }
 
-// Runs `body` on `workers` threads (inline when workers == 1).
-void RunOnPool(int workers, const std::function<void()>& body) {
+// The intern pre-pass body of one worker: collect the unique intern-eligible
+// rdata views of whole seeds (deduped per seed through arena scratch, then
+// once more per worker), leaving `acc` sorted and unique. The final k-way
+// merge across workers happens serially in MineImpl — it is the only serial
+// string work left in the pipeline.
+template <typename Snapshot>
+void CollectInternViews(const MiningConfig& config, const Snapshot& snapshot,
+                        const std::vector<SeedDomain>& seeds,
+                        std::atomic<size_t>& next,
+                        std::vector<std::string_view>& acc) {
+  const util::CivilDay years_first = util::YearStart(config.first_year);
+  const util::CivilDay years_last = util::YearEnd(config.last_year);
+  util::BumpArena arena;
+  for (;;) {
+    const size_t s = next.fetch_add(1, std::memory_order_relaxed);
+    if (s >= seeds.size()) break;
+    const auto [lo, hi] = snapshot.WildcardNameRange(seeds[s].d_gov);
+    arena.Reset();
+    util::ArenaVec<std::string_view> local(&arena);
+    for (const auto& entry : snapshot.EntriesInNameRange(lo, hi)) {
+      if (InternEligible(config, years_first, years_last, entry)) {
+        local.push_back(std::string_view(entry.rdata));
+      }
+    }
+    std::sort(local.begin(), local.end());
+    std::string_view* unique_end = std::unique(local.begin(), local.end());
+    acc.insert(acc.end(), local.begin(), unique_end);
+  }
+  std::sort(acc.begin(), acc.end());
+  acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+}
+
+// Runs `body(worker_index)` on `workers` threads (inline when workers == 1).
+void RunOnPool(int workers, const std::function<void(int)>& body) {
   if (workers <= 1) {
-    body();
+    body(0);
     return;
   }
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(body);
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&body, w] { body(w); });
+  }
   for (std::thread& t : pool) t.join();
 }
 
@@ -320,9 +469,48 @@ MinedDataset PdnsMiner::MineImpl(const Snapshot& snapshot,
     workers = static_cast<int>(seeds.size());
   }
 
-  // --- Phase 2: shard. An atomic dispenser hands whole seeds to workers;
-  // each seed's output lands in its own slot with shard-local ns ids, so
-  // which worker mined it cannot leave a trace in the data.
+  // --- Phase 2: intern pre-pass ("mining.fold.intern"). The global NS-name
+  // table is built once, up front, in parallel: each worker sweeps whole
+  // seeds collecting unique stable rdata views, and one serial k-way merge
+  // ("mining.fold.intern.merge") canonicalizes them into the byte-sorted
+  // table every mining shard then probes read-only. This is the piece that
+  // used to run as the serial fold's hash replay after the shards finished;
+  // hoisting it in front of the shard phase is what removed the serial
+  // chokepoint (DESIGN.md §6j). Dispensers and per-worker accumulators sit
+  // on their own cache lines so 8+ workers don't false-share hot state.
+  NsNameTable table;
+  {
+    std::optional<obs::PhaseProfiler::Scope> scope;
+    if (options_.profiler != nullptr) {
+      scope.emplace(options_.profiler, "mining.fold.intern");
+    }
+    std::vector<util::CacheAligned<std::vector<std::string_view>>> acc(
+        static_cast<size_t>(workers));
+    util::CacheAligned<std::atomic<size_t>> next;
+    RunOnPool(workers, [&](int w) {
+      CollectInternViews(config_, snapshot, seeds, next.value,
+                         acc[static_cast<size_t>(w)].value);
+    });
+    {
+      std::optional<obs::PhaseProfiler::Scope> merge_scope;
+      if (options_.profiler != nullptr) {
+        merge_scope.emplace(options_.profiler, "mining.fold.intern.merge");
+      }
+      std::vector<std::vector<std::string_view>> worker_tables;
+      worker_tables.reserve(acc.size());
+      for (auto& a : acc) worker_tables.push_back(std::move(a.value));
+      table.Build(std::move(worker_tables));
+      if (merge_scope) {
+        merge_scope->set_items(static_cast<int64_t>(table.size()));
+      }
+    }
+    if (scope) scope->set_items(static_cast<int64_t>(table.size()));
+  }
+
+  // --- Phase 3: shard. An atomic dispenser (cache-line padded) hands whole
+  // seeds to workers; each seed's output lands in its own slot with global
+  // sorted-table ns ids, so which worker mined it cannot leave a trace in
+  // the data.
   std::vector<SeedShard> shards(seeds.size());
   {
     std::optional<obs::PhaseProfiler::Scope> scope;
@@ -330,74 +518,124 @@ MinedDataset PdnsMiner::MineImpl(const Snapshot& snapshot,
       scope.emplace(options_.profiler, "mining.shard");
       scope->set_items(static_cast<int64_t>(seeds.size()));
     }
-    std::atomic<size_t> next{0};
-    RunOnPool(workers, [&]() {
-      SweepScratch scratch;
+    util::CacheAligned<std::atomic<size_t>> next;
+    RunOnPool(workers, [&](int) {
+      SweepScratch scratch(table.size());
       for (;;) {
-        const size_t s = next.fetch_add(1, std::memory_order_relaxed);
+        const size_t s = next.value.fetch_add(1, std::memory_order_relaxed);
         if (s >= seeds.size()) break;
-        MineSeed(config_, snapshot, seeds[s], static_cast<int>(s), year_start,
-                 year_end, shards[s], scratch);
+        MineSeed(config_, snapshot, table, seeds[s], static_cast<int>(s),
+                 year_start, year_end, shards[s], scratch);
       }
     });
   }
 
-  // --- Phase 3: fold, in seed order. Replaying each shard's local intern
-  // table builds the canonical global table in exactly the order a serial
-  // entry-major traversal would have produced — first appearance wins — so
-  // ns_names is byte-identical for any worker count (and to the pre-pool
-  // serial miner).
+  // --- Phase 4: fold. With interning hoisted into the pre-pass, the fold
+  // is three cheap steps: a serial O(unique) renumber that restores the
+  // first-seen seed-order ids a serial entry-major traversal would have
+  // assigned (so exports stay byte-identical to the pre-pool miner at any
+  // worker count), a parallel per-seed id rewrite + re-sort, and a parallel
+  // concat with a commutative stats merge. Nothing in here hashes a string
+  // or copies one more than once.
   {
     std::optional<obs::PhaseProfiler::Scope> scope;
     if (options_.profiler != nullptr) {
       scope.emplace(options_.profiler, "mining.fold");
     }
-    std::unordered_map<std::string, int32_t> intern;
-    intern.reserve(snapshot.name_count());
-    out.ns_names.reserve(snapshot.name_count());
-    std::vector<std::vector<int32_t>> remap(shards.size());
-    for (size_t s = 0; s < shards.size(); ++s) {
-      remap[s].reserve(shards[s].ns_names.size());
-      for (std::string& ns : shards[s].ns_names) {
-        auto [it, inserted] =
-            intern.emplace(ns, static_cast<int32_t>(out.ns_names.size()));
-        if (inserted) out.ns_names.push_back(std::move(ns));
-        remap[s].push_back(it->second);
+
+    // 4a ("mining.fold.renumber"): replay per-seed first-use lists in seed
+    // order; the first seed to use a name names it. Pure integer work — the
+    // strings were interned long ago.
+    std::vector<int32_t> perm(table.size(), -1);
+    {
+      std::optional<obs::PhaseProfiler::Scope> sub;
+      if (options_.profiler != nullptr) {
+        sub.emplace(options_.profiler, "mining.fold.renumber");
+        sub->set_items(static_cast<int64_t>(table.size()));
+      }
+      int32_t next_id = 0;
+      for (const SeedShard& shard : shards) {
+        for (const int32_t gid : shard.first_use) {
+          if (perm[gid] < 0) perm[gid] = next_id++;
+        }
+      }
+      // Every collected name must have been used (InternEligible is the
+      // single predicate on both sides), so the permutation is total.
+      GOVDNS_CHECK(static_cast<size_t>(next_id) == table.size());
+      out.ns_names.resize(table.size());
+      for (size_t i = 0; i < table.size(); ++i) {
+        out.ns_names[static_cast<size_t>(perm[i])].assign(table.name(i));
       }
     }
 
-    // Rewrite shard-local ids to global ids and restore per-year sorted
-    // order. Independent per seed, so the pool is reused; the result is
-    // canonical regardless of scheduling.
-    std::atomic<size_t> next{0};
-    RunOnPool(workers, [&]() {
-      for (;;) {
-        const size_t s = next.fetch_add(1, std::memory_order_relaxed);
-        if (s >= shards.size()) break;
-        for (MinedDomain& domain : shards[s].domains) {
-          for (YearState& year : domain.years) {
-            for (int32_t& id : year.ns_ids) id = remap[s][id];
-            // Monotonic remaps (common: a shard whose names all appeared in
-            // intern order) leave the list sorted; skip the sort then.
-            if (!std::is_sorted(year.ns_ids.begin(), year.ns_ids.end())) {
-              std::sort(year.ns_ids.begin(), year.ns_ids.end());
+    // 4b ("mining.fold.sort"): rewrite sorted-table ids to first-seen ids
+    // and restore per-year sorted order. Independent per seed, so the pool
+    // is reused; the result is canonical regardless of scheduling.
+    {
+      std::optional<obs::PhaseProfiler::Scope> sub;
+      if (options_.profiler != nullptr) {
+        sub.emplace(options_.profiler, "mining.fold.sort");
+      }
+      std::vector<util::CacheAligned<int64_t>> resorted(
+          static_cast<size_t>(workers));
+      util::CacheAligned<std::atomic<size_t>> next;
+      RunOnPool(workers, [&](int w) {
+        int64_t local = 0;
+        for (;;) {
+          const size_t s = next.value.fetch_add(1, std::memory_order_relaxed);
+          if (s >= shards.size()) break;
+          for (MinedDomain& domain : shards[s].domains) {
+            for (YearState& year : domain.years) {
+              for (int32_t& id : year.ns_ids) id = perm[id];
+              // Monotonic rewrites (common: a seed whose names were first
+              // seen in sorted order) leave the list sorted; skip then.
+              if (!std::is_sorted(year.ns_ids.begin(), year.ns_ids.end())) {
+                std::sort(year.ns_ids.begin(), year.ns_ids.end());
+                ++local;
+              }
             }
           }
         }
+        resorted[static_cast<size_t>(w)].value = local;
+      });
+      if (sub) {
+        int64_t total = 0;
+        for (const auto& r : resorted) total += r.value;
+        sub->set_items(total);  // deterministic: perm and lists are fixed
       }
-    });
+    }
 
-    out.domains.reserve(snapshot.name_count());
-    for (SeedShard& shard : shards) {
-      out.stats.entries_scanned += shard.stats.entries_scanned;
-      out.stats.entries_unstable += shard.stats.entries_unstable;
-      out.stats.domains += shard.stats.domains;
-      out.stats.domains_disposable += shard.stats.domains_disposable;
-      out.stats.domains_in_active_window +=
-          shard.stats.domains_in_active_window;
-      for (MinedDomain& domain : shard.domains) {
-        out.domains.push_back(std::move(domain));
+    // 4c ("mining.fold.concat"): place every seed's domains at its
+    // precomputed offset — a parallel move, not a serial append — and fold
+    // the commutative stats sums.
+    {
+      std::optional<obs::PhaseProfiler::Scope> sub;
+      if (options_.profiler != nullptr) {
+        sub.emplace(options_.profiler, "mining.fold.concat");
       }
+      std::vector<size_t> offset(shards.size() + 1, 0);
+      for (size_t s = 0; s < shards.size(); ++s) {
+        const SeedShard& shard = shards[s];
+        offset[s + 1] = offset[s] + shard.domains.size();
+        out.stats.entries_scanned += shard.stats.entries_scanned;
+        out.stats.entries_unstable += shard.stats.entries_unstable;
+        out.stats.domains += shard.stats.domains;
+        out.stats.domains_disposable += shard.stats.domains_disposable;
+        out.stats.domains_in_active_window +=
+            shard.stats.domains_in_active_window;
+      }
+      out.domains.resize(offset.back());
+      util::CacheAligned<std::atomic<size_t>> next;
+      RunOnPool(workers, [&](int) {
+        for (;;) {
+          const size_t s = next.value.fetch_add(1, std::memory_order_relaxed);
+          if (s >= shards.size()) break;
+          for (size_t i = 0; i < shards[s].domains.size(); ++i) {
+            out.domains[offset[s] + i] = std::move(shards[s].domains[i]);
+          }
+        }
+      });
+      if (sub) sub->set_items(static_cast<int64_t>(out.domains.size()));
     }
     if (scope) scope->set_items(static_cast<int64_t>(out.ns_names.size()));
   }
@@ -493,16 +731,28 @@ std::vector<PrivateShareRow> PrivateShare(
   std::vector<int64_t> d1ns_total(years, 0), d1ns_private(years, 0);
   std::vector<int64_t> all_total(years, 0), all_private(years, 0);
 
-  // Cache: interned ns id -> parsed name (for the subdomain check).
-  std::vector<std::optional<bool>> scratch;
+  // Parse each interned hostname once; every (domain, year) referencing the
+  // id then reuses the parsed Name for its subdomain check. nullopt marks a
+  // hostname that failed to parse (never inside any d_gov).
+  std::vector<std::optional<dns::Name>> parsed(dataset.ns_names.size());
+  std::vector<bool> parse_tried(dataset.ns_names.size(), false);
+  auto parsed_ns = [&](int32_t id) -> const std::optional<dns::Name>& {
+    auto& slot = parsed[static_cast<size_t>(id)];
+    if (!parse_tried[static_cast<size_t>(id)]) {
+      parse_tried[static_cast<size_t>(id)] = true;
+      auto ns = dns::Name::Parse(dataset.NsName(id));
+      if (ns.ok()) slot = *std::move(ns);
+    }
+    return slot;
+  };
   for (const MinedDomain& domain : dataset.domains) {
     const dns::Name& d_gov = seeds[domain.seed_index].d_gov;
     for (int y = 0; y < years; ++y) {
       if (!domain.HasData(y)) continue;
       bool all_inside = true;
       for (int32_t id : domain.years[y].ns_ids) {
-        auto ns = dns::Name::Parse(dataset.NsName(id));
-        if (!ns.ok() || !ns->IsSubdomainOf(d_gov)) {
+        const std::optional<dns::Name>& ns = parsed_ns(id);
+        if (!ns.has_value() || !ns->IsSubdomainOf(d_gov)) {
           all_inside = false;
           break;
         }

@@ -7,12 +7,17 @@
 // domains seen in the collection window, minus disposable-looking names.
 //
 // Mine() shards the seed list over a worker pool (MinerOptions::workers)
-// mirroring the measurement engine (DESIGN.md §6c/§6e): the database is
-// frozen once into a flat PdnsSnapshot, each worker mines whole seeds
-// against zero-copy entry spans with per-seed NS-name interning and reused
-// sweep scratch, and a deterministic fold remaps the shard-local intern
-// tables onto one canonical global table. The MinedDataset — domains,
-// ns_names order, and stats — is byte-identical for any worker count.
+// mirroring the measurement engine (DESIGN.md §6c/§6e/§6j): the database is
+// frozen once into a flat PdnsSnapshot, a parallel pre-pass builds the
+// global NS-name intern table up front (unique stable rdata per worker,
+// merged into one byte-sorted table), and each worker then mines whole
+// seeds against zero-copy entry spans, resolving rdata -> global id by
+// bucket-accelerated binary search — no per-shard hash tables and no
+// string copies on the hit path. The fold degenerates to a parallel concat
+// plus a commutative stats merge; a final deterministic renumber pass
+// restores first-seen seed-order ids, so the MinedDataset — domains,
+// ns_names order, and stats — is byte-identical for any worker count (and
+// to the pre-pool serial miner).
 //
 // Stability predicate (§III-C): a record is stable when
 //
@@ -87,7 +92,9 @@ struct MinerOptions {
   // std::thread::hardware_concurrency(), clamped to the seed count.
   int workers = 0;
   // Optional sub-phase profiling sink (not owned; may be null): records
-  // "mining.freeze", "mining.shard", and "mining.fold" wall-time phases.
+  // "mining.freeze", "mining.fold.intern" (+ ".merge" for its serial tail),
+  // "mining.shard", "mining.fold.{renumber,sort,concat}", and the umbrella
+  // "mining.fold" wall-time phases (DESIGN.md §6j).
   obs::PhaseProfiler* profiler = nullptr;
 };
 

@@ -12,6 +12,15 @@ std::vector<PhaseRecord> PhaseProfiler::records() const {
   return records_;
 }
 
+std::optional<PhaseRecord> PhaseProfiler::LastRecord(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->name == name) return *it;
+  }
+  return std::nullopt;
+}
+
 PhaseProfiler::Scope::Scope(PhaseProfiler* profiler, std::string name)
     : profiler_(profiler), start_(std::chrono::steady_clock::now()) {
   record_.name = std::move(name);

@@ -11,7 +11,9 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace govdns::obs {
@@ -27,6 +29,12 @@ class PhaseProfiler {
  public:
   void Record(PhaseRecord record);
   std::vector<PhaseRecord> records() const;
+
+  // The most recent record named `name`, if any. Phases that run once per
+  // pipeline pass (the common case) read naturally through this; benches use
+  // it to pull one phase's wall share out of a profiled run without walking
+  // the whole record list themselves.
+  std::optional<PhaseRecord> LastRecord(std::string_view name) const;
 
   // RAII phase bracket: measures wall time from construction to
   // destruction; the caller fills items/logical_ms before scope exit.

@@ -104,6 +104,16 @@ class PdnsSnapshot {
             static_cast<size_t>(offsets_[i + 1] - offsets_[i])};
   }
 
+  // Every entry of every owner in the name-index range [lo, hi), as one flat
+  // span — the per-owner grouping collapsed. This is the substrate of the
+  // miner's intern pre-pass (DESIGN.md §6j), which only needs each entry's
+  // (type, rdata, seen) and not which owner it belongs to; iterating one
+  // span beats name_count() small spans.
+  std::span<const PdnsEntry> EntriesInNameRange(size_t lo, size_t hi) const {
+    return {entries_.data() + offsets_[lo],
+            static_cast<size_t>(offsets_[hi] - offsets_[lo])};
+  }
+
   // Owner-index half-open range [lo, hi) of names equal to or under
   // `suffix`. Valid because canonical order keeps the subtree contiguous:
   // any name >= suffix that is not in the subtree differs from suffix in

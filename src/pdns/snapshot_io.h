@@ -145,6 +145,14 @@ class MappedPdnsSnapshot {
             rdata_};
   }
 
+  // Flat view of every entry in the name-index range [lo, hi) — the same
+  // contract as PdnsSnapshot::EntriesInNameRange, for code generic over the
+  // two substrates (the miner's intern pre-pass).
+  EntryRange EntriesInNameRange(size_t lo, size_t hi) const {
+    return {raw_entries_ + entry_offsets_[lo], raw_entries_ + entry_offsets_[hi],
+            rdata_};
+  }
+
   // Same contract as PdnsSnapshot::WildcardNameRange, computed by binary
   // search over the raw keys (no Name is materialized).
   std::pair<size_t, size_t> WildcardNameRange(const dns::Name& suffix) const;

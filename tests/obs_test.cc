@@ -277,6 +277,28 @@ TEST(PhaseProfilerTest, ScopeRecordsOnExit) {
   EXPECT_GE(records[0].wall_ms, 0.0);
 }
 
+TEST(PhaseProfilerTest, LastRecordFindsTheMostRecentByName) {
+  PhaseProfiler profiler;
+  EXPECT_FALSE(profiler.LastRecord("mining.fold").has_value());
+  {
+    PhaseProfiler::Scope s(&profiler, "mining.fold");
+    s.set_items(1);
+  }
+  {
+    PhaseProfiler::Scope s(&profiler, "mining.shard");
+    s.set_items(5);
+  }
+  {
+    PhaseProfiler::Scope s(&profiler, "mining.fold");
+    s.set_items(2);
+  }
+  auto rec = profiler.LastRecord("mining.fold");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->items, 2);  // the later of the two same-named rows
+  EXPECT_EQ(profiler.LastRecord("mining.shard")->items, 5);
+  EXPECT_FALSE(profiler.LastRecord("absent").has_value());
+}
+
 TEST(PhaseProfilerTest, PhasesKeptInOrder) {
   PhaseProfiler profiler;
   { PhaseProfiler::Scope s(&profiler, "selection"); }

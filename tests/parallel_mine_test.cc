@@ -92,17 +92,28 @@ TEST(ParallelMineTest, StudyRunMiningUsesThePoolAndProfilesSubPhases) {
 
   // The study's profiler carries the miner's sub-phases alongside "mining".
   bool saw_mining = false, saw_freeze = false, saw_shard = false,
-       saw_fold = false;
+       saw_fold = false, saw_intern = false, saw_merge = false,
+       saw_renumber = false, saw_sort = false, saw_concat = false;
   for (const obs::PhaseRecord& r : bound.study->profiler().records()) {
     saw_mining |= r.name == "mining";
     saw_freeze |= r.name == "mining.freeze";
     saw_shard |= r.name == "mining.shard";
     saw_fold |= r.name == "mining.fold";
+    saw_intern |= r.name == "mining.fold.intern";
+    saw_merge |= r.name == "mining.fold.intern.merge";
+    saw_renumber |= r.name == "mining.fold.renumber";
+    saw_sort |= r.name == "mining.fold.sort";
+    saw_concat |= r.name == "mining.fold.concat";
   }
   EXPECT_TRUE(saw_mining);
   EXPECT_TRUE(saw_freeze);
   EXPECT_TRUE(saw_shard);
   EXPECT_TRUE(saw_fold);
+  EXPECT_TRUE(saw_intern);
+  EXPECT_TRUE(saw_merge);
+  EXPECT_TRUE(saw_renumber);
+  EXPECT_TRUE(saw_sort);
+  EXPECT_TRUE(saw_concat);
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <utility>
 
+#include "util/arena.h"
 #include "util/civil_time.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -384,6 +387,71 @@ TEST(TableTest, RendersAlignedColumns) {
   std::string out = table.ToString();
   EXPECT_NE(out.find("| A "), std::string::npos);
   EXPECT_NE(out.find("| x "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+TEST(ArenaTest, AllocRespectsAlignmentAndReset) {
+  BumpArena arena(/*initial_bytes=*/256);
+  void* a = arena.Alloc(3, 1);
+  void* b = arena.Alloc(8, 8);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  arena.Reset();
+  // After a reset the same block is re-bumped from the start.
+  EXPECT_EQ(arena.Alloc(3, 1), a);
+  EXPECT_EQ(arena.block_count(), 1u);
+}
+
+TEST(ArenaTest, OverflowCoalescesToOneBlockOnReset) {
+  BumpArena arena(/*initial_bytes=*/256);
+  // Force several overflow blocks in one cycle.
+  for (int i = 0; i < 8; ++i) arena.Alloc(300, 8);
+  EXPECT_GT(arena.block_count(), 1u);
+  const size_t high_water = arena.capacity_bytes();
+  arena.Reset();
+  // The steady state: one block, at least the high-water size, and the next
+  // identical cycle allocates nothing new.
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_GE(arena.capacity_bytes(), high_water);
+  for (int i = 0; i < 8; ++i) arena.Alloc(300, 8);
+  EXPECT_EQ(arena.block_count(), 1u);
+}
+
+TEST(ArenaTest, ArenaVecGrowsAndSurvivesRelocation) {
+  BumpArena arena;
+  ArenaVec<int> v(&arena);
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<size_t>(i)], i);
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v.back(), 999);
+  v.resize_down(10);
+  EXPECT_EQ(v.size(), 10u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(ArenaTest, ArenaVecHoldsPairScratchTypes) {
+  // The miner's sweep scratch: pairs of scalars (not trivially copyable in
+  // the std::is_trivially_copyable sense, but trivially destructible and
+  // copy-constructible — the contract ArenaVec actually needs).
+  BumpArena arena;
+  ArenaVec<std::pair<int, int64_t>> v(&arena);
+  for (int i = 0; i < 100; ++i) v.emplace_back(i, int64_t{1} << 40);
+  EXPECT_EQ(v[99].first, 99);
+  EXPECT_EQ(v[99].second, int64_t{1} << 40);
+}
+
+TEST(ArenaTest, CacheAlignedElementsLandOnDistinctLines) {
+  static_assert(sizeof(CacheAligned<int>) == kCacheLineBytes);
+  static_assert(alignof(CacheAligned<int>) == kCacheLineBytes);
+  CacheAligned<int> two[2];
+  const auto a = reinterpret_cast<uintptr_t>(&two[0].value);
+  const auto b = reinterpret_cast<uintptr_t>(&two[1].value);
+  EXPECT_GE(b - a, kCacheLineBytes);
 }
 
 TEST(TableTest, CsvEscaping) {

@@ -42,19 +42,40 @@ assert trace["folded_domains"] >= len(trace["domains"])
 print("smoke: report/metrics/trace exports parse OK")
 EOF
 
-echo "==> smoke: bench_parallel_mine (1 vs 4 workers, results identical)"
-# The mining pool is only allowed to change wall-clock time, never bytes.
-# Run the bench artifact at a small scale and assert every point in the
-# worker sweep reproduced the serial dataset exactly.
-GOVDNS_SCALE=0.05 GOVDNS_MINING_JSON="${SMOKE_DIR}/BENCH_mining.json" \
+echo "==> smoke: bench_parallel_mine (identity + fold scaling, both sweeps)"
+# The mining pool is only allowed to change wall-clock time, never bytes —
+# at every worker count, on every snapshot substrate, at world scale and at
+# the 10x GOVDNS_MINE_SCALE sweep. The parallel-fold refactor must also
+# actually scale: >=3.5x at 4 workers, measured when the host has the cores
+# to show it, otherwise via the Amdahl projection from the profiled
+# 1-worker phase decomposition (DESIGN.md §6j).
+GOVDNS_SCALE=0.05 GOVDNS_MINE_SCALE=0.5 \
+  GOVDNS_MINING_JSON="${SMOKE_DIR}/BENCH_mining.json" \
   ./build/bench/bench_parallel_mine --benchmark_filter='^$' >/dev/null 2>&1
 python3 - "${SMOKE_DIR}/BENCH_mining.json" <<'EOF'
 import json, sys
 doc = json.loads(open(sys.argv[1]).read())
-sweep = {p["workers"]: p for p in doc["sweep"]}
-assert 1 in sweep and 4 in sweep, sorted(sweep)
-assert all(p["identical_to_serial"] for p in doc["sweep"]), doc
-print("smoke: bench_parallel_mine sweep identical across worker counts OK")
+
+def check(sweep, tag):
+    points = {p["workers"]: p for p in sweep["sweep"]}
+    assert {1, 2, 4, 8} <= set(points), (tag, sorted(points))
+    assert all(p["identical_to_serial"] for p in sweep["sweep"]), (tag, sweep)
+    subs = sweep["substrates"]
+    assert {(s["substrate"], s["workers"]) for s in subs} == \
+        {("owning", 1), ("owning", 4), ("mapped", 1), ("mapped", 4)}, (tag, subs)
+    assert all(s["identical_to_serial"] for s in subs), (tag, subs)
+    p4 = points[4]
+    speedup = p4["speedup_vs_serial"] if doc["cores"] >= 4 \
+        else p4["projected_speedup"]
+    kind = "measured" if doc["cores"] >= 4 else "projected"
+    assert speedup >= 3.5, (tag, kind, speedup)
+    print(f"smoke: mining sweep {tag}: identity OK, "
+          f"{kind} 4-worker speedup {speedup:.2f}x >= 3.5x")
+
+check(doc, f"scale={doc['scale']}")
+big = doc.get("mine_scale_sweep")
+assert big is not None, sorted(doc)
+check(big, f"scale={big['scale']}")
 EOF
 
 echo "==> smoke: checkpoint kill/resume (byte-identical report)"
@@ -181,12 +202,12 @@ cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}" --target \
   simnet_test resolver_test measure_test parallel_measure_test \
   chaos_resilience_test pdns_test mining_test parallel_mine_test \
-  ckpt_test ckpt_resume_test degradation_test quarantine_test netio_test \
-  snapshot_file_test
+  mining_fold_test ckpt_test ckpt_resume_test degradation_test \
+  quarantine_test netio_test snapshot_file_test
 for t in simnet_test resolver_test measure_test parallel_measure_test \
          chaos_resilience_test pdns_test mining_test parallel_mine_test \
-         ckpt_test ckpt_resume_test degradation_test quarantine_test \
-         netio_test snapshot_file_test; do
+         mining_fold_test ckpt_test ckpt_resume_test degradation_test \
+         quarantine_test netio_test snapshot_file_test; do
   echo "==> tsan: ${t}"
   timeout "${CTEST_TIMEOUT}" "./build-tsan/tests/${t}"
 done
