@@ -22,8 +22,15 @@ trap 'rm -f "$tmp"' EXIT
            bench_fig14_disagreement_dist bench_ablation_stability_filter \
            bench_ablation_nsdaily_stat bench_ablation_second_round \
            bench_ablation_provider_matching; do
+    f="results/full/$n.txt"
+    # A missing or empty section means a bench crashed or was skipped;
+    # assembling around it would silently publish a partial sweep.
+    if [ ! -s "$f" ]; then
+      echo "assemble_outputs: missing or empty artifact: $f" >&2
+      exit 1
+    fi
     echo "==================== $n ===================="
-    cat "results/full/$n.txt"
+    cat "$f"
     echo
   done
 } > "$tmp"

@@ -39,6 +39,13 @@ struct CkptFaultPlan {
   // true: _exit(kKillExitCode) like a real crash — the CLI harness mode.
   // false: throw KillPointReached so in-process tests catch and resume.
   bool exit_process = false;
+  // 1-based index of the journal write whose temp-file fsync reports EIO
+  // (0 disables). Unlike a kill point the process survives: the commit must
+  // be *rejected* — temp discarded, error status returned, and the prior
+  // generation of the frame left untouched. Post-failure fsync semantics
+  // give no second chance (the dirty pages may already be gone), so
+  // retrying the same fsync is not a recovery strategy.
+  uint64_t fail_fsync_at_write = 0;
 };
 
 // Thrown when a fault plan with exit_process == false fires.

@@ -174,6 +174,17 @@ util::StatusOr<uint32_t> Journal::Commit(const std::string& name,
   const std::string tmp = dir_ + "/" + name + ".tmp";
   const std::string final_path = FramePath(name);
   GOVDNS_RETURN_IF_ERROR(WriteFileDurable(tmp, frame));
+  if (plan_.fail_fsync_at_write != 0 && index == plan_.fail_fsync_at_write) {
+    // Injected EIO at the temp file's fsync. The bytes may or may not be on
+    // disk — fsync failure semantics promise nothing — so the only safe
+    // move is to discard the temp and reject the commit outright. The
+    // previous generation of <name>.ck was never touched and stays the
+    // durable truth.
+    ::unlink(tmp.c_str());
+    ++stats_.fsync_rejected;
+    return util::InternalError("fsync " + tmp +
+                               ": Input/output error (injected)");
+  }
   if (fire && plan_.mode == KillMode::kAfterTemp) Kill(index, name);
   if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
     return util::InternalError("rename " + tmp + " -> " + final_path + ": " +

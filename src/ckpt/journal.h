@@ -55,8 +55,9 @@ inline constexpr uint32_t kFrameVersion = 2;
 inline constexpr size_t kFrameHeaderSize = 32;
 
 struct JournalStats {
-  uint64_t commits = 0;        // successful Commit calls (durable frames)
+  uint64_t commits = 0;        // Commit calls (write points; includes faulted)
   uint64_t bytes_written = 0;  // frame bytes that reached the final file
+  uint64_t fsync_rejected = 0;  // commits aborted by an (injected) fsync EIO
   uint64_t loads_ok = 0;
   // Per-cause rejection counters: the "diagnostic metric" behind every
   // restart-from-scratch / restart-from-prior-phase decision.

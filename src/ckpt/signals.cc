@@ -8,28 +8,38 @@ namespace govdns::ckpt {
 namespace {
 
 // Handler state. Everything the handler touches is lock-free atomic or
-// async-signal-safe (_exit): no allocation, no stdio, no locks.
-std::atomic<bool>* g_flag = nullptr;
+// async-signal-safe (_exit): no allocation, no stdio, no locks. The exit
+// code and flag pointer are themselves atomics — a plain int here is a data
+// race the moment a signal lands on another thread (or during a re-install),
+// and the handler could _exit with a torn/stale code. Both are stored before
+// sigaction() exposes the handler, so the first deliverable signal already
+// observes them.
+static_assert(std::atomic<int>::is_always_lock_free,
+              "handler exit code must be async-signal-safe to read");
+std::atomic<std::atomic<bool>*> g_flag{nullptr};
 std::atomic<int> g_signals{0};
-int g_exit_code = 130;
+std::atomic<int> g_exit_code{130};
 
 void EscalatingHandler(int) {
   const int seen = g_signals.fetch_add(1, std::memory_order_relaxed);
   if (seen == 0) {
-    if (g_flag != nullptr) g_flag->store(true, std::memory_order_relaxed);
+    std::atomic<bool>* flag = g_flag.load(std::memory_order_relaxed);
+    if (flag != nullptr) flag->store(true, std::memory_order_relaxed);
     return;
   }
   // Second signal: the flush is taking too long (or is itself wedged).
   // Abandon it — _exit skips atexit/static destructors and buffered IO,
   // which is the point: nothing below us can hang.
-  _exit(g_exit_code);
+  _exit(g_exit_code.load(std::memory_order_relaxed));
 }
 
 }  // namespace
 
 void InstallEscalatingHandlers(std::atomic<bool>* flag, int exit_code) {
-  g_flag = flag;
-  g_exit_code = exit_code;
+  // Publish the handler's inputs before sigaction() makes it reachable; a
+  // signal racing the install then reads the new state, never a stale code.
+  g_flag.store(flag, std::memory_order_relaxed);
+  g_exit_code.store(exit_code, std::memory_order_relaxed);
   g_signals.store(0, std::memory_order_relaxed);
   struct sigaction sa {};
   sa.sa_handler = EscalatingHandler;

@@ -211,6 +211,7 @@ std::string ExportReportJson(const StudyReport& report) {
   json.Kv("blackhole", quar.blackhole);
   json.Kv("budget_exceeded", quar.budget_exceeded);
   json.Kv("watchdog_cancelled", quar.watchdog_cancelled);
+  json.Kv("vantage_lost", quar.vantage_lost);
   json.Kv("coverage", quar.coverage);
   json.Key("by_country").BeginArray();
   for (const QuarantineReport::CountryRow& row : quar.by_country) {

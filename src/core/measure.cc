@@ -17,6 +17,7 @@ const char* QuarantineReasonName(QuarantineReason reason) {
     case QuarantineReason::kBlackhole: return "blackhole";
     case QuarantineReason::kBudgetExceeded: return "budget_exceeded";
     case QuarantineReason::kWatchdogCancelled: return "watchdog_cancelled";
+    case QuarantineReason::kVantageLost: return "vantage_lost";
   }
   return "unknown";
 }
@@ -82,6 +83,7 @@ struct ActiveMeasurer::MetricIds {
   int quarantined_blackhole;
   int quarantined_budget;
   int quarantined_watchdog;
+  int quarantined_vantage_lost;
   int h_queries;
   int h_logical;
 
@@ -107,6 +109,10 @@ struct ActiveMeasurer::MetricIds {
     // Watchdog cancellations are wall-clock-driven, hence diagnostic.
     ids.quarantined_watchdog = m.DeclareCounter(
         "measure.quarantined_watchdog", obs::Determinism::kDiagnostic);
+    // Only the supervisor's merge ever assigns kVantageLost; a live
+    // measurer observing one means a journaled placeholder was replayed.
+    ids.quarantined_vantage_lost =
+        m.DeclareCounter("measure.quarantined_vantage_lost");
     ids.h_queries = m.DeclareHistogram("measure.queries_per_domain");
     ids.h_logical = m.DeclareHistogram("measure.logical_ms_per_domain");
     return ids;
@@ -142,6 +148,10 @@ struct ActiveMeasurer::MetricIds {
       case QuarantineReason::kWatchdogCancelled:
         shard.Add(quarantined, 1);
         shard.Add(quarantined_watchdog, 1);
+        break;
+      case QuarantineReason::kVantageLost:
+        shard.Add(quarantined, 1);
+        shard.Add(quarantined_vantage_lost, 1);
         break;
     }
     shard.Observe(h_queries, r.query_stats.queries);

@@ -68,7 +68,12 @@ enum class QuarantineReason : uint8_t {
   kBlackhole = 2,         // deadline hit; some traffic delivered, then dark
   kBudgetExceeded = 3,    // country/phase budget pre-empted the domain
   kWatchdogCancelled = 4, // a stalled worker's in-flight domain was cancelled
+  kVantageLost = 5,       // the vantage shard measuring it died for good
 };
+
+// The highest QuarantineReason value; codecs bounds-check against it.
+inline constexpr uint8_t kMaxQuarantineReason =
+    static_cast<uint8_t>(QuarantineReason::kVantageLost);
 
 const char* QuarantineReasonName(QuarantineReason reason);
 

@@ -84,6 +84,9 @@ QuarantineReport BuildQuarantineReport(const ActiveDataset& dataset) {
       case QuarantineReason::kWatchdogCancelled:
         ++report.watchdog_cancelled;
         break;
+      case QuarantineReason::kVantageLost:
+        ++report.vantage_lost;
+        break;
     }
   }
   for (size_t slot = 0; slot < rows.size(); ++slot) {
@@ -257,7 +260,11 @@ void PrintReport(const StudyReport& report, std::ostream& os) {
        << Percent(q.coverage) << "): " << WithCommas(q.hang) << " hang, "
        << WithCommas(q.blackhole) << " blackhole, "
        << WithCommas(q.budget_exceeded) << " budget-exceeded, "
-       << WithCommas(q.watchdog_cancelled) << " watchdog-cancelled\n";
+       << WithCommas(q.watchdog_cancelled) << " watchdog-cancelled";
+    if (q.vantage_lost > 0) {
+      os << ", " << WithCommas(q.vantage_lost) << " vantage-lost";
+    }
+    os << "\n";
     for (const QuarantineReport::CountryRow& row : q.by_country) {
       os << "  " << row.code << ": " << WithCommas(row.quarantined) << " of "
          << WithCommas(row.domains) << " quarantined\n";

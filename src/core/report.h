@@ -50,6 +50,7 @@ struct QuarantineReport {
   int64_t blackhole = 0;
   int64_t budget_exceeded = 0;
   int64_t watchdog_cancelled = 0;
+  int64_t vantage_lost = 0;
   // Share of the query list with a full-fidelity (non-quarantined) result.
   double coverage = 1.0;
   struct CountryRow {

@@ -519,6 +519,15 @@ IterativeResolver::WalkToZoneShared(const dns::Name& name, bool stop_above,
       }
     }
     if (dead) {
+      if (watchdog_cancelled_) {
+        // Abandoned by the wall-clock watchdog, not refused by the zone:
+        // "dead" is a scheduling artifact here. Publishing it would poison
+        // the shared cache for every worker — and turn the requeue-once
+        // retry into an instant negative-cache hit. Fail this walk
+        // verdict-free and uncounted, like every other cancellation effect.
+        return util::UnavailableError("walk cancelled under " +
+                                      current.zone.ToString());
+      }
       // Never negatively cache the root: a transiently dark root would
       // poison every later walk, for every worker, for the whole cooldown.
       if (!current.zone.IsRoot()) {
@@ -545,6 +554,10 @@ IterativeResolver::WalkToZoneShared(const dns::Name& name, bool stop_above,
       return current;
     }
     if (cut_unresolvable) {
+      if (watchdog_cancelled_) {
+        return util::UnavailableError("walk cancelled under " +
+                                      cut.ToString());
+      }
       cache.PublishUnreachable(cut, ns_names, neg_expires,
                                transport_->now_ms());
       ++counters_.negative_cache_hits;
@@ -613,8 +626,11 @@ util::StatusOr<IterativeResolver::ZoneServers> IterativeResolver::WalkToZone(
     }
     if (!have_usable) {
       // Remember the dead zone (never the root: a transiently dark root
-      // would poison every later walk for the whole cooldown).
-      if (!current.zone.IsRoot() && !budget_exhausted_) {
+      // would poison every later walk for the whole cooldown; never a
+      // verdict produced by a spent budget or a watchdog cancellation —
+      // those say nothing about the zone).
+      if (!current.zone.IsRoot() && !budget_exhausted_ &&
+          !watchdog_cancelled_) {
         CacheUnreachable(current.zone, current.ns_names);
       }
       return util::UnavailableError("servers of " + current.zone.ToString() +
@@ -644,7 +660,7 @@ util::StatusOr<IterativeResolver::ZoneServers> IterativeResolver::WalkToZone(
     auto addrs =
         AddressesForNs(ns_names, usable.message->additional, depth_budget - 1);
     if (!addrs.ok()) {
-      CacheUnreachable(*cut, ns_names);
+      if (!watchdog_cancelled_) CacheUnreachable(*cut, ns_names);
       return util::UnavailableError("unresolvable delegation at " +
                                     cut->ToString());
     }

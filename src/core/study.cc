@@ -17,6 +17,14 @@ Study::Study(StudyInputs inputs)
   GOVDNS_CHECK(inputs_.policy != nullptr);
 }
 
+uint64_t StudyInputsFingerprint(const StudyInputs& inputs) {
+  uint64_t fp = MiningConfigFingerprint(inputs.mining);
+  fp = ckpt::MixFingerprint(fp, inputs.knowledge_base.size());
+  fp = ckpt::MixFingerprint(fp, inputs.countries.size());
+  fp = ckpt::MixFingerprint(fp, inputs.root_hints.size());
+  return fp;
+}
+
 void Study::AttachCheckpoint(StudyCheckpoint* ckpt) {
   GOVDNS_CHECK(seeds_.empty() && mined_ == nullptr && active_ == nullptr);
   ckpt_ = ckpt;
@@ -24,11 +32,7 @@ void Study::AttachCheckpoint(StudyCheckpoint* ckpt) {
   // The study-side identity the journal must match: the mining config plus
   // the shape of the research inputs. The world/config side (seed, scale) is
   // mixed in by the harness when it constructs the StudyCheckpoint.
-  uint64_t fp = MiningConfigFingerprint(inputs_.mining);
-  fp = ckpt::MixFingerprint(fp, inputs_.knowledge_base.size());
-  fp = ckpt::MixFingerprint(fp, inputs_.countries.size());
-  fp = ckpt::MixFingerprint(fp, inputs_.root_hints.size());
-  ckpt_->Bind(fp);
+  ckpt_->Bind(StudyInputsFingerprint(inputs_));
 }
 
 void Study::CheckInterrupt(const char* phase) const {
@@ -264,6 +268,10 @@ const ActiveDataset& Study::RunActiveMeasurement(MeasurerOptions options) {
         case QuarantineReason::kWatchdogCancelled:
           ++qsnap.total;
           ++qsnap.watchdog_cancelled;
+          break;
+        case QuarantineReason::kVantageLost:
+          ++qsnap.total;
+          ++qsnap.vantage_lost;
           break;
       }
     }

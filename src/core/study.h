@@ -67,6 +67,12 @@ struct StudyInputs {
   MiningConfig mining;
 };
 
+// The study-side checkpoint identity: the mining-config digest mixed with
+// the shape of the research inputs. Study::AttachCheckpoint binds the
+// journal with it; the vantage supervisor recomputes it out-of-process to
+// open a finished shard's journal for the merge.
+uint64_t StudyInputsFingerprint(const StudyInputs& inputs);
+
 class Study {
  public:
   explicit Study(StudyInputs inputs);

@@ -235,7 +235,7 @@ bool GetResult(ckpt::Reader& r, MeasurementResult* res) {
   uint8_t reason = 0;
   if (!r.I32(&res->rounds) || !GetCounters(r, &res->query_stats) ||
       !r.Bool(&res->degraded) || !r.U64(&res->logical_ms) || !r.U8(&reason) ||
-      reason > static_cast<uint8_t>(QuarantineReason::kWatchdogCancelled)) {
+      reason > kMaxQuarantineReason) {
     return false;
   }
   res->quarantine_reason = static_cast<QuarantineReason>(reason);
@@ -561,7 +561,7 @@ StudyCheckpoint::TryLoadQuarantine() {
   if (!r.U8(&kind) || kind != kKindQuarantine || !r.U64(&snap.total) ||
       !r.U64(&snap.hang) || !r.U64(&snap.blackhole) ||
       !r.U64(&snap.budget_exceeded) || !r.U64(&snap.watchdog_cancelled) ||
-      !r.AtEnd()) {
+      !r.U64(&snap.vantage_lost) || !r.AtEnd()) {
     ++stats_.decode_rejects;
     return std::nullopt;
   }
@@ -580,6 +580,7 @@ void StudyCheckpoint::SaveQuarantine(const QuarantineSnapshot& snap) {
   w.U64(snap.blackhole);
   w.U64(snap.budget_exceeded);
   w.U64(snap.watchdog_cancelled);
+  w.U64(snap.vantage_lost);
   auto crc = journal_.Commit(kQuarantineFrame, w.Take(), chain_crc_);
   if (!crc.ok()) {
     throw PipelineError("checkpoint", "quarantine: " + crc.status().ToString());
@@ -612,6 +613,30 @@ std::optional<std::string> StudyCheckpoint::TryLoadReportJson() {
     return std::nullopt;
   }
   return json;
+}
+
+void StudyCheckpoint::SaveVantage(const VantageSummary& summary) {
+  GOVDNS_CHECK(bound_);
+  ckpt::Writer w;
+  EncodeVantageSummary(w, summary);
+  auto crc = journal_.Commit(kVantageFrameName, w.Take(), /*parent_crc=*/0);
+  if (!crc.ok()) {
+    throw PipelineError("checkpoint", "vantage: " + crc.status().ToString());
+  }
+}
+
+std::optional<VantageSummary> StudyCheckpoint::TryLoadVantage() {
+  GOVDNS_CHECK(bound_);
+  if (!options_.resume) return std::nullopt;
+  auto frame = journal_.Load(kVantageFrameName, /*parent_crc=*/0);
+  if (!frame.ok()) return std::nullopt;
+  ckpt::Reader r(frame->payload);
+  VantageSummary summary;
+  if (!DecodeVantageSummary(r, &summary)) {
+    ++stats_.decode_rejects;
+    return std::nullopt;
+  }
+  return summary;
 }
 
 std::string StudyCheckpoint::StatsJson() const {

@@ -29,6 +29,7 @@
 #include "core/mining.h"
 #include "core/selection.h"
 #include "core/types.h"
+#include "core/vantage.h"
 #include "obs/profile.h"
 
 namespace govdns::core {
@@ -111,6 +112,7 @@ class StudyCheckpoint {
     uint64_t blackhole = 0;
     uint64_t budget_exceeded = 0;
     uint64_t watchdog_cancelled = 0;
+    uint64_t vantage_lost = 0;
 
     friend bool operator==(const QuarantineSnapshot&,
                            const QuarantineSnapshot&) = default;
@@ -120,6 +122,16 @@ class StudyCheckpoint {
 
   void SaveReportJson(const std::string& json);
   std::optional<std::string> TryLoadReportJson();
+
+  // Vantage-shard summary (DESIGN.md §6k): the frame a shard commits last,
+  // carrying its identity and per-country health for the parent's merge.
+  // Self-contained (parent CRC 0) so the supervisor can load it with a bare
+  // ckpt::Journal — no chain state crosses the process boundary; integrity
+  // rides on the frame CRC and the journal fingerprint. Committed through
+  // this journal, so fault plans count it as a write point like any other.
+  void SaveVantage(const VantageSummary& summary);
+  // Load-and-verify on resume: nullopt when absent/invalid (recompute).
+  std::optional<VantageSummary> TryLoadVantage();
 
   const StudyCheckpointOptions& options() const { return options_; }
   const ckpt::JournalStats& journal_stats() const { return journal_.stats(); }

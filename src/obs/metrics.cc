@@ -53,22 +53,29 @@ void MetricsShard::Observe(int histogram_id, uint64_t value) {
   histograms_[histogram_id].Observe(value);
 }
 
+void MetricsRegistry::set_name_prefix(std::string prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  name_prefix_ = std::move(prefix);
+}
+
 int MetricsRegistry::DeclareCounter(std::string_view name, Determinism det) {
   std::lock_guard<std::mutex> lock(mu_);
+  const std::string full = name_prefix_ + std::string(name);
   for (size_t i = 0; i < counter_decls_.size(); ++i) {
-    if (counter_decls_[i].name == name) return static_cast<int>(i);
+    if (counter_decls_[i].name == full) return static_cast<int>(i);
   }
-  counter_decls_.push_back({std::string(name), det});
+  counter_decls_.push_back({full, det});
   counter_totals_.push_back(0);
   return static_cast<int>(counter_decls_.size() - 1);
 }
 
 int MetricsRegistry::DeclareHistogram(std::string_view name, Determinism det) {
   std::lock_guard<std::mutex> lock(mu_);
+  const std::string full = name_prefix_ + std::string(name);
   for (size_t i = 0; i < histogram_decls_.size(); ++i) {
-    if (histogram_decls_[i].name == name) return static_cast<int>(i);
+    if (histogram_decls_[i].name == full) return static_cast<int>(i);
   }
-  histogram_decls_.push_back({std::string(name), det});
+  histogram_decls_.push_back({full, det});
   histogram_totals_.emplace_back();
   return static_cast<int>(histogram_decls_.size() - 1);
 }
@@ -90,9 +97,10 @@ void MetricsRegistry::Observe(int histogram_id, uint64_t value) {
 void MetricsRegistry::SetGauge(std::string_view name, int64_t value,
                                Determinism det) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = gauges_.find(name);
+  const std::string full = name_prefix_ + std::string(name);
+  auto it = gauges_.find(full);
   if (it == gauges_.end()) {
-    gauges_.emplace(std::string(name), std::make_pair(value, det));
+    gauges_.emplace(full, std::make_pair(value, det));
   } else {
     it->second.first = value;  // original determinism wins, as for counters
   }

@@ -90,6 +90,15 @@ struct MetricsSnapshot {
 
 class MetricsRegistry {
  public:
+  // Prepends `prefix` to every name declared (or gauge set) from now on —
+  // the per-vantage namespace: a vantage shard sets "vantage.<name>." once
+  // at startup and every pipeline metric it emits lands under it, so merged
+  // or side-by-side exports from different vantages can never collide.
+  // Must be set before the declarations it should cover (redeclaration is
+  // matched on the *prefixed* name).
+  void set_name_prefix(std::string prefix);
+  const std::string& name_prefix() const { return name_prefix_; }
+
   // Idempotent: redeclaring an existing name returns its id (the original
   // determinism wins). Ids index into shards created *after* the
   // declaration; Absorb tolerates shorter (older) shards.
@@ -120,6 +129,7 @@ class MetricsRegistry {
   };
 
   mutable std::mutex mu_;
+  std::string name_prefix_;
   std::vector<Decl> counter_decls_;
   std::vector<uint64_t> counter_totals_;
   std::vector<Decl> histogram_decls_;

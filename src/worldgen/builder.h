@@ -94,6 +94,7 @@ struct World::Builder {
   void BuildActiveInfrastructure();
   void FinalizeRegistrar();
   void ApplyCountryFaults();
+  void RecordNsHosts();
 
   // --- Infrastructure helpers ----------------------------------------------
   std::shared_ptr<zone::Zone> NewZone(const dns::Name& origin);

@@ -15,6 +15,28 @@
 
 namespace govdns::worldgen {
 
+// Per-country fault overlay (DESIGN.md §6g): every nameserver host under
+// the named country's government suffix gets `chaos` layered on top of
+// whatever behaviour it already has. Hosts shared with other countries
+// (global provider farms) are untouched, so a fully blackholed country
+// degrades only its own domains. Unknown codes are ignored.
+struct CountryChaos {
+  std::string code;  // ccTLD label as in Countries(), e.g. "br"
+  simnet::ChaosProfile chaos;
+};
+
+// A named network view: what one measurement vantage point sees
+// (DESIGN.md §6k). `chaos` is layered on every nameserver host in the
+// world; `country_chaos` adds further per-country overlays through the
+// same suffix-matching path as WorldConfig::country_chaos. Realization is
+// seeded by the vantage *name*, never by its position in a list, so adding
+// or removing one vantage cannot perturb another vantage's draws.
+struct VantageProfile {
+  std::string name;  // e.g. "us-east"; doubles as journal-dir suffix
+  simnet::ChaosProfile chaos;
+  std::vector<CountryChaos> country_chaos;
+};
+
 struct WorldConfig {
   uint64_t seed = 2022;
 
@@ -130,17 +152,16 @@ struct WorldConfig {
   // robustness tests use simnet::ChaosProfile::Hostile().
   simnet::ChaosProfile chaos;
 
-  // Per-country fault overlays (DESIGN.md §6g): after the world is built,
-  // every nameserver host under the named country's government suffix gets
-  // `chaos` layered on top of whatever behaviour it already has. Hosts
-  // shared with other countries (global provider farms) are untouched, so a
-  // fully blackholed country degrades only its own domains. Unknown codes
-  // are ignored.
-  struct CountryChaos {
-    std::string code;  // ccTLD label as in Countries(), e.g. "br"
-    simnet::ChaosProfile chaos;
-  };
+  // Per-country fault overlays, applied after the world is built (see
+  // CountryChaos above; kept as a nested alias for existing call sites).
+  using CountryChaos = worldgen::CountryChaos;
   std::vector<CountryChaos> country_chaos;
+
+  // Named per-vantage network views (DESIGN.md §6k). Not applied at build
+  // time: each vantage shard calls World::ApplyVantage on its own copy of
+  // the world (typically a forked child), overlaying the profile on the
+  // base realization. An empty list means the classic single-vantage study.
+  std::vector<VantageProfile> vantages;
 
   // Number of national hosting companies per country (scaled by country
   // volume; at least 2).

@@ -84,6 +84,19 @@ void World::Builder::Build() {
   BuildActiveInfrastructure();
   FinalizeRegistrar();
   ApplyCountryFaults();
+  RecordNsHosts();
+}
+
+void World::Builder::RecordNsHosts() {
+  // Snapshot the attached-host table into the World so post-build overlays
+  // (World::ApplyVantage) can find every nameserver endpoint. `hosts` is a
+  // std::map, so the snapshot is in hostname order — deterministic across
+  // runs and vantages.
+  w.ns_hosts_.clear();
+  w.ns_hosts_.reserve(hosts.size());
+  for (const auto& [hostname, record] : hosts) {
+    w.ns_hosts_.push_back(NsHost{hostname, record.ips});
+  }
 }
 
 void World::Builder::ApplyCountryFaults() {

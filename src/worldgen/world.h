@@ -130,6 +130,15 @@ struct RegistryPolicyDb {
   }
 };
 
+// One attached nameserver host: its DNS hostname and the addresses it
+// answers on. Recorded by the builder (in hostname order) so post-build
+// overlays — World::ApplyVantage — can re-afflict endpoints without access
+// to the builder's internal state.
+struct NsHost {
+  dns::Name hostname;
+  std::vector<geo::IPv4> ips;
+};
+
 struct CountryRuntime {
   dns::Name suffix;        // gov.cn / gob.mx / regjeringen.no ...
   dns::Name portal_fqdn;   // www.<portal>
@@ -170,6 +179,20 @@ class World {
   const std::vector<geo::IPv4>& root_server_ips() const {
     return root_server_ips_;
   }
+  // Every attached nameserver host, in hostname order.
+  const std::vector<NsHost>& ns_hosts() const { return ns_hosts_; }
+
+  // Overlays one vantage's network view on the built world (DESIGN.md
+  // §6k): `profile.chaos` afflicts every nameserver endpoint once (shared
+  // addresses are deduplicated), then each country override afflicts the
+  // hosts under that country's government suffix, mirroring the builder's
+  // ApplyCountryFaults. Draws are seeded by HashString(profile.name, ...)
+  // — a pure function of (vantage name, world seed, address) — so two
+  // vantages never share a realization and adding one never perturbs
+  // another's. A benign profile (no afflictions) leaves the network
+  // byte-identical to the base world. Not idempotent: call at most once
+  // per World instance.
+  void ApplyVantage(const VantageProfile& profile);
 
   // --- Ground truth (tests and report annotation only) -------------------
   const std::vector<DomainTruth>& domains() const { return domains_; }
@@ -196,6 +219,7 @@ class World {
   RegistryPolicyDb registry_policy_;
   std::vector<KnowledgeBaseEntry> knowledge_base_;
   std::vector<geo::IPv4> root_server_ips_;
+  std::vector<NsHost> ns_hosts_;
 
   std::vector<DomainTruth> domains_;
   std::map<dns::Name, int> domain_index_;
@@ -209,5 +233,12 @@ class World {
 // Builds a complete world from the configuration. Deterministic in
 // config.seed: identical configs produce identical worlds.
 std::unique_ptr<World> BuildWorld(const WorldConfig& config);
+
+// The default vantage roster used by `govdns_study --vantages N`: vantage 0
+// ("v0-base") is entirely benign — its view IS the classic single-vantage
+// study — and later vantages see progressively flakier paths (jitter, loss
+// flaps, and for index >= 2 regional rate limiting), exercising the
+// disagreement analysis without drowning it.
+VantageProfile MakeDefaultVantageProfile(int index);
 
 }  // namespace govdns::worldgen

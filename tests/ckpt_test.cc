@@ -445,6 +445,48 @@ TEST(CkptFaultTest, AfterCommitLeavesValidFrame) {
   fs::remove_all(dir);
 }
 
+TEST(CkptFaultTest, InjectedFsyncFailureRejectsCommitKeepsPriorGeneration) {
+  const std::string dir = TempDir("fsync_fail");
+  ckpt::Journal journal(dir, 1);
+  ASSERT_TRUE(journal.Commit("f", "generation one", 0).ok());
+
+  ckpt::CkptFaultPlan plan;
+  plan.fail_fsync_at_write = 2;
+  journal.set_fault_plan(plan);
+  auto rejected = journal.Commit("f", "generation two", 0);
+  EXPECT_FALSE(rejected.ok());  // an IO error, not a crash: status, no throw
+  EXPECT_EQ(journal.stats().fsync_rejected, 1u);
+  // No half-committed residue: the temp is gone and the prior generation is
+  // still the durable, loadable truth.
+  EXPECT_FALSE(fs::exists(dir + "/f.tmp"));
+  auto frame = journal.Load("f", 0);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->payload, "generation one");
+
+  // With the fault cleared the same commit goes through.
+  journal.set_fault_plan(ckpt::CkptFaultPlan{});
+  ASSERT_TRUE(journal.Commit("f", "generation two", 0).ok());
+  auto fresh = journal.Load("f", 0);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->payload, "generation two");
+  fs::remove_all(dir);
+}
+
+TEST(CkptFaultTest, FsyncFailureFiresOnlyAtItsIndex) {
+  const std::string dir = TempDir("fsync_index");
+  ckpt::Journal journal(dir, 1);
+  ckpt::CkptFaultPlan plan;
+  plan.fail_fsync_at_write = 3;
+  journal.set_fault_plan(plan);
+  ASSERT_TRUE(journal.Commit("a", "1", 0).ok());
+  ASSERT_TRUE(journal.Commit("b", "2", 0).ok());
+  EXPECT_FALSE(journal.Commit("c", "3", 0).ok());
+  EXPECT_FALSE(fs::exists(dir + "/c.ck"));
+  // The write index keeps advancing past the faulted commit.
+  ASSERT_TRUE(journal.Commit("c", "3", 0).ok());
+  fs::remove_all(dir);
+}
+
 TEST(CkptFaultTest, PlanFiresOnlyAtItsIndex) {
   const std::string dir = TempDir("kill_index");
   ckpt::Journal journal(dir, 1);

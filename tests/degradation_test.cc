@@ -402,6 +402,123 @@ TEST(PhaseWatchdogTest, CancelsOnlyTheStalledWorker) {
   wd.Stop();  // idempotent
 }
 
+TEST(PhaseWatchdogTest, StopIsIdempotentAcrossRacingCallersAndDestructor) {
+  // Stop() from two racing threads, again from the test thread, and finally
+  // from the destructor: exactly one caller joins the supervisor, the rest
+  // are safe no-ops (this suite runs under tsan in tools/verify.sh, so a
+  // racy double-join would be caught, not just flaky).
+  PhaseWatchdog::Options options;
+  options.stall_timeout_ms = 50;
+  options.poll_interval_ms = 5;
+  auto wd = std::make_unique<PhaseWatchdog>(2, options);
+  std::thread a([&] { wd->Stop(); });
+  std::thread b([&] { wd->Stop(); });
+  a.join();
+  b.join();
+  wd->Stop();
+  // With the supervisor gone, a silent worker is never cancelled.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(wd->cancel_flag(0)->load(std::memory_order_relaxed));
+  EXPECT_EQ(wd->total_cancels(), 0u);
+  wd.reset();  // fourth Stop(), via ~PhaseWatchdog
+}
+
+TEST(PhaseWatchdogTest, HeartbeatRacingStopIsSafe) {
+  // Workers do not synchronize with the supervisor's shutdown: a heartbeat
+  // (or an AckCancel) may land while Stop() is tearing the thread down.
+  // Both touch only the slot atomics, so the interleaving must be clean.
+  PhaseWatchdog::Options options;
+  options.stall_timeout_ms = 20;
+  options.poll_interval_ms = 1;
+  for (int round = 0; round < 8; ++round) {
+    PhaseWatchdog wd(2, options);
+    std::atomic<bool> done{false};
+    std::thread beater([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        wd.Heartbeat(0);
+        wd.AckCancel(1);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    wd.Stop();
+    done.store(true, std::memory_order_relaxed);
+    beater.join();
+  }
+}
+
+// Delegates to the simulated network but wall-clock-blocks the first
+// `blocking` Exchange calls long enough for the watchdog to fire — the
+// "wedged handler" the logical clock cannot see.
+class BlockingTransport : public dns::QueryTransport {
+ public:
+  BlockingTransport(dns::QueryTransport* inner, int blocking,
+                    uint32_t block_ms)
+      : inner_(inner), remaining_(blocking), block_ms_(block_ms) {}
+
+  util::StatusOr<std::vector<uint8_t>> Exchange(
+      geo::IPv4 server, const std::vector<uint8_t>& wire_query) override {
+    if (remaining_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(block_ms_));
+    }
+    return inner_->Exchange(server, wire_query);
+  }
+  util::StatusOr<std::vector<uint8_t>> ExchangeStream(
+      geo::IPv4 server, const std::vector<uint8_t>& wire_query) override {
+    return inner_->ExchangeStream(server, wire_query);
+  }
+  uint64_t now_ms() const override { return inner_->now_ms(); }
+  void Delay(uint32_t ms) override { inner_->Delay(ms); }
+  void PushChaosContext(uint64_t tag) override {
+    inner_->PushChaosContext(tag);
+  }
+  void PopChaosContext() override { inner_->PopChaosContext(); }
+
+ private:
+  dns::QueryTransport* inner_;
+  std::atomic<int> remaining_;
+  uint32_t block_ms_;
+};
+
+TEST(PhaseWatchdogTest, CancelledDomainIsRequeuedOnceAndRecovers) {
+  // One wall-clock stall in the pool pass: the watchdog cancels the worker,
+  // the measurer requeues the domain at the phase boundary, and the retry
+  // (transport now prompt) produces the clean, unquarantined result.
+  TinyInternet world;
+  BlockingTransport blocking(&world.net, /*blocking=*/1, /*block_ms=*/500);
+  MeasurerOptions options;
+  options.workers = 1;
+  options.watchdog_stall_ms = 100;
+  options.watchdog_poll_ms = 5;
+  ActiveMeasurer measurer(&blocking, world.roots(), ResolverOptions(),
+                          options);
+  const std::vector<Name> domains = {Name::FromString("moe.gov.xx")};
+  const std::vector<MeasurementResult> out = measurer.MeasureAll(domains);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].quarantine_reason, QuarantineReason::kNone);
+
+  TinyInternet plain_world;
+  ActiveMeasurer plain(&plain_world.net, plain_world.roots(),
+                       ResolverOptions(), MeasurerOptions{});
+  EXPECT_EQ(out, plain.MeasureAll(domains));
+}
+
+TEST(PhaseWatchdogTest, DomainStalledTwiceStaysWatchdogQuarantined) {
+  // The requeue is once-only: a domain that stalls again in the requeue
+  // pass keeps its kWatchdogCancelled verdict instead of looping forever.
+  TinyInternet world;
+  BlockingTransport blocking(&world.net, /*blocking=*/2, /*block_ms=*/500);
+  MeasurerOptions options;
+  options.workers = 1;
+  options.watchdog_stall_ms = 100;
+  options.watchdog_poll_ms = 5;
+  ActiveMeasurer measurer(&blocking, world.roots(), ResolverOptions(),
+                          options);
+  const std::vector<Name> domains = {Name::FromString("moe.gov.xx")};
+  const std::vector<MeasurementResult> out = measurer.MeasureAll(domains);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].quarantine_reason, QuarantineReason::kWatchdogCancelled);
+}
+
 TEST(PhaseWatchdogTest, CancelFlagFailsResolverFastWithoutCounting) {
   // The resolver must honour an externally raised cancel flag immediately,
   // latch the cancellation, and keep it out of the deterministic counters.
@@ -493,6 +610,32 @@ TEST(EscalatingSignalsTest, SecondSignalForcesImmediateExit) {
   ASSERT_EQ(waitpid(pid, &status, 0), pid);
   ASSERT_TRUE(WIFEXITED(status)) << "child killed by signal, not _exit";
   EXPECT_EQ(WEXITSTATUS(status), 77);
+}
+
+TEST(EscalatingSignalsTest, ReinstallUpdatesExitCodeAndResetsEscalation) {
+  // Regression: the handler's exit code used to be a plain int; a handler
+  // installed before the new code landed could _exit with the stale value.
+  // Reinstalling must (a) reset the escalation count — the first signal
+  // after a reinstall is cooperative again — and (b) publish the new code
+  // before the handler can observe it.
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    static std::atomic<bool> flag{false};
+    ckpt::InstallEscalatingHandlers(&flag, 77);
+    raise(SIGTERM);
+    if (ckpt::EscalationCount() != 1) _exit(3);
+    flag.store(false, std::memory_order_relaxed);
+    ckpt::InstallEscalatingHandlers(&flag, 91);
+    raise(SIGINT);  // count was reset: cooperative again, not an escalation
+    if (!flag.load(std::memory_order_relaxed)) _exit(4);
+    raise(SIGINT);  // escalates with the *new* code
+    _exit(5);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child killed by signal, not _exit";
+  EXPECT_EQ(WEXITSTATUS(status), 91);
 }
 
 // ---- folded from failure_injection_test (degradation scenarios) ------------

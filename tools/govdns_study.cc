@@ -9,6 +9,8 @@
 //                [--phase-deadline MS] [--country-budget MS]
 //                [--domain-budget MS] [--quarantine-report PATH]
 //                [--snapshot-file PATH] [--map-snapshot PATH]
+//                [--vantages N] [--vantage-deadline MS]
+//                [--vantage-restarts K]
 //
 // Builds a world at the requested scale, runs selection -> mining -> active
 // measurement, and then prints the consolidated report (--report, default)
@@ -38,17 +40,31 @@
 // --phase-deadline the whole measurement phase; over-budget domains are
 // quarantined, annotated in the report's quarantine section, and optionally
 // dumped standalone with --quarantine-report.
+//
+// Multi-vantage mode (DESIGN.md §6k): --vantages N forks N supervised shard
+// processes, each measuring the same world through its own vantage overlay
+// and journaling into <checkpoint-dir>/vantage_<name>/. The parent restarts
+// crashed shards from their journals (--vantage-restarts attempts), SIGKILLs
+// any attempt that outlives --vantage-deadline, folds the surviving vantage
+// frames into the deterministic cross-vantage disagreement report, and
+// degrades lost vantages into the quarantine taxonomy. Test hooks:
+// --vantage-sigkill NAME:MS murders a shard mid-run, --vantage-kill-after
+// NAME:N arms a first-attempt fault plan at the Nth journal write, and
+// --vantage-stall NAME:MS wedges a first attempt so the deadline fires.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <thread>
+#include <utility>
 
 #include "ckpt/fault.h"
 #include "ckpt/signals.h"
@@ -57,6 +73,7 @@
 #include "core/report.h"
 #include "core/study.h"
 #include "core/study_ckpt.h"
+#include "core/vantage.h"
 #include "netio/engine.h"
 #include "obs/obs.h"
 #include "pdns/snapshot_io.h"
@@ -79,6 +96,20 @@ void PrintStructuredError(const std::string& phase, const std::string& cause) {
   w.EndObject();
   w.EndObject();
   std::fprintf(stderr, "%s\n", w.TakeString().c_str());
+}
+
+// "NAME:VALUE" test-hook argument (split on the last ':', so vantage names
+// may not contain one — the default roster doesn't).
+std::optional<std::pair<std::string, uint64_t>> ParseNameValue(
+    const char* raw) {
+  if (raw == nullptr) return std::nullopt;
+  std::string s = raw;
+  size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    return std::nullopt;
+  }
+  return std::make_pair(s.substr(0, colon),
+                        std::strtoull(s.c_str() + colon + 1, nullptr, 10));
 }
 
 }  // namespace
@@ -104,6 +135,10 @@ int main(int argc, char** argv) {
   std::string map_snapshot_path;
   bool use_engine = false;
   netio::QueryEngine::Options engine_options;
+  int vantages = 0;
+  core::VantageSupervisorOptions vantage_options;
+  std::optional<std::pair<std::string, uint64_t>> vantage_kill_after;
+  std::optional<std::pair<std::string, uint64_t>> vantage_stall;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -166,6 +201,22 @@ int main(int argc, char** argv) {
       if (const char* v = next()) engine_options.per_server_qps = std::atof(v);
     } else if (arg == "--lanes") {
       if (const char* v = next()) measure_options.async_lanes = std::atoi(v);
+    } else if (arg == "--vantages") {
+      if (const char* v = next()) vantages = std::atoi(v);
+    } else if (arg == "--vantage-deadline") {
+      if (const char* v = next()) {
+        vantage_options.deadline_ms = std::strtoull(v, nullptr, 10);
+      }
+    } else if (arg == "--vantage-restarts") {
+      if (const char* v = next()) vantage_options.max_restarts = std::atoi(v);
+    } else if (arg == "--vantage-sigkill") {
+      if (auto kv = ParseNameValue(next())) {
+        vantage_options.kill_once = {kv->first, kv->second};
+      }
+    } else if (arg == "--vantage-kill-after") {
+      vantage_kill_after = ParseNameValue(next());
+    } else if (arg == "--vantage-stall") {
+      vantage_stall = ParseNameValue(next());
     } else if (arg == "--report") {
       print_report = true;
     } else if (arg == "--no-report") {
@@ -180,7 +231,8 @@ int main(int argc, char** argv) {
                    "[--country-budget MS] [--domain-budget MS] "
                    "[--quarantine-report PATH] [--engine] [--max-inflight N] "
                    "[--per-ns-qps Q] [--lanes N] [--snapshot-file PATH] "
-                   "[--map-snapshot PATH]\n",
+                   "[--map-snapshot PATH] [--vantages N] "
+                   "[--vantage-deadline MS] [--vantage-restarts K]\n",
                    argv[0]);
       return 2;
     }
@@ -189,6 +241,24 @@ int main(int argc, char** argv) {
     PrintStructuredError("setup",
                          "--resume/--ckpt-kill-after require --checkpoint-dir");
     return 2;
+  }
+  if (vantages > 0) {
+    // The shards ARE the journal consumers, so a checkpoint root is
+    // mandatory; engine/snapshot modes are per-process concerns that do not
+    // compose with fork-per-vantage (the engine spawns threads, and fork
+    // from a threaded parent is off the table).
+    if (checkpoint_dir.empty()) {
+      PrintStructuredError("setup", "--vantages requires --checkpoint-dir");
+      return 2;
+    }
+    if (use_engine || !snapshot_out_path.empty() || !map_snapshot_path.empty() ||
+        kill_after != 0) {
+      PrintStructuredError("setup",
+                           "--vantages is incompatible with --engine, "
+                           "--snapshot-file, --map-snapshot and "
+                           "--ckpt-kill-after (use --vantage-kill-after)");
+      return 2;
+    }
   }
 
   std::string phase = "setup";
@@ -220,6 +290,154 @@ int main(int argc, char** argv) {
         ckpt::MixFingerprint(world_fp, static_cast<uint64_t>(config.first_year));
     world_fp =
         ckpt::MixFingerprint(world_fp, static_cast<uint64_t>(config.last_year));
+
+    if (vantages > 0) {
+      // Multi-vantage orchestration (DESIGN.md §6k). The world was built
+      // once, single-threaded, above; each shard forks, applies its own
+      // vantage overlay to the copy-on-write network, and runs the full
+      // pipeline into its private journal. The parent never builds a Study
+      // — it only supervises and merges vantage frames.
+      phase = "vantage";
+      std::vector<worldgen::VantageProfile> profiles;
+      std::vector<std::string> names;
+      for (int v = 0; v < vantages; ++v) {
+        profiles.push_back(worldgen::MakeDefaultVantageProfile(v));
+        names.push_back(profiles.back().name);
+      }
+      // The study-identity half of each shard journal's fingerprint; a pure
+      // function of the inputs' shape, so the parent's (pre-overlay) value
+      // matches what every child computes post-overlay.
+      const uint64_t study_fp = core::StudyInputsFingerprint(inputs);
+      std::vector<std::string> top10;
+      for (const char* code : worldgen::Top10CountryCodes()) {
+        top10.emplace_back(code);
+      }
+
+      core::VantageSupervisor::ChildFn child_fn =
+          [&](const std::string& name, int attempt) -> int {
+        try {
+          const worldgen::VantageProfile* profile = nullptr;
+          for (const worldgen::VantageProfile& p : profiles) {
+            if (p.name == name) profile = &p;
+          }
+          if (profile == nullptr) return 3;
+          if (vantage_stall && vantage_stall->first == name && attempt == 0) {
+            // Wedge the first attempt on the wall clock so the supervisor's
+            // deadline fires; the restart runs clean and resumes.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(vantage_stall->second));
+          }
+          world->ApplyVantage(*profile);
+          worldgen::BoundStudy shard;
+          shard.policy = std::make_unique<worldgen::PolicyLookupAdapter>(
+              &world->registry_policy());
+          core::StudyInputs shard_inputs =
+              worldgen::MakeStudyInputs(*world, shard.policy.get());
+          const uint64_t shard_study_fp =
+              core::StudyInputsFingerprint(shard_inputs);
+
+          core::StudyCheckpointOptions shard_ckpt = ckpt_options;
+          // Restarts always resume: that is the whole crash-recovery story.
+          shard_ckpt.resume = ckpt_options.resume || attempt > 0;
+          core::StudyCheckpoint ckpt(
+              core::VantageJournalDir(checkpoint_dir, name),
+              core::VantageBaseFingerprint(world_fp, name), shard_ckpt);
+          if (vantage_kill_after && vantage_kill_after->first == name &&
+              attempt == 0) {
+            ckpt::CkptFaultPlan plan;
+            plan.kill_at_write = vantage_kill_after->second;
+            plan.mode = ckpt::KillMode::kAfterCommit;
+            plan.exit_process = true;
+            ckpt.set_fault_plan(plan);
+          }
+
+          obs::ObservabilityConfig shard_obs_config;
+          shard_obs_config.trace.sample_period =
+              trace_sample == 0 ? 1 : trace_sample;
+          obs::Observability shard_obs(shard_obs_config);
+          if (!metrics_path.empty()) {
+            // Namespace every metric the shard declares under its vantage so
+            // side-by-side exports can never collide.
+            shard_obs.metrics().set_name_prefix("vantage." + name + ".");
+          }
+
+          shard.study = std::make_unique<core::Study>(std::move(shard_inputs));
+          if (!metrics_path.empty()) shard.study->AttachObservability(&shard_obs);
+          shard.study->AttachCheckpoint(&ckpt);
+          shard.study->RunSelection();
+          core::MinerOptions shard_mine;
+          shard_mine.workers = mine_workers;
+          shard.study->RunMining(shard_mine);
+          shard.study->RunActiveMeasurement(measure_options);
+
+          core::StudyReport report = core::BuildReport(*shard.study, top10);
+          const std::string report_json = core::ExportReportJson(report);
+          ckpt.SaveReportJson(report_json);
+          const uint64_t full_fp = ckpt::MixFingerprint(
+              core::VantageBaseFingerprint(world_fp, name), shard_study_fp);
+          ckpt.SaveVantage(core::BuildVantageSummary(
+              name, full_fp, shard.study->active(), report_json));
+
+          if (!metrics_path.empty()) {
+            const std::string path = metrics_path + "." + name;
+            std::ofstream out(path);
+            if (!out) return 1;
+            out << core::ExportMetricsJson(shard_obs.metrics().Snapshot())
+                << "\n";
+          }
+          return 0;
+        } catch (const core::PipelineError& e) {
+          PrintStructuredError("vantage:" + name + ":" + e.phase(), e.cause());
+          return 1;
+        } catch (const std::exception& e) {
+          PrintStructuredError("vantage:" + name, e.what());
+          return 1;
+        }
+      };
+
+      std::fprintf(stderr, "supervising %d vantage shard(s)...\n", vantages);
+      core::VantageSupervisor supervisor(names, vantage_options);
+      std::vector<core::VantageOutcome> outcomes = supervisor.Run(child_fn);
+
+      std::vector<core::VantageSummary> summaries;
+      std::vector<std::string> lost;
+      for (const core::VantageOutcome& out : outcomes) {
+        std::fprintf(stderr,
+                     "[vantage] %s: %s (attempts %d, deadline kills %d)\n",
+                     out.name.c_str(), out.lost ? "LOST" : "ok", out.attempts,
+                     out.deadline_kills);
+        if (out.lost) {
+          lost.push_back(out.name);
+          continue;
+        }
+        const uint64_t full_fp = ckpt::MixFingerprint(
+            core::VantageBaseFingerprint(world_fp, out.name), study_fp);
+        auto summary = core::LoadVantageSummary(
+            core::VantageJournalDir(checkpoint_dir, out.name), full_fp);
+        if (!summary) {
+          // Exited clean but left no readable vantage frame: treat exactly
+          // like a lost shard rather than merging a partial view.
+          lost.push_back(out.name);
+          continue;
+        }
+        summaries.push_back(*std::move(summary));
+      }
+
+      phase = "vantage-merge";
+      core::MultiVantageReport merged =
+          core::MergeVantageSummaries(std::move(summaries), std::move(lost));
+      if (print_report) core::PrintMultiVantageReport(merged, std::cout);
+      if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+          PrintStructuredError(phase, "cannot write " + json_path);
+          return 1;
+        }
+        out << core::ExportMultiVantageJson(merged) << "\n";
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+      }
+      return merged.vantages.empty() ? 1 : 0;
+    }
 
     if (!snapshot_out_path.empty()) {
       phase = "snapshot-write";

@@ -114,6 +114,37 @@ for K in 1 $((WRITES / 2)) "${WRITES}"; do
   echo "smoke: kill at write ${K} -> resume -> report byte-identical OK"
 done
 
+echo "==> smoke: multi-vantage supervision (kill a vantage, identical merge)"
+# Three supervised multi-vantage runs on the same seed: uninterrupted, one
+# shard crashed at a journal write point (the supervisor restarts it from
+# its own journal), and one shard SIGKILLed mid-run on the wall clock. All
+# three merged cross-vantage disagreement reports must be byte-identical
+# (DESIGN.md §6k) — fault recovery may cost time, never bytes.
+VANT_DIR="${SMOKE_DIR}/vantage"
+./build/tools/govdns_study --scale 0.01 --seed 7 --no-report \
+  --vantages 2 --checkpoint-dir "${VANT_DIR}/base" \
+  --json "${SMOKE_DIR}/vant_base.json" 2>/dev/null
+./build/tools/govdns_study --scale 0.01 --seed 7 --no-report \
+  --vantages 2 --checkpoint-dir "${VANT_DIR}/crash" \
+  --vantage-kill-after v1-far:3 \
+  --json "${SMOKE_DIR}/vant_crash.json" 2>/dev/null
+cmp "${SMOKE_DIR}/vant_base.json" "${SMOKE_DIR}/vant_crash.json"
+./build/tools/govdns_study --scale 0.01 --seed 7 --no-report \
+  --vantages 2 --checkpoint-dir "${VANT_DIR}/sigkill" \
+  --vantage-sigkill v0-base:150 \
+  --json "${SMOKE_DIR}/vant_sigkill.json" 2>/dev/null
+cmp "${SMOKE_DIR}/vant_base.json" "${SMOKE_DIR}/vant_sigkill.json"
+python3 - "${SMOKE_DIR}/vant_base.json" <<'EOF'
+import json, sys
+doc = json.loads(open(sys.argv[1]).read())
+assert doc["vantages"], sorted(doc)
+assert not doc["lost"], doc["lost"]
+compared = doc["disagreement"]["countries_compared"]
+assert compared > 0, doc["disagreement"]
+print(f"smoke: vantage crash/SIGKILL -> restart -> merge byte-identical OK "
+      f"({compared} countries compared)")
+EOF
+
 echo "==> smoke: snapshot file round-trip (mapped mining == frozen mining)"
 # Write the world's PDNS database as a GVSN snapshot, then rerun the same
 # study mining the mmapped file instead of freezing the database; the two
